@@ -1,0 +1,75 @@
+// E10 — simulator substrate throughput: the cost model behind every other
+// experiment. Not a paper claim; reported so readers can size their own
+// sweeps (messages delivered per second, trial latency vs n).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "sim/macro.hpp"
+#include "sim/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adba;
+
+void experiment(const Cli&) {
+    std::printf("E10: engine throughput (timing entries below); summary table of\n"
+                "per-trial work at representative sizes.\n");
+    Table tab("E10: full-fidelity trial cost (worst-case adversary, split inputs)");
+    tab.set_header({"n", "t", "mean rounds", "mean msgs/trial"});
+    for (NodeId n : {64u, 256u, 512u}) {
+        sim::Scenario s;
+        s.n = n;
+        s.t = (n - 1) / 3;
+        s.protocol = sim::ProtocolKind::Ours;
+        s.adversary = sim::AdversaryKind::WorstCase;
+        s.inputs = sim::InputPattern::Split;
+        const auto agg = sim::run_trials(s, 0xE10, 5);
+        tab.add_row({Table::num(std::uint64_t{n}),
+                     Table::num(std::uint64_t{(n - 1) / 3}),
+                     Table::num(agg.rounds.mean(), 1),
+                     Table::num(agg.messages.mean(), 0)});
+    }
+    tab.print(std::cout);
+}
+
+void BM_engine_trial(benchmark::State& state) {
+    sim::Scenario s;
+    s.n = static_cast<NodeId>(state.range(0));
+    s.t = (s.n - 1) / 3;
+    s.protocol = sim::ProtocolKind::Ours;
+    s.adversary = sim::AdversaryKind::WorstCase;
+    s.inputs = sim::InputPattern::Split;
+    std::uint64_t seed = 0;
+    std::uint64_t msgs = 0;
+    for (auto _ : state) {
+        const auto r = sim::run_trial(s, seed++);
+        msgs += r.metrics.honest_messages;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["msgs/s"] =
+        benchmark::Counter(static_cast<double>(msgs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_engine_trial)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_macro_vs_micro(benchmark::State& state) {
+    sim::MacroScenario m;
+    m.n = static_cast<std::uint64_t>(state.range(0));
+    m.t = m.n / 4;
+    m.q = m.t;
+    std::uint64_t seed = 0;
+    for (auto _ : state) benchmark::DoNotOptimize(sim::run_macro_trial(m, seed++));
+}
+BENCHMARK(BM_macro_vs_micro)->Arg(256)->Arg(1 << 14)->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const adba::Cli cli(argc, argv);
+    experiment(cli);
+    adba::benchutil::run_benchmark_tail(cli);
+    return 0;
+}

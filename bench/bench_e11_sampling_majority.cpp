@@ -1,0 +1,119 @@
+// E11 — the sqrt(n) frontier of sampling-majority (paper §1.3, Augustine-
+// Pandurangan-Robinson 2013): convergence survives Byzantine counts up to
+// ~sqrt(n) and stalls beyond, the same anti-concentration economics as the
+// paper's committee coin (drift per round ~ sqrt(n) = the price of one
+// round of enforced balance for the adversary).
+//
+// Measured: final agreement rate and the first round of full honest
+// agreement, as the balancer's budget sweeps through sqrt(n).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+
+#include "adversary/balancer.hpp"
+#include "baselines/sampling_majority.hpp"
+#include "bench/common.hpp"
+#include "net/engine.hpp"
+#include "sim/inputs.hpp"
+#include "sim/runner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adba;
+
+struct E11Cell {
+    double agree_rate = 0.0;
+    double mean_first_agree = 0.0;
+    double p90_first_agree = 0.0;
+};
+
+E11Cell run_cell(NodeId n, Count t, Count trials) {
+    Samples first_agree;
+    Count agreements = 0;
+    for (Count i = 0; i < trials; ++i) {
+        const SeedTree seeds(0xE11 + n * 1009ULL + t * 31ULL + i);
+        const auto params = base::SamplingMajorityParams::compute(n, t, 4.0);
+        auto nodes = base::make_sampling_majority_nodes(
+            params, sim::make_inputs(sim::InputPattern::Split, n, seeds), seeds);
+        adv::MajorityBalancerAdversary adversary({t, 0});
+        net::Engine eng({n, t, params.rounds + 1, false}, std::move(nodes), adversary);
+        Round first = params.rounds;
+        bool found = false;
+        eng.set_round_observer([&](Round r, const auto& live, const auto& honest) {
+            if (found) return;
+            std::optional<Bit> v;
+            for (NodeId u = 0; u < live.size(); ++u) {
+                if (!honest[u]) continue;
+                const Bit b = live[u]->current_value();
+                if (!v) {
+                    v = b;
+                } else if (*v != b) {
+                    return;
+                }
+            }
+            first = r;
+            found = true;
+        });
+        const auto res = eng.run();
+        if (res.agreement()) ++agreements;
+        first_agree.add(static_cast<double>(first));
+    }
+    E11Cell cell;
+    cell.agree_rate = 100.0 * agreements / trials;
+    cell.mean_first_agree = first_agree.mean();
+    cell.p90_first_agree = first_agree.quantile(0.9);
+    return cell;
+}
+
+void experiment(const Cli& cli) {
+    const auto trials = static_cast<Count>(cli.get_int("trials", 15));
+    std::printf("E11: sampling-majority vs the drift-cancelling balancer "
+                "(%u trials/cell).\n", trials);
+
+    Table tab("E11: convergence vs balancer budget (split inputs)");
+    tab.set_header({"n", "t", "t/sqrt(n)", "agree %", "mean 1st-agree round",
+                    "p90 1st-agree"});
+    for (NodeId n : {256u, 1024u}) {
+        const double sq = std::sqrt(static_cast<double>(n));
+        for (double ratio : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+            auto t = static_cast<Count>(std::lround(ratio * sq));
+            if (3 * t >= n) t = (n - 1) / 3;
+            const E11Cell cell = run_cell(n, t, trials);
+            tab.add_row({Table::num(std::uint64_t{n}), Table::num(std::uint64_t{t}),
+                         Table::num(ratio, 1), Table::num(cell.agree_rate, 1),
+                         Table::num(cell.mean_first_agree, 1),
+                         Table::num(cell.p90_first_agree, 1)});
+        }
+    }
+    tab.print(std::cout);
+    std::printf(
+        "Shape check vs paper §1.3: below the sqrt(n) scale the balancer only\n"
+        "buys a handful of balanced rounds (its per-round bill is the Θ(sqrt n)\n"
+        "drift), so convergence is barely delayed; well above sqrt(n) the first-\n"
+        "agree round grows — the same frontier Theorem 3 defends with the\n"
+        "Paley-Zygmund bound, appearing in a completely different protocol.\n");
+}
+
+void BM_sampling_trial(benchmark::State& state) {
+    sim::Scenario s;
+    s.n = 256;
+    s.t = 16;
+    s.protocol = sim::ProtocolKind::SamplingMajority;
+    s.adversary = sim::AdversaryKind::Balancer;
+    s.inputs = sim::InputPattern::Split;
+    std::uint64_t seed = 0;
+    for (auto _ : state) benchmark::DoNotOptimize(sim::run_trial(s, seed++));
+}
+BENCHMARK(BM_sampling_trial);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const adba::Cli cli(argc, argv);
+    experiment(cli);
+    adba::benchutil::run_benchmark_tail(cli);
+    return 0;
+}

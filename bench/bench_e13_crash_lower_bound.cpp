@@ -1,0 +1,82 @@
+// E13 — lower-bound witness (Theorem 1, Bar-Joseph & Ben-Or): the
+// Ω(t/sqrt(n log n)) bound holds already for adaptive rushing CRASH faults.
+// Our targeted-crash adversary is that construction operationalized: it
+// drags each committee's flip sum across the >=0 boundary with ~|S|+1
+// mid-broadcast crashes per ruined phase.
+//
+// Measured: rounds vs crash budget q for Algorithm 3 under crash faults
+// only, against the Byzantine worst case and the BJBO curve. Crash ruin
+// costs ~2x the Byzantine ruin (a crash removes a flip; a corruption
+// removes a flip AND adds an equivocator), and some committees are
+// crash-immune (unanimous flips behind the tie rule) — both visible below.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench/common.hpp"
+#include "sim/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adba;
+
+void experiment(const Cli& cli) {
+    const auto n = static_cast<NodeId>(cli.get_int("n", 256));
+    const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 25));
+    std::printf("E13: crash-fault lower-bound witness on Algorithm 3 (n=%u, budget "
+                "t=%u, %u trials).\n", n, t, trials);
+
+    Table tab("E13: rounds under adaptive crash vs Byzantine worst case");
+    tab.set_header({"q", "crash rounds", "byzantine rounds", "crash/byz",
+                    "BJBO LB t/sqrt(n log n)"});
+    for (Count q : {0u, 5u, 10u, 20u, 40u, t}) {
+        if (q > t) continue;
+        sim::Scenario crash;
+        crash.n = n;
+        crash.t = t;
+        crash.q = q;
+        crash.protocol = sim::ProtocolKind::Ours;
+        crash.adversary = sim::AdversaryKind::CrashTargetedCoin;
+        crash.inputs = sim::InputPattern::Split;
+        sim::Scenario byz = crash;
+        byz.adversary = sim::AdversaryKind::WorstCase;
+        const auto agg_crash = sim::run_trials(crash, 0xE13, trials);
+        const auto agg_byz = sim::run_trials(byz, 0xE13, trials);
+        tab.add_row({Table::num(std::uint64_t{q}), Table::num(agg_crash.rounds.mean(), 1),
+                     Table::num(agg_byz.rounds.mean(), 1),
+                     Table::num(agg_crash.rounds.mean() /
+                                    std::max(1.0, agg_byz.rounds.mean()), 2),
+                     Table::num(an::rounds_lower_bound(double(n), double(q)), 2)});
+    }
+    tab.print(std::cout);
+    std::printf(
+        "Shape check vs paper: crash faults alone produce rounds growing with q\n"
+        "(Theorem 1's message: the adaptive lower bound does not need Byzantine\n"
+        "behaviour), but each crash buys less delay than a full corruption —\n"
+        "the crash/byz ratio stays below 1 and crash-immune committees cap the\n"
+        "attack early at this committee size.\n");
+}
+
+void BM_crash_trial(benchmark::State& state) {
+    sim::Scenario s;
+    s.n = 256;
+    s.t = 85;
+    s.q = static_cast<Count>(state.range(0));
+    s.protocol = sim::ProtocolKind::Ours;
+    s.adversary = sim::AdversaryKind::CrashTargetedCoin;
+    s.inputs = sim::InputPattern::Split;
+    std::uint64_t seed = 0;
+    for (auto _ : state) benchmark::DoNotOptimize(sim::run_trial(s, seed++));
+}
+BENCHMARK(BM_crash_trial)->Arg(10)->Arg(85);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const adba::Cli cli(argc, argv);
+    experiment(cli);
+    adba::benchutil::run_benchmark_tail(cli);
+    return 0;
+}

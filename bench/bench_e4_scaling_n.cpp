@@ -1,0 +1,98 @@
+// E4 — asymptotic scaling in n (macro simulator): the regime where the
+// paper's t^2 log n / n term beats Chor-Coan's t / log n.
+//
+// Paper reference: §1.2 ("our running time is significantly better ... for
+// t = o(n / log^2 n)"; "when t = n^0.75, our protocol takes O(n^0.5 log n)
+// rounds whereas Chor and Coan's bound is O(n^0.75/log n)").
+//
+// The full-fidelity engine stops at a few thousand nodes (n^2 messages per
+// round); the macro simulator (src/sim/macro, calibrated against the engine
+// in test_sim) reproduces the same worst-case dynamics in O(s) per phase,
+// reaching n = 2^20. Substitution documented in DESIGN.md §2/§5.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "bench/common.hpp"
+#include "sim/macro.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adba;
+
+double macro_mean(sim::MacroScheduleKind schedule, std::uint64_t n, std::uint64_t t,
+                  int trials) {
+    sim::MacroScenario m;
+    m.n = n;
+    m.t = t;
+    m.q = t;
+    m.schedule = schedule;
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        const std::uint64_t seed = 0xE4 + n + 31 * static_cast<std::uint64_t>(i);
+        sum += static_cast<double>(sim::run_macro_trial(m, seed).rounds);
+    }
+    return sum / trials;
+}
+
+template <typename TofN>
+void regime_table(const char* title, TofN t_of_n, int trials, std::ostream& os) {
+    Table t(title);
+    t.set_header({"n", "t", "ours (macro)", "cc-rushing (macro)", "ratio",
+                  "thy ours", "thy cc", "thy LB"});
+    for (std::uint64_t lg = 12; lg <= 20; lg += 2) {
+        const std::uint64_t n = 1ull << lg;
+        auto tt = static_cast<std::uint64_t>(t_of_n(static_cast<double>(n)));
+        if (3 * tt >= n) tt = n / 3 - 1;
+        const double ours = macro_mean(sim::MacroScheduleKind::Ours, n, tt, trials);
+        const double cc = macro_mean(sim::MacroScheduleKind::ChorCoanRushing, n, tt,
+                                     trials);
+        t.add_row({Table::num(n), Table::num(tt), Table::num(ours, 1),
+                   Table::num(cc, 1), Table::num(ours / cc, 2),
+                   Table::num(an::rounds_ours(double(n), double(tt)), 1),
+                   Table::num(an::rounds_chor_coan(double(n), double(tt)), 1),
+                   Table::num(an::rounds_lower_bound(double(n), double(tt)), 2)});
+    }
+    t.print(os);
+}
+
+void experiment(const Cli& cli) {
+    const auto trials = static_cast<int>(cli.get_int("trials", 15));
+    std::printf("E4: scaling in n at fixed t-regimes (macro simulator, %d trials).\n\n",
+                trials);
+    regime_table("E4a: t = sqrt(n)  — the paper's near-optimal point",
+                 [](double n) { return std::pow(n, 0.5); }, trials, std::cout);
+    regime_table("E4b: t = n^0.6   — inside the improvement window",
+                 [](double n) { return std::pow(n, 0.6); }, trials, std::cout);
+    regime_table("E4c: t = n^0.75  — the paper's headline example",
+                 [](double n) { return std::pow(n, 0.75); }, trials, std::cout);
+    regime_table("E4d: t = n/4     — near maximal resilience",
+                 [](double n) { return n / 4.0; }, trials, std::cout);
+    std::printf(
+        "Shape check vs paper: at t = sqrt(n) (E4a) ours stays ~flat in rounds\n"
+        "(Õ(log n) phases) while cc-rushing grows ~t/log n — the ratio falls\n"
+        "with n. At t = n^0.75 (E4c) the min() saturates at simulable n (the\n"
+        "log-factor separation needs n ≳ 2^56, see EXPERIMENTS.md) so the ratio\n"
+        "hovers near 1. Near n/3 (E4d) both coincide, as Theorem 2 predicts.\n");
+}
+
+void BM_macro_trial(benchmark::State& state) {
+    sim::MacroScenario m;
+    m.n = 1ull << 18;
+    m.t = 512;
+    m.q = m.t;
+    std::uint64_t seed = 0;
+    for (auto _ : state) benchmark::DoNotOptimize(sim::run_macro_trial(m, seed++));
+}
+BENCHMARK(BM_macro_trial);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const adba::Cli cli(argc, argv);
+    experiment(cli);
+    adba::benchutil::run_benchmark_tail(cli);
+    return 0;
+}

@@ -1,0 +1,114 @@
+// E9 — design ablations called out in DESIGN.md:
+//   (a) the committee-count constant α: the paper's analysis wants
+//       α - 4·sqrt(α) >= γ (α ≈ 18 for γ = 1); how small can α really be?
+//       This regenerates the measured w.h.p. failure boundary that fixed
+//       our default α = 4 (see core/params.hpp).
+//   (b) the validity fast path (Lemma 2): unanimous inputs lock in O(1)
+//       phases under every adversary, independent of α.
+//   (c) the γ phase floor at tiny t.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/params.hpp"
+#include "sim/runner.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adba;
+
+void experiment(const Cli& cli) {
+    const auto n = static_cast<NodeId>(cli.get_int("n", 64));
+    const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 60));
+    std::printf("E9: committee-sizing ablation (n=%u, t=%u — the hardest cell — "
+                "%u trials).\n", n, t, trials);
+
+    Table tab("E9a: alpha sweep at maximal t (worst-case adversary, split inputs)");
+    tab.set_header({"alpha", "phases c", "committee s", "agree %", "mean rounds",
+                    "analysis needs"});
+    for (double alpha : {1.0, 2.0, 4.0, 8.0, 18.0}) {
+        core::Tuning tune;
+        tune.alpha = alpha;
+        sim::Scenario s;
+        s.n = n;
+        s.t = t;
+        s.protocol = sim::ProtocolKind::Ours;
+        s.adversary = sim::AdversaryKind::WorstCase;
+        s.inputs = sim::InputPattern::Split;
+        s.tuning = tune;
+        const auto params = core::AgreementParams::compute(n, t, tune);
+        const auto agg = sim::run_trials(s, 0xE9A, trials);
+        tab.add_row({Table::num(alpha, 1), Table::num(std::uint64_t{params.phases}),
+                     Table::num(std::uint64_t{params.schedule.block}),
+                     Table::num(100.0 * (agg.trials - agg.agreement_failures) /
+                                    agg.trials, 1),
+                     Table::num(agg.rounds.mean(), 1),
+                     alpha >= 18.0 ? "alpha-4*sqrt(alpha)>=1 holds" : "below paper's constant"});
+    }
+    tab.print(std::cout);
+
+    Table tab2("E9b: validity fast path (Lemma 2) — unanimous inputs, any adversary");
+    tab2.set_header({"adversary", "agree %", "validity", "mean rounds"});
+    for (auto kind : {sim::AdversaryKind::WorstCase, sim::AdversaryKind::SplitVote,
+                      sim::AdversaryKind::CrashTargetedCoin, sim::AdversaryKind::Chaos}) {
+        sim::Scenario s;
+        s.n = n;
+        s.t = t;
+        s.protocol = sim::ProtocolKind::Ours;
+        s.adversary = kind;
+        s.inputs = sim::InputPattern::AllOne;
+        const auto agg = sim::run_trials(s, 0xE9B, trials / 2);
+        tab2.add_row({sim::to_string(kind),
+                      Table::num(100.0 * (agg.trials - agg.agreement_failures) /
+                                     agg.trials, 1),
+                      agg.validity_failures == 0 ? "ok" : "VIOLATED",
+                      Table::num(agg.rounds.mean(), 1)});
+    }
+    tab2.print(std::cout);
+
+    Table tab3("E9c: gamma phase-floor at tiny t (floor = ceil(gamma*log2 n) phases)");
+    tab3.set_header({"gamma", "phases at t=1", "agree %", "mean rounds"});
+    for (double gamma : {1.0, 2.0, 4.0}) {
+        core::Tuning tune;
+        tune.gamma = gamma;
+        sim::Scenario s;
+        s.n = n;
+        s.t = 1;
+        s.protocol = sim::ProtocolKind::Ours;
+        s.adversary = sim::AdversaryKind::WorstCase;
+        s.inputs = sim::InputPattern::Split;
+        s.tuning = tune;
+        const auto params = core::AgreementParams::compute(n, 1, tune);
+        const auto agg = sim::run_trials(s, 0xE9C, trials / 2);
+        tab3.add_row({Table::num(gamma, 1), Table::num(std::uint64_t{params.phases}),
+                      Table::num(100.0 * (agg.trials - agg.agreement_failures) /
+                                     agg.trials, 1),
+                      Table::num(agg.rounds.mean(), 1)});
+    }
+    tab3.print(std::cout);
+    std::printf(
+        "Shape check: E9a shows the measured w.h.p. boundary — small alpha gives\n"
+        "the adversary enough budget-per-phase to ruin everything at this scale;\n"
+        "alpha=4 restores 100%% (our default); the paper's alpha=18 is safe but\n"
+        "pays more phases. E9b: validity never depends on alpha (Lemma 2 is\n"
+        "deterministic). E9c: the floor only matters for the failure budget, not\n"
+        "measured rounds (early termination).\n");
+}
+
+void BM_params_compute(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::AgreementParams::compute(1 << 16, 20000));
+    }
+}
+BENCHMARK(BM_params_compute);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const adba::Cli cli(argc, argv);
+    experiment(cli);
+    adba::benchutil::run_benchmark_tail(cli);
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Shared plumbing for the experiment bench binaries.
+//
+// Every bench prints its reproduction table(s) first (the deliverable that
+// EXPERIMENTS.md records) and then runs its google-benchmark timing entries
+// so `for b in build/bench/*; do $b; done` produces both.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace adba::benchutil {
+
+/// Hands the non-experiment arguments (argv[0] + --benchmark_* flags) to
+/// google-benchmark and runs the registered entries.
+inline void run_benchmark_tail(const Cli& cli) {
+    std::vector<std::string> args = cli.passthrough();
+    std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (auto& s : args) argv.push_back(s.data());
+    int argc = static_cast<int>(argv.size());
+    benchmark::Initialize(&argc, argv.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+}
+
+/// With `--csv_dir=DIR`, also dumps the table as DIR/<slug>.csv so plots
+/// and EXPERIMENTS.md extraction stay mechanical.
+inline void maybe_write_csv(const Cli& cli, const Table& table, const std::string& slug) {
+    const std::string dir = cli.get("csv_dir", "");
+    if (dir.empty()) return;
+    std::ofstream out(dir + "/" + slug + ".csv");
+    out << table.to_csv();
+}
+
+/// Formats a bootstrap CI as "lo..hi".
+inline std::string ci_str(double lo, double hi, int precision = 1) {
+    return Table::num(lo, precision) + ".." + Table::num(hi, precision);
+}
+
+}  // namespace adba::benchutil

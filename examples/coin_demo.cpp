@@ -1,0 +1,69 @@
+// Common-coin demo (paper §3.1, Algorithms 1 & 2).
+//
+// Measures Definition 2's constants for the one-round coin protocol as the
+// adaptive rushing adversary's budget grows past the ½·sqrt(n) threshold of
+// Theorem 3 — the "defense perimeter" of the whole agreement protocol.
+//
+// Usage: coin_demo [--n=256] [--trials=2000]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "sim/coin_runner.hpp"
+#include "support/cli.hpp"
+#include "support/math.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace adba;
+    const Cli cli(argc, argv);
+    const auto n = static_cast<NodeId>(cli.get_int("n", 256));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 2000));
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+
+    std::printf("Algorithm 1: every node flips ±1, broadcasts, outputs sign of sum.\n");
+    std::printf("Adaptive rushing adversary corrupts f nodes AFTER seeing all flips.\n");
+    std::printf("Theorem 3: with f <= 0.5*sqrt(n) = %.1f this is a common coin.\n\n",
+                0.5 * sqrt_n);
+
+    Table table("Common coin vs adaptive corruption budget (n=" + std::to_string(n) +
+                ", " + std::to_string(trials) + " trials)");
+    table.set_header({"f", "f/sqrt(n)", "P(common)", "P(1|common)",
+                      "paper floor (1/6)", "attack feasible %"});
+    for (double ratio : {0.0, 0.25, 0.5, 1.0, 1.5, 2.0}) {
+        const auto f = static_cast<Count>(std::lround(ratio * sqrt_n));
+        const sim::CoinScenario s{n, n, f, adv::CoinAttack::Split, 0};
+        const auto agg = sim::run_coin_trials(s, 0xC01 + f, trials);
+        table.add_row({Table::num(std::uint64_t{f}), Table::num(ratio, 2),
+                       Table::num(agg.p_common(), 3),
+                       Table::num(agg.p_one_given_common(), 3),
+                       ratio <= 0.5 ? "holds" : "n/a",
+                       Table::num(100.0 * agg.attack_feasible / agg.trials, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("Reading: commonness stays a constant up to the theorem's budget and\n"
+                "collapses soon after — the anti-concentration margin |S| ~ sqrt(n) is\n"
+                "exactly what the adversary must out-spend.\n");
+
+    Table dtable("Designated-node variant (Algorithm 2, k flippers of n=" +
+                 std::to_string(n) + ")");
+    dtable.set_header({"k", "f=0", "f=sqrt(k)/2", "f=sqrt(k)", "f=2*sqrt(k)"});
+    for (NodeId k : {16u, 64u, 256u}) {
+        if (k > n) continue;
+        std::vector<std::string> row{Table::num(std::uint64_t{k})};
+        for (double ratio : {0.0, 0.5, 1.0, 2.0}) {
+            const auto f =
+                static_cast<Count>(std::lround(ratio * std::sqrt(static_cast<double>(k))));
+            const sim::CoinScenario s{n, k, f, adv::CoinAttack::Split, 0};
+            const auto agg = sim::run_coin_trials(s, 0xC02 + k + f, trials / 2);
+            row.push_back(Table::num(agg.p_common(), 3));
+        }
+        dtable.add_row(std::move(row));
+    }
+    dtable.print(std::cout);
+    std::printf("Corollary 1: the perimeter scales with sqrt(k) of the committee,\n"
+                "independent of n — this is why Algorithm 3 can afford small committees.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Protocol race: every agreement protocol in the repository at the same
+// (n, t), each against its strongest implemented adversary, from a split
+// start. A miniature of experiment E3 — run bench_e3_rounds_vs_t for the
+// full sweep that regenerates the paper's comparison.
+//
+// Usage: protocol_race [--n=128] [--t=30] [--trials=20]
+#include <cstdio>
+#include <iostream>
+
+#include "sim/runner.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace adba;
+    using sim::AdversaryKind;
+    using sim::ProtocolKind;
+    const Cli cli(argc, argv);
+    const auto n = static_cast<NodeId>(cli.get_int("n", 128));
+    const auto t = static_cast<Count>(cli.get_int("t", 30));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 20));
+
+    struct Entry {
+        ProtocolKind protocol;
+        AdversaryKind adversary;
+        const char* note;
+    };
+    const Entry entries[] = {
+        {ProtocolKind::Ours, AdversaryKind::WorstCase, "the paper (Theorem 2)"},
+        {ProtocolKind::OursLasVegas, AdversaryKind::WorstCase, "Las Vegas variant"},
+        {ProtocolKind::ChorCoanRushing, AdversaryKind::WorstCase,
+         "Chor-Coan, rushing-hardened"},
+        {ProtocolKind::ChorCoanClassic, AdversaryKind::WorstCase,
+         "Chor-Coan 1985 (log-size groups)"},
+        {ProtocolKind::RabinDealer, AdversaryKind::SplitVote,
+         "Rabin 1983, trusted dealer coin"},
+        {ProtocolKind::PhaseKing, AdversaryKind::KingKiller,
+         "deterministic O(t) baseline"},
+        {ProtocolKind::BenOr, AdversaryKind::SplitVote,
+         "Ben-Or 1983, private coins (t<n/5)"},
+        {ProtocolKind::SamplingMajority, AdversaryKind::Balancer,
+         "APR 2013 sampling-majority (paper §1.3)"},
+    };
+
+    std::printf("n=%u, t=%u, split inputs, %u trials per protocol.\n", n, t, trials);
+    Table table("Protocol race at (n=" + std::to_string(n) + ", t=" + std::to_string(t) +
+                ")");
+    table.set_header({"protocol", "adversary", "agree %", "mean rounds", "max rounds",
+                      "note"});
+    for (const auto& e : entries) {
+        sim::Scenario s;
+        s.n = n;
+        s.t = t;
+        s.protocol = e.protocol;
+        s.adversary = e.adversary;
+        s.inputs = sim::InputPattern::Split;
+        if (e.protocol == ProtocolKind::PhaseKing && 4 * t >= n) {
+            table.add_row({sim::to_string(e.protocol), sim::to_string(e.adversary),
+                           "-", "-", "-", "skipped: needs t < n/4"});
+            continue;
+        }
+        if (e.protocol == ProtocolKind::BenOr && 5 * t >= n) {
+            table.add_row({sim::to_string(e.protocol), sim::to_string(e.adversary),
+                           "-", "-", "-", "skipped: needs t < n/5"});
+            continue;
+        }
+        const auto agg = sim::run_trials(s, 0xACE, trials);
+        const double agree =
+            100.0 * (agg.trials - agg.agreement_failures) / agg.trials;
+        table.add_row({sim::to_string(e.protocol), sim::to_string(e.adversary),
+                       Table::num(agree, 1), Table::num(agg.rounds.mean(), 1),
+                       Table::num(agg.rounds.max(), 0), e.note});
+    }
+    table.print(std::cout);
+    return 0;
+}

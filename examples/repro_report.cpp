@@ -1,0 +1,120 @@
+// One-shot reproduction report: a reduced-scale pass over the headline
+// experiments (coin threshold, rounds-vs-t ordering, early termination,
+// asymptotic ratio) printed as a single markdown document in ~30 seconds.
+// For the full-fidelity tables run the bench binaries; this exists so a
+// reviewer can sanity-check the reproduction in one command.
+//
+// Usage: repro_report [--trials=12]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/bounds.hpp"
+#include "sim/coin_runner.hpp"
+#include "sim/macro.hpp"
+#include "sim/runner.hpp"
+#include "support/cli.hpp"
+#include "support/math.hpp"
+#include "support/table.hpp"
+
+using namespace adba;
+
+namespace {
+
+void coin_section(Count trials) {
+    Table t("1. Theorem 3 — common coin vs adaptive rushing corruption (n=256)");
+    t.set_header({"f/sqrt(n)", "P(common)", "paper"});
+    for (double ratio : {0.0, 0.5, 2.0}) {
+        const auto f = static_cast<Count>(std::lround(ratio * 16.0));
+        const auto agg = sim::run_coin_trials({256, 256, f, adv::CoinAttack::Split, 0},
+                                              0x40, trials * 40);
+        t.add_row({Table::num(ratio, 2), Table::num(agg.p_common(), 3),
+                   ratio <= 0.5 ? ">= 1/6 (Def. 2)" : "collapse expected"});
+    }
+    t.print(std::cout);
+}
+
+void rounds_section(Count trials) {
+    Table t("2. Theorem 2 — protocol ordering at n=128, t=42 (worst-case adversary)");
+    t.set_header({"protocol", "mean rounds", "agree %"});
+    struct Row {
+        sim::ProtocolKind p;
+        sim::AdversaryKind a;
+    };
+    for (const Row r : {Row{sim::ProtocolKind::RabinDealer, sim::AdversaryKind::SplitVote},
+                        Row{sim::ProtocolKind::Ours, sim::AdversaryKind::WorstCase},
+                        Row{sim::ProtocolKind::ChorCoanClassic,
+                            sim::AdversaryKind::WorstCase}}) {
+        sim::Scenario s;
+        s.n = 128;
+        s.t = 42;
+        s.protocol = r.p;
+        s.adversary = r.a;
+        s.inputs = sim::InputPattern::Split;
+        const auto agg = sim::run_trials(s, 0x12E, trials);
+        t.add_row({sim::to_string(r.p), Table::num(agg.rounds.mean(), 1),
+                   Table::num(100.0 * (agg.trials - agg.agreement_failures) /
+                                  agg.trials, 1)});
+    }
+    t.print(std::cout);
+}
+
+void early_section(Count trials) {
+    Table t("3. Early termination — rounds vs actual corruptions q (n=128, t=42)");
+    t.set_header({"q", "mean rounds"});
+    for (Count q : {0u, 10u, 42u}) {
+        sim::Scenario s;
+        s.n = 128;
+        s.t = 42;
+        s.q = q;
+        s.protocol = sim::ProtocolKind::Ours;
+        s.adversary = sim::AdversaryKind::WorstCase;
+        s.inputs = sim::InputPattern::Split;
+        const auto agg = sim::run_trials(s, 0xE57, trials);
+        t.add_row({Table::num(std::uint64_t{q}), Table::num(agg.rounds.mean(), 1)});
+    }
+    t.print(std::cout);
+}
+
+void asymptotic_section(int trials) {
+    Table t("4. Separation from Chor-Coan at t = sqrt(n) (macro simulator)");
+    t.set_header({"n", "ours/cc round ratio"});
+    for (std::uint64_t lg : {14ull, 20ull}) {
+        const std::uint64_t n = 1ull << lg;
+        const auto tt = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
+        double ours = 0, cc = 0;
+        for (int i = 0; i < trials; ++i) {
+            sim::MacroScenario m;
+            m.n = n;
+            m.t = tt;
+            m.q = tt;
+            m.schedule = sim::MacroScheduleKind::Ours;
+            ours += static_cast<double>(
+                sim::run_macro_trial(m, 0xA57 + static_cast<std::uint64_t>(i)).rounds);
+            m.schedule = sim::MacroScheduleKind::ChorCoanRushing;
+            cc += static_cast<double>(
+                sim::run_macro_trial(m, 0xA57 + static_cast<std::uint64_t>(i)).rounds);
+        }
+        t.add_row({Table::num(n), Table::num(ours / cc, 2)});
+    }
+    t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Cli cli(argc, argv);
+    const auto trials = static_cast<Count>(cli.get_int("trials", 12));
+    std::printf("# adba quick reproduction report\n\n"
+                "Reduced-scale pass over the headline claims of\n"
+                "Dufoulon-Pandurangan PODC 2025; see EXPERIMENTS.md for the "
+                "full tables.\n");
+    coin_section(trials);
+    rounds_section(trials);
+    early_section(trials);
+    asymptotic_section(static_cast<int>(trials));
+    std::printf("\nExpected shape: (1) constant commonness at the theorem budget,\n"
+                "collapse beyond; (2) dealer << ours <= chor-coan-classic; (3) rounds\n"
+                "grow with q from a flat 6; (4) ratio well below 1 and falling in n.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Majority-balancer adversary for sampling/drift protocols (E11).
+//
+// Against sampling-majority the adversary's only lever is holding the
+// honest value split at 50/50: once a clear majority forms, sampling
+// amplifies it exponentially. The random-walk drift of the split is
+// Θ(sqrt(n)) per round, so the balancer must spend ~sqrt(n) corruptions per
+// round to cancel it (corrupting majority-side nodes after seeing the
+// round's broadcasts — rushing) — a budget of q sustains ~q/sqrt(n) rounds
+// of deadlock. This is the same sqrt(n) economics as the committee-coin
+// attack, and the Bar-Joseph-Ben-Or lower-bound mechanism in miniature.
+//
+// Byzantine senders additionally broadcast the current minority value, so
+// any sampler that happens to pick one of them is pulled toward balance.
+#pragma once
+
+#include <vector>
+
+#include "net/engine.hpp"
+#include "support/types.hpp"
+
+namespace adba::adv {
+
+struct BalancerConfig {
+    Count max_corruptions = 0;  ///< total corruption budget q
+    /// Upper bound on corruptions per round (0 = unlimited up to budget);
+    /// models an adversary pacing its spend.
+    Count per_round_cap = 0;
+};
+
+class MajorityBalancerAdversary final : public net::Adversary {
+public:
+    explicit MajorityBalancerAdversary(BalancerConfig cfg) : cfg_(cfg) {}
+
+    void act(net::RoundControl& ctl) override;
+
+    Count corruptions_used() const { return used_; }
+
+private:
+    BalancerConfig cfg_;
+    Count used_ = 0;
+    std::vector<NodeId> corrupted_;
+};
+
+}  // namespace adba::adv

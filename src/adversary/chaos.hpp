@@ -1,0 +1,34 @@
+// Randomized fuzzing adversary: corrupts at random moments and delivers
+// per-recipient random (possibly ill-formed) messages.
+//
+// Not a strong attack — its job is failure injection: the engine and every
+// protocol's receive path must tolerate arbitrary kinds, stale phases, and
+// nonsense coin values without violating safety invariants or contracts.
+#pragma once
+
+#include <vector>
+
+#include "net/engine.hpp"
+#include "rand/rng.hpp"
+
+namespace adba::adv {
+
+struct ChaosConfig {
+    Count max_corruptions = 0;   ///< self-cap (<= engine budget)
+    double corrupt_prob = 0.2;   ///< per-round probability of one new corruption
+    double deliver_prob = 0.7;   ///< per (byz, receiver) probability of a message
+};
+
+class ChaosAdversary final : public net::Adversary {
+public:
+    ChaosAdversary(ChaosConfig cfg, Xoshiro256 rng) : cfg_(cfg), rng_(rng) {}
+
+    void act(net::RoundControl& ctl) override;
+
+private:
+    ChaosConfig cfg_;
+    Xoshiro256 rng_;
+    std::vector<NodeId> corrupted_;
+};
+
+}  // namespace adba::adv

@@ -1,0 +1,49 @@
+// Adaptive rushing attack on the standalone common-coin protocols
+// (Algorithm 1 / Algorithm 2) — the adversary Theorem 3 is proved against.
+//
+// In the single flip round the adversary sees every designated node's ±1
+// choice (rushing), then:
+//  * Split mode    — corrupts majority-sign flippers to shrink the honest
+//    sum |S| and equivocates the corrupted coins so that half the receivers
+//    compute sum >= 0 (coin 1) and half compute sum < 0 (coin 0), breaking
+//    commonness (Definition 2(A));
+//  * ForceBit mode — pushes every receiver's sum to the same side, biasing
+//    the coin's value (attacks Definition 2(B)).
+//
+// Both are budget-capped best-effort: with f <= ~½|S| corruptions the
+// attack fails — that is exactly Theorem 3's anti-concentration margin, and
+// experiments E1/E2 measure the success boundary as f crosses ½·sqrt(k).
+#pragma once
+
+#include <cstdint>
+
+#include "net/engine.hpp"
+#include "support/types.hpp"
+
+namespace adba::adv {
+
+enum class CoinAttack : std::uint8_t { Split, ForceBit };
+
+struct CoinRuinConfig {
+    NodeId designated = 0;  ///< k: flippers are IDs 0..k-1 (public)
+    Count max_corruptions = 0;
+    CoinAttack attack = CoinAttack::Split;
+    Bit forced_bit = 0;     ///< ForceBit target
+};
+
+class CoinRuinAdversary final : public net::Adversary {
+public:
+    explicit CoinRuinAdversary(CoinRuinConfig cfg) : cfg_(cfg) {}
+
+    void act(net::RoundControl& ctl) override;
+
+    /// True if the round-0 attack math deemed the ruin feasible within
+    /// budget (used by E1 to compare predicted vs measured success).
+    bool attack_feasible() const { return feasible_; }
+
+private:
+    CoinRuinConfig cfg_;
+    bool feasible_ = false;
+};
+
+}  // namespace adba::adv

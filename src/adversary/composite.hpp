@@ -1,0 +1,44 @@
+// Adversary combinators.
+//
+// SwitchAdversary chains two strategies over time: A acts for rounds
+// [0, switch_round), B from switch_round on. The corruption budget is the
+// engine's single shared pool, so corruptions A spends are gone for B —
+// exactly the economics a real adaptive adversary faces. Nodes corrupted by
+// A remain Byzantine under B (B rediscovers them through RoundControl).
+#pragma once
+
+#include <memory>
+
+#include "net/engine.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::adv {
+
+class SwitchAdversary final : public net::Adversary {
+public:
+    SwitchAdversary(std::unique_ptr<net::Adversary> first,
+                    std::unique_ptr<net::Adversary> second, Round switch_round)
+        : first_(std::move(first)), second_(std::move(second)),
+          switch_round_(switch_round) {
+        ADBA_EXPECTS(first_ != nullptr && second_ != nullptr);
+    }
+
+    void on_start(NodeId n, Count budget) override {
+        first_->on_start(n, budget);
+        second_->on_start(n, budget);
+    }
+
+    void act(net::RoundControl& ctl) override {
+        if (ctl.round() < switch_round_)
+            first_->act(ctl);
+        else
+            second_->act(ctl);
+    }
+
+private:
+    std::unique_ptr<net::Adversary> first_;
+    std::unique_ptr<net::Adversary> second_;
+    Round switch_round_;
+};
+
+}  // namespace adba::adv

@@ -1,0 +1,61 @@
+// Adaptive crash adversary — the Bar-Joseph-Ben-Or fault model (their
+// Ω(t/sqrt(n log n)) lower bound, Theorem 1, holds already for adaptive
+// rushing CRASH faults).
+//
+// A crash is a restricted corruption: the victim's intended broadcast is
+// delivered to a prefix of receivers ("it crashed mid-broadcast"), then the
+// node is silent forever. Implemented on top of the Byzantine corruption
+// primitive by re-delivering the discarded honest message to the chosen
+// prefix and never speaking again.
+//
+// Two modes:
+//  * Random       — crash uniformly random victims at random rounds
+//    (background failure injection);
+//  * TargetedCoin — the BJBO-flavored adaptive attack on committee coins:
+//    after seeing the current committee's flips, crash majority-sign
+//    flippers to drag the honest sum toward the adversary's goal; use one
+//    final partial (prefix) delivery to make receivers straddle the sign
+//    boundary, splitting the coin with crash faults alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "net/engine.hpp"
+#include "rand/rng.hpp"
+
+namespace adba::adv {
+
+enum class CrashMode : std::uint8_t { Random, TargetedCoin };
+
+struct CrashConfig {
+    Count max_crashes = 0;     ///< self-cap (<= engine budget)
+    CrashMode mode = CrashMode::Random;
+    double crash_prob = 0.15;  ///< Random mode: per-round crash probability
+    /// TargetedCoin mode: the committee schedule of the protocol under
+    /// attack (public information — derived from IDs).
+    std::optional<core::BlockSchedule> schedule;
+};
+
+class CrashAdversary final : public net::Adversary {
+public:
+    CrashAdversary(CrashConfig cfg, Xoshiro256 rng) : cfg_(cfg), rng_(rng) {}
+
+    void act(net::RoundControl& ctl) override;
+
+    Count crashes_used() const { return crashes_; }
+
+private:
+    void act_random(net::RoundControl& ctl);
+    void act_targeted(net::RoundControl& ctl);
+    /// Crash v, delivering its broadcast to receivers [0, prefix).
+    void crash_prefix(net::RoundControl& ctl, NodeId v, NodeId prefix);
+
+    CrashConfig cfg_;
+    Xoshiro256 rng_;
+    Count crashes_ = 0;
+};
+
+}  // namespace adba::adv

@@ -1,0 +1,44 @@
+#include "adversary/king_killer.hpp"
+
+namespace adba::adv {
+
+void KingKillerAdversary::act(net::RoundControl& ctl) {
+    const Phase k = ctl.round() / 2;
+    const bool king_round = (ctl.round() % 2) == 1;
+    const NodeId n = ctl.n();
+
+    if (king_round) {
+        const NodeId king = params_.king_of(k);
+        if (ctl.is_honest(king) && !ctl.is_halted(king) && used_ < cap_ &&
+            ctl.budget_left() > 0) {
+            ctl.corrupt(king);  // after seeing its ruling — rushing
+            corrupted_.push_back(king);
+            ++used_;
+        }
+        // A Byzantine king rules 0 for half the receivers and 1 for the rest.
+        if (!ctl.is_honest(king)) {
+            for (NodeId to = 0; to < n; ++to) {
+                net::Message m;
+                m.kind = net::MsgKind::PhaseKingRuler;
+                m.phase = k;
+                m.val = to < n / 2 ? Bit{0} : Bit{1};
+                ctl.deliver_as(king, to, m);
+            }
+        }
+        return;
+    }
+
+    // Value round: ex-kings vote both ways to keep tallies off the
+    // n/2 + t persistence threshold.
+    for (NodeId v : corrupted_) {
+        for (NodeId to = 0; to < n; ++to) {
+            net::Message m;
+            m.kind = net::MsgKind::PhaseKingSend;
+            m.phase = k;
+            m.val = to < n / 2 ? Bit{0} : Bit{1};
+            ctl.deliver_as(v, to, m);
+        }
+    }
+}
+
+}  // namespace adba::adv

@@ -1,0 +1,34 @@
+// Adaptive attack on the Phase-King baseline: corrupt each phase's king the
+// moment it speaks (rushing) and equivocate its ruling; use the corrupted
+// ex-kings to keep honest value tallies split below the persistence
+// threshold. Realizes the classical worst case — 2(t+1) rounds, the last
+// king honest by pigeonhole — so E3's deterministic O(t) line is measured,
+// not assumed.
+#pragma once
+
+#include <vector>
+
+#include "baselines/phase_king.hpp"
+#include "net/engine.hpp"
+
+namespace adba::adv {
+
+class KingKillerAdversary final : public net::Adversary {
+public:
+    /// max_corruptions caps actual king kills (q of the early-termination
+    /// experiments); params must match the protocol under attack.
+    KingKillerAdversary(base::PhaseKingParams params, Count max_corruptions)
+        : params_(params), cap_(max_corruptions) {}
+
+    void act(net::RoundControl& ctl) override;
+
+    Count kings_killed() const { return used_; }
+
+private:
+    base::PhaseKingParams params_;
+    Count cap_;
+    Count used_ = 0;
+    std::vector<NodeId> corrupted_;
+};
+
+}  // namespace adba::adv

@@ -1,0 +1,41 @@
+#include "adversary/split_vote.hpp"
+
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace adba::adv {
+
+void SplitVoteAdversary::on_start(NodeId n, Count budget) {
+    ADBA_EXPECTS_MSG(q_ <= budget, "split-vote corrupt set exceeds engine budget");
+    std::vector<NodeId> ids(n);
+    std::iota(ids.begin(), ids.end(), NodeId{0});
+    for (Count i = 0; i < q_; ++i) {
+        const auto j = i + static_cast<NodeId>(rng_.below(n - i));
+        std::swap(ids[i], ids[j]);
+    }
+    corrupted_.assign(ids.begin(), ids.begin() + q_);
+}
+
+void SplitVoteAdversary::act(net::RoundControl& ctl) {
+    if (ctl.round() == 0) {
+        for (NodeId v : corrupted_) ctl.corrupt(v);
+    }
+    const Phase p = ctl.round() / 2;
+    const bool round2 = (ctl.round() % 2) == 1;
+    const NodeId half = ctl.n() / 2;
+    for (NodeId v : corrupted_) {
+        for (NodeId to = 0; to < ctl.n(); ++to) {
+            const Bit side = to < half ? Bit{0} : Bit{1};
+            net::Message m;
+            m.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+            m.phase = p;
+            m.val = side;
+            m.flag = 0;
+            m.coin = round2 ? (side ? CoinSign{1} : CoinSign{-1}) : CoinSign{0};
+            ctl.deliver_as(v, to, m);
+        }
+    }
+}
+
+}  // namespace adba::adv

@@ -1,0 +1,31 @@
+// Split-vote adversary: protocol-agnostic equivocation that tries to keep
+// honest tallies straddling the decision thresholds.
+//
+// Corrupts its allotment up front (like a static adversary) and then, every
+// round, sends value 0 to one half of the receivers and value 1 to the
+// other, with matching coin equivocation in round-2 slots. Weaker than the
+// schedule-aware WorstCaseAdversary (it wastes no corruptions on coins) but
+// attacks any vote-threshold protocol, including Phase-King rounds.
+#pragma once
+
+#include <vector>
+
+#include "net/engine.hpp"
+#include "rand/rng.hpp"
+
+namespace adba::adv {
+
+class SplitVoteAdversary final : public net::Adversary {
+public:
+    SplitVoteAdversary(Count q, Xoshiro256 rng) : q_(q), rng_(rng) {}
+
+    void on_start(NodeId n, Count budget) override;
+    void act(net::RoundControl& ctl) override;
+
+private:
+    Count q_;
+    Xoshiro256 rng_;
+    std::vector<NodeId> corrupted_;
+};
+
+}  // namespace adba::adv

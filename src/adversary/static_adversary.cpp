@@ -1,0 +1,64 @@
+#include "adversary/static_adversary.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/contracts.hpp"
+
+namespace adba::adv {
+
+StaticAdversary::StaticAdversary(Count q, StaticBehavior behavior, Xoshiro256 rng)
+    : q_(q), behavior_(behavior), rng_(rng) {}
+
+void StaticAdversary::on_start(NodeId n, Count budget) {
+    ADBA_EXPECTS_MSG(q_ <= budget, "static corrupt set exceeds engine budget");
+    // Uniform sample without replacement (partial Fisher-Yates).
+    std::vector<NodeId> ids(n);
+    std::iota(ids.begin(), ids.end(), NodeId{0});
+    for (Count i = 0; i < q_; ++i) {
+        const auto j = i + static_cast<NodeId>(rng_.below(n - i));
+        std::swap(ids[i], ids[j]);
+    }
+    corrupted_.assign(ids.begin(), ids.begin() + q_);
+    std::sort(corrupted_.begin(), corrupted_.end());
+}
+
+void StaticAdversary::act(net::RoundControl& ctl) {
+    if (ctl.round() == 0) {
+        for (NodeId v : corrupted_) ctl.corrupt(v);
+    }
+    switch (behavior_) {
+        case StaticBehavior::Silent:
+            break;
+        case StaticBehavior::Garbage:
+            for (NodeId v : corrupted_) {
+                net::Message m;
+                m.kind = static_cast<net::MsgKind>(1 + rng_.below(7));
+                m.val = rng_.bit();
+                m.flag = rng_.bit();
+                m.coin = rng_.sign();
+                m.phase = ctl.round() / 2;
+                ctl.broadcast_as(v, m);
+            }
+            break;
+        case StaticBehavior::SplitVotes: {
+            const Phase p = ctl.round() / 2;
+            const bool round2 = (ctl.round() % 2) == 1;
+            for (NodeId v : corrupted_) {
+                for (NodeId to = 0; to < ctl.n(); ++to) {
+                    net::Message m;
+                    m.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+                    m.phase = p;
+                    m.val = to < ctl.n() / 2 ? Bit{0} : Bit{1};
+                    m.flag = 0;
+                    m.coin = round2 ? (to < ctl.n() / 2 ? CoinSign{-1} : CoinSign{1})
+                                    : CoinSign{0};
+                    ctl.deliver_as(v, to, m);
+                }
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace adba::adv

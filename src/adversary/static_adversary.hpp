@@ -1,0 +1,40 @@
+// Static Byzantine adversary: chooses its corrupt set before the execution
+// (the weaker model of Goldwasser-Pavlov-Vaikuntanathan etc., paper §1).
+//
+// Used as an ablation point in E8: the gap between static and adaptive
+// measured rounds is the paper's whole motivation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/engine.hpp"
+#include "rand/rng.hpp"
+
+namespace adba::adv {
+
+/// What the statically corrupted nodes do each round.
+enum class StaticBehavior : std::uint8_t {
+    Silent,      ///< send nothing (fail-stop from round 0)
+    Garbage,     ///< broadcast uniformly random well-formed-ish messages
+    SplitVotes,  ///< equivocate: val=0 to low-ID receivers, val=1 to the rest
+};
+
+class StaticAdversary final : public net::Adversary {
+public:
+    /// Corrupts `q` nodes chosen uniformly at round 0 (q <= engine budget).
+    StaticAdversary(Count q, StaticBehavior behavior, Xoshiro256 rng);
+
+    void on_start(NodeId n, Count budget) override;
+    void act(net::RoundControl& ctl) override;
+
+    const std::vector<NodeId>& corrupted() const { return corrupted_; }
+
+private:
+    Count q_;
+    StaticBehavior behavior_;
+    Xoshiro256 rng_;
+    std::vector<NodeId> corrupted_;
+};
+
+}  // namespace adba::adv

@@ -1,0 +1,100 @@
+#include "adversary/tc_prelude.hpp"
+
+#include <map>
+
+namespace adba::adv {
+
+void TcPreludeAdversary::act(net::RoundControl& ctl) {
+    const NodeId n = ctl.n();
+    const Count quorum = n - budget_;  // n - t: the prelude's threshold
+
+    if (ctl.round() == 0) {
+        // Rushing: read the honest word distribution first, then corrupt.
+        std::map<net::Word, Count> tally;
+        for (NodeId v = 0; v < n; ++v) {
+            if (!ctl.is_honest(v)) continue;
+            const auto& m = ctl.intended_broadcast(v);
+            if (m && m->kind == net::MsgKind::TCValue) ++tally[m->word];
+        }
+        plurality_ = 0;
+        Count best = 0;
+        for (const auto& [word, cnt] : tally) {
+            if (cnt > best) {
+                best = cnt;
+                plurality_ = word;
+            }
+        }
+        // Corrupt nodes OUTSIDE the plurality bloc first: the attack needs
+        // the honest plurality count intact to push receivers over the
+        // quorum.
+        auto holds_plurality = [&](NodeId v) {
+            const auto& m = ctl.intended_broadcast(v);
+            return m && m->kind == net::MsgKind::TCValue && m->word == plurality_;
+        };
+        for (int pass = 0; pass < 2; ++pass) {
+            for (NodeId v = 0; v < n && corrupted_.size() < q_; ++v) {
+                if (!ctl.is_honest(v) || ctl.budget_left() == 0) continue;
+                if ((pass == 0) == holds_plurality(v)) continue;
+                ctl.corrupt(v);
+                corrupted_.push_back(v);
+            }
+        }
+        const auto q_live = static_cast<Count>(corrupted_.size());
+        // Recount the honest plurality bloc post-corruption.
+        Count p_live = 0;
+        for (NodeId v = 0; v < n; ++v)
+            if (ctl.is_honest(v) && holds_plurality(v)) ++p_live;
+
+        // Boundary split: feasible iff the plurality bloc is inside the
+        // adversary's reach of the quorum (p < quorum <= p + q). Target
+        // EXACTLY quorum-1 honest receivers: they see p+q >= quorum and echo
+        // the plurality word; the rest see p < quorum and echo ⊥. That puts
+        // the honest echo count at quorum-1 — one short — so round 1's
+        // forged echoes decide, per receiver, which side of the binary
+        // threshold it lands on.
+        split_armed_ = p_live < quorum && p_live + q_live >= quorum && quorum >= 1;
+        echo_targets_.clear();
+        if (split_armed_) {
+            for (NodeId v = 0; v < n && echo_targets_.size() < quorum - 1; ++v)
+                if (ctl.is_honest(v)) echo_targets_.push_back(v);
+        }
+        std::vector<bool> is_target(n, false);
+        for (NodeId v : echo_targets_) is_target[v] = true;
+
+        for (NodeId b : corrupted_) {
+            for (NodeId to = 0; to < n; ++to) {
+                net::Message m;
+                m.kind = net::MsgKind::TCValue;
+                m.word = (split_armed_ && is_target[to]) ? plurality_
+                                                         : 0x5A5A0000u + to;
+                ctl.deliver_as(b, to, m);
+            }
+        }
+        return;
+    }
+
+    if (ctl.round() == 1) {
+        // The quorum-1 honest echoers broadcast the plurality word to all.
+        // Forge additional echoes toward every OTHER honest receiver so the
+        // binary inputs split roughly in half.
+        bool push = true;
+        for (NodeId b : corrupted_) {
+            for (NodeId to = 0; to < n; ++to) {
+                net::Message m;
+                m.kind = net::MsgKind::TCEcho;
+                m.word = plurality_;
+                if (split_armed_) {
+                    m.flag = (to % 2 == 0) ? 1 : 0;  // alternate: half pushed
+                } else {
+                    m.flag = push ? 1 : 0;
+                }
+                ctl.deliver_as(b, to, m);
+            }
+            push = !push;
+        }
+        return;
+    }
+    // Prelude over; a composed second-stage adversary takes it from here.
+}
+
+}  // namespace adba::adv

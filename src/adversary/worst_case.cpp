@@ -1,0 +1,265 @@
+#include "adversary/worst_case.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace adba::adv {
+
+namespace {
+constexpr Count kInfeasible = std::numeric_limits<Count>::max();
+}
+
+Count WorstCaseAdversary::remaining(const net::RoundControl& ctl) const {
+    return std::min<Count>(ctl.budget_left(), cfg_.max_corruptions - used_);
+}
+
+void WorstCaseAdversary::corrupt_tracked(net::RoundControl& ctl, NodeId v) {
+    ctl.corrupt(v);
+    ++used_;
+}
+
+void WorstCaseAdversary::act(net::RoundControl& ctl) {
+    if (ctl.round() < cfg_.round_offset) return;  // prelude rounds: not ours
+    const Round r = ctl.round() - cfg_.round_offset;
+    const Phase p = r / 2;
+    if ((r % 2) == 0)
+        act_round1(ctl, p);
+    else
+        act_round2(ctl, p);
+}
+
+void WorstCaseAdversary::act_round1(net::RoundControl& ctl, Phase p) {
+    if (!cfg_.block_round1_quorums) return;
+    const NodeId n = ctl.n();
+    const Count quorum = n - cfg_.t;
+
+    Count tally[2] = {0, 0};
+    for (NodeId v = 0; v < n; ++v) {
+        if (!ctl.is_honest(v) || ctl.is_halted(v)) continue;
+        const auto& m = ctl.intended_broadcast(v);
+        if (m && m->kind == net::MsgKind::Vote1 && m->phase == p) ++tally[m->val & 1];
+    }
+
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (tally[b] < quorum) continue;
+        const Count need = tally[b] - quorum + 1;
+        if (need > remaining(ctl)) return;  // cannot block; let it lock in
+        // Corrupt `need` nodes of the quorum bloc, preferring members of the
+        // current committee (their corpses become coin equivocators in
+        // round 2 of this phase).
+        std::vector<NodeId> committee_first, rest;
+        for (NodeId v = 0; v < n && committee_first.size() + rest.size() <
+                                        static_cast<std::size_t>(tally[b]);
+             ++v) {
+            if (!ctl.is_honest(v) || ctl.is_halted(v)) continue;
+            const auto& m = ctl.intended_broadcast(v);
+            if (!(m && m->kind == net::MsgKind::Vote1 && m->phase == p && (m->val & 1) == b))
+                continue;
+            if (cfg_.schedule.flips_in_phase(v, p))
+                committee_first.push_back(v);
+            else
+                rest.push_back(v);
+        }
+        Count done = 0;
+        for (NodeId v : committee_first) {
+            if (done == need) break;
+            corrupt_tracked(ctl, v);
+            ++done;
+        }
+        for (NodeId v : rest) {
+            if (done == need) break;
+            corrupt_tracked(ctl, v);
+            ++done;
+        }
+        return;  // at most one value can hold an n-t quorum
+    }
+}
+
+void WorstCaseAdversary::act_round2(net::RoundControl& ctl, Phase p) {
+    const NodeId n = ctl.n();
+    const auto [first, last] = cfg_.schedule.range(cfg_.schedule.committee_of_phase(p));
+    const auto in_committee = [&](NodeId v) { return v >= first && v < last; };
+
+    // ---- observe (full information + rushing) ----
+    Count d = 0;
+    Bit b_i = 0;
+    std::vector<NodeId> decided_out, decided_in;  // decided honest, by membership
+    for (NodeId v = 0; v < n; ++v) {
+        if (!ctl.is_honest(v) || ctl.is_halted(v)) continue;
+        if (ctl.node_state(v).current_decided()) {
+            ++d;
+            b_i = ctl.node_state(v).current_value();
+            (in_committee(v) ? decided_in : decided_out).push_back(v);
+        }
+    }
+
+    std::int64_t sum = 0;
+    std::vector<NodeId> pos, neg;  // honest committee flippers by sign
+    Count m_byz = 0;
+    for (NodeId u = first; u < last; ++u) {
+        if (!ctl.is_honest(u)) {
+            ++m_byz;
+            continue;
+        }
+        if (ctl.is_halted(u)) continue;
+        const auto& m = ctl.intended_broadcast(u);
+        if (!m || m->kind != net::MsgKind::Vote2 || m->coin == 0) continue;
+        if (m->coin > 0) {
+            ++sum;
+            pos.push_back(u);
+        } else {
+            --sum;
+            neg.push_back(u);
+        }
+    }
+
+    // ---- plan: decided reduction ----
+    const Count need_reduce = d > cfg_.t ? d - cfg_.t : 0;
+    // Victims outside the committee leave the flip sum untouched; committee
+    // victims both lose their flip and join the equivocator pool.
+    std::vector<NodeId> victims(decided_out.begin(), decided_out.end());
+    victims.insert(victims.end(), decided_in.begin(), decided_in.end());
+    if (need_reduce > victims.size()) return;  // cannot even see all decided (impossible)
+    victims.resize(need_reduce);
+
+    std::int64_t plan_sum = sum;
+    std::int64_t plan_m = m_byz;
+    auto plan_pos = pos, plan_neg = neg;
+    for (NodeId v : victims) {
+        if (!in_committee(v)) continue;
+        ++plan_m;
+        // Remove the victim's flip from the plan.
+        if (auto it = std::find(plan_pos.begin(), plan_pos.end(), v); it != plan_pos.end()) {
+            plan_pos.erase(it);
+            --plan_sum;
+        } else if (auto it2 = std::find(plan_neg.begin(), plan_neg.end(), v);
+                   it2 != plan_neg.end()) {
+            plan_neg.erase(it2);
+            ++plan_sum;
+        }
+    }
+
+    // ---- plan: coin ruin cost (SPLIT and OPPOSITE) ----
+    // Greedy over majority-sign flippers; each corruption shifts the margin
+    // by 2. Returns corruption count or kInfeasible.
+    const auto split_cost = [&]() -> Count {
+        std::int64_t s = plan_sum, m = plan_m;
+        std::size_t avail_pos = plan_pos.size(), avail_neg = plan_neg.size();
+        Count k = 0;
+        while (!(s >= -m && s <= m - 1)) {
+            if (s >= 0 && avail_pos > 0) {
+                --avail_pos;
+                --s;
+            } else if (s < 0 && avail_neg > 0) {
+                --avail_neg;
+                ++s;
+            } else {
+                return kInfeasible;
+            }
+            ++m;
+            ++k;
+        }
+        return k;
+    };
+    const auto opposite_cost = [&](Bit target) -> Count {
+        std::int64_t s = plan_sum, m = plan_m;
+        std::size_t avail_pos = plan_pos.size(), avail_neg = plan_neg.size();
+        Count k = 0;
+        // target 1: all receivers must see s' + m >= 0; target 0: s' - m <= -1.
+        while (target == 1 ? (s + m < 0) : (s - m > -1)) {
+            if (target == 1 && avail_neg > 0) {
+                --avail_neg;
+                ++s;
+            } else if (target == 0 && avail_pos > 0) {
+                --avail_pos;
+                --s;
+            } else {
+                return kInfeasible;
+            }
+            ++m;
+            ++k;
+        }
+        return k;
+    };
+
+    const Count c_split = split_cost();
+    const Count d_visible = d - need_reduce;
+    const Count c_opp =
+        d_visible >= 1 ? opposite_cost(b_i ? Bit{0} : Bit{1}) : kInfeasible;
+
+    const bool use_split = c_split <= c_opp;
+    const Count coin_cost = use_split ? c_split : c_opp;
+    if (coin_cost == kInfeasible) return;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(need_reduce) + coin_cost;
+    if (total > remaining(ctl)) return;  // unaffordable: spend nothing
+
+    // ---- execute ----
+    for (NodeId v : victims) corrupt_tracked(ctl, v);
+    {
+        // Replicate the planning greedy exactly, corrupting for real.
+        std::int64_t s = plan_sum;
+        std::size_t ip = 0, in = 0;
+        for (Count k = 0; k < coin_cost; ++k) {
+            if (use_split) {
+                if (s >= 0) {
+                    corrupt_tracked(ctl, plan_pos[ip++]);
+                    --s;
+                } else {
+                    corrupt_tracked(ctl, plan_neg[in++]);
+                    ++s;
+                }
+            } else if (b_i == 0) {  // forcing 1: drain -1 flippers
+                corrupt_tracked(ctl, plan_neg[in++]);
+                ++s;
+            } else {  // forcing 0: drain +1 flippers
+                corrupt_tracked(ctl, plan_pos[ip++]);
+                --s;
+            }
+        }
+    }
+    ++ruined_;
+
+    // ---- deliveries from every Byzantine committee member ----
+    std::vector<NodeId> byz_members;
+    for (NodeId u = first; u < last; ++u)
+        if (!ctl.is_honest(u)) byz_members.push_back(u);
+    if (byz_members.empty()) return;  // natural ruin, nothing to push
+
+    if (use_split) {
+        // Balanced target assignment over live honest receivers so the next
+        // phase's tallies stay far from every threshold.
+        std::vector<Bit> target(n, 0);
+        Bit next = 0;
+        for (NodeId v = 0; v < n; ++v) {
+            if (ctl.is_honest(v) && !ctl.is_halted(v)) {
+                target[v] = next;
+                next = next ? Bit{0} : Bit{1};
+            }
+        }
+        for (NodeId u : byz_members) {
+            for (NodeId to = 0; to < n; ++to) {
+                net::Message m;
+                m.kind = net::MsgKind::Vote2;
+                m.phase = p;
+                m.val = 0;
+                m.flag = 0;
+                m.coin = target[to] ? CoinSign{1} : CoinSign{-1};
+                ctl.deliver_as(u, to, m);
+            }
+        }
+    } else {
+        const CoinSign push = b_i == 0 ? CoinSign{1} : CoinSign{-1};
+        net::Message m;
+        m.kind = net::MsgKind::Vote2;
+        m.phase = p;
+        m.val = 0;
+        m.flag = 0;
+        m.coin = push;
+        for (NodeId u : byz_members) ctl.broadcast_as(u, m);
+    }
+}
+
+}  // namespace adba::adv

@@ -1,0 +1,64 @@
+#include "analysis/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "rand/rng.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::an {
+
+namespace {
+
+double resampled_mean(const std::vector<double>& xs, Xoshiro256& rng) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) sum += xs[rng.below(xs.size())];
+    return sum / static_cast<double>(xs.size());
+}
+
+double plain_mean(const std::vector<double>& xs) {
+    double sum = 0.0;
+    for (double x : xs) sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+ConfidenceInterval percentile_ci(std::vector<double> boot, double point, double alpha) {
+    std::sort(boot.begin(), boot.end());
+    const auto idx = [&](double q) {
+        const auto i = static_cast<std::size_t>(q * static_cast<double>(boot.size() - 1));
+        return boot[i];
+    };
+    ConfidenceInterval ci;
+    ci.point = point;
+    ci.lo = idx(alpha / 2.0);
+    ci.hi = idx(1.0 - alpha / 2.0);
+    return ci;
+}
+
+}  // namespace
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& samples, double alpha,
+                                     std::uint32_t resamples, std::uint64_t seed) {
+    ADBA_EXPECTS(!samples.empty());
+    ADBA_EXPECTS(alpha > 0.0 && alpha < 1.0);
+    ADBA_EXPECTS(resamples >= 10);
+    Xoshiro256 rng(seed);
+    std::vector<double> boot;
+    boot.reserve(resamples);
+    for (std::uint32_t b = 0; b < resamples; ++b) boot.push_back(resampled_mean(samples, rng));
+    return percentile_ci(std::move(boot), plain_mean(samples), alpha);
+}
+
+ConfidenceInterval bootstrap_mean_diff_ci(const std::vector<double>& a,
+                                          const std::vector<double>& b, double alpha,
+                                          std::uint32_t resamples, std::uint64_t seed) {
+    ADBA_EXPECTS(!a.empty() && !b.empty());
+    ADBA_EXPECTS(alpha > 0.0 && alpha < 1.0);
+    Xoshiro256 rng(seed);
+    std::vector<double> boot;
+    boot.reserve(resamples);
+    for (std::uint32_t r = 0; r < resamples; ++r)
+        boot.push_back(resampled_mean(a, rng) - resampled_mean(b, rng));
+    return percentile_ci(std::move(boot), plain_mean(a) - plain_mean(b), alpha);
+}
+
+}  // namespace adba::an

@@ -1,0 +1,30 @@
+// The paper's §1 narrative as a machine-readable comparison: every protocol
+// and bound it cites, with model assumptions and round complexity. Printed
+// by bench_e3 as context and cross-checked by tests (each row's formula
+// evaluates through bounds.hpp where applicable).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace adba::an {
+
+struct RelatedWorkRow {
+    std::string name;        ///< protocol or bound
+    std::string reference;   ///< venue/year as cited by the paper
+    std::string adversary;   ///< static / adaptive, rushing?
+    std::string model;       ///< full information? deterministic?
+    std::string rounds;      ///< round complexity as claimed
+    std::string resilience;  ///< max t
+    bool implemented_here;   ///< reproduced in this repository
+};
+
+/// Rows in the order the paper's introduction develops them.
+const std::vector<RelatedWorkRow>& related_work();
+
+/// The comparison rendered as a table (bench_e3 prints it).
+Table related_work_table();
+
+}  // namespace adba::an

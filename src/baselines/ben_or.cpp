@@ -1,0 +1,104 @@
+#include "baselines/ben_or.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::base {
+
+BenOrNode::BenOrNode(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng)
+    : params_(params), self_(self), rng_(rng), val_(input) {
+    ADBA_EXPECTS(params_.n > 0);
+    ADBA_EXPECTS_MSG(5 * static_cast<std::uint64_t>(params_.t) < params_.n,
+                     "Ben-Or 1983 requires t < n/5");
+    ADBA_EXPECTS(params_.phases >= 1);
+    ADBA_EXPECTS(self_ < params_.n);
+    ADBA_EXPECTS(input <= 1);
+}
+
+std::optional<net::Message> BenOrNode::round_send(Round r) {
+    ADBA_EXPECTS(!halted_);
+    net::Message m;
+    m.phase = r / 2;
+    if (r % 2 == 0) {
+        m.kind = net::MsgKind::BenOrReport;
+        m.val = val_;
+    } else {
+        m.kind = net::MsgKind::BenOrPropose;
+        m.val = proposal_;
+        m.flag = proposing_ ? 1 : 0;  // flag 0 encodes the ⊥ proposal
+        if (flushing_) halted_ = true;
+    }
+    return m;
+}
+
+void BenOrNode::round_receive(Round r, const net::ReceiveView& view) {
+    ADBA_EXPECTS(!halted_);
+    const Phase p = r / 2;
+    if (flushing_) return;  // output fixed; ignoring deliveries
+    const Count n = params_.n;
+    const Count t = params_.t;
+
+    if (r % 2 == 0) {
+        Count cnt[2] = {0, 0};
+        for (NodeId u = 0; u < n; ++u) {
+            const net::Message* m = view.from(u);
+            if (m != nullptr && m->kind == net::MsgKind::BenOrReport && m->phase == p)
+                ++cnt[m->val & 1];
+        }
+        proposing_ = false;
+        for (Bit b : {Bit{0}, Bit{1}}) {
+            if (2 * static_cast<std::uint64_t>(cnt[b]) >
+                static_cast<std::uint64_t>(n) + t) {
+                proposal_ = b;
+                proposing_ = true;
+            }
+        }
+        return;
+    }
+
+    Count prop[2] = {0, 0};
+    for (NodeId u = 0; u < n; ++u) {
+        const net::Message* m = view.from(u);
+        if (m != nullptr && m->kind == net::MsgKind::BenOrPropose && m->phase == p &&
+            m->flag != 0)
+            ++prop[m->val & 1];
+    }
+    // Two honest nodes cannot propose different values (both passed the
+    // (n+t)/2 quorum), so at most one value exceeds t from honest senders.
+    ADBA_ENSURES_MSG(!(prop[0] > t && prop[1] > t),
+                     "conflicting Ben-Or proposals above t");
+    bool adopted = false;
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (prop[b] > 2 * t) {
+            val_ = b;
+            decided_ = true;
+            // Broadcast one more full phase advertising the decision (so
+            // peers' proposal tallies see it), then halt.
+            flushing_ = true;
+            proposal_ = val_;
+            proposing_ = true;
+            return;
+        }
+    }
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (prop[b] > t) {
+            val_ = b;
+            adopted = true;
+        }
+    }
+    if (!adopted) val_ = rng_.bit();  // private coin — the pre-shared-coin world
+    if (p + 1 >= params_.phases) halted_ = true;
+}
+
+std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(
+    const BenOrParams& params, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    nodes.reserve(params.n);
+    for (NodeId v = 0; v < params.n; ++v) {
+        nodes.push_back(std::make_unique<BenOrNode>(
+            params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
+    }
+    return nodes;
+}
+
+}  // namespace adba::base

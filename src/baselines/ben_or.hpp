@@ -1,0 +1,60 @@
+// Ben-Or's randomized agreement (PODC 1983, [5] in the paper) — the
+// protocol that opened the randomized-BA line the paper extends. We port
+// the classical two-step structure to the synchronous engine with its
+// original thresholds and resilience t < n/5:
+//
+//   report round : broadcast val; if some b passes the (n+t)/2 quorum,
+//                  propose b, else propose ⊥;
+//   propose round: if > 2t proposals for b  -> decide b (broadcast one more
+//                  phase, then halt — same flush rule as the skeleton);
+//                  if > t proposals for b   -> val := b;
+//                  else                     -> val := private coin flip.
+//
+// With private coins a split start needs expected 2^Θ(n) phases — this is
+// the historical starting point that Rabin-style shared coins (and the
+// paper's committee coins) replace; E8/E11 use it as the "no shared
+// randomness" control with provable safety.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/node.hpp"
+#include "rand/seed_tree.hpp"
+#include "support/types.hpp"
+
+namespace adba::base {
+
+struct BenOrParams {
+    NodeId n = 0;
+    Count t = 0;       ///< requires 5t < n (the 1983 resilience)
+    Count phases = 1;  ///< round budget: 2 rounds per phase
+};
+
+class BenOrNode final : public net::HonestNode {
+public:
+    BenOrNode(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng);
+
+    std::optional<net::Message> round_send(Round r) override;
+    void round_receive(Round r, const net::ReceiveView& view) override;
+    bool halted() const override { return halted_; }
+    Bit current_value() const override { return val_; }
+    bool current_decided() const override { return decided_; }
+
+private:
+    BenOrParams params_;
+    NodeId self_;
+    Xoshiro256 rng_;
+    Bit val_;
+    Bit proposal_ = 0;
+    bool proposing_ = false;  ///< this phase's R2 proposal is non-⊥
+    bool decided_ = false;
+    bool flushing_ = false;
+    bool halted_ = false;
+};
+
+std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(
+    const BenOrParams& params, const std::vector<Bit>& inputs, const SeedTree& seeds);
+
+}  // namespace adba::base

@@ -1,0 +1,72 @@
+#include "baselines/phase_king.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::base {
+
+PhaseKingNode::PhaseKingNode(PhaseKingParams params, NodeId self, Bit input)
+    : params_(params), self_(self), val_(input) {
+    ADBA_EXPECTS(params_.n > 0);
+    ADBA_EXPECTS_MSG(4 * static_cast<std::uint64_t>(params_.t) < params_.n,
+                     "simple phase-king requires t < n/4");
+    ADBA_EXPECTS_MSG(params_.t + 1 <= params_.n, "needs t+1 distinct kings");
+    ADBA_EXPECTS(self_ < params_.n);
+    ADBA_EXPECTS(input <= 1);
+}
+
+std::optional<net::Message> PhaseKingNode::round_send(Round r) {
+    ADBA_EXPECTS(!halted_);
+    const Phase k = r / 2;
+    net::Message m;
+    m.phase = k;
+    if (r % 2 == 0) {
+        m.kind = net::MsgKind::PhaseKingSend;
+        m.val = val_;
+        return m;
+    }
+    if (self_ == params_.king_of(k)) {
+        m.kind = net::MsgKind::PhaseKingRuler;
+        m.val = maj_;
+        return m;
+    }
+    return std::nullopt;  // only the king speaks in round 2
+}
+
+void PhaseKingNode::round_receive(Round r, const net::ReceiveView& view) {
+    ADBA_EXPECTS(!halted_);
+    const Phase k = r / 2;
+    if (r % 2 == 0) {
+        Count cnt[2] = {0, 0};
+        for (NodeId u = 0; u < params_.n; ++u) {
+            const net::Message* m = view.from(u);
+            if (m != nullptr && m->kind == net::MsgKind::PhaseKingSend && m->phase == k)
+                ++cnt[m->val & 1];
+        }
+        maj_ = cnt[1] > cnt[0] ? Bit{1} : Bit{0};
+        mult_ = cnt[maj_];
+        return;
+    }
+    // Round 2: adopt the king's value unless our majority was overwhelming.
+    Bit king_val = 0;  // a silent/corrupted king defaults to 0 at every node
+    const net::Message* m = view.from(params_.king_of(k));
+    if (m != nullptr && m->kind == net::MsgKind::PhaseKingRuler && m->phase == k)
+        king_val = m->val & 1;
+    if (2 * static_cast<std::uint64_t>(mult_) > params_.n + 2 * static_cast<std::uint64_t>(params_.t)) {
+        val_ = maj_;
+    } else {
+        val_ = king_val;
+    }
+    if (k + 1 == params_.phases()) halted_ = true;
+}
+
+std::vector<std::unique_ptr<net::HonestNode>> make_phase_king_nodes(
+    const PhaseKingParams& params, const std::vector<Bit>& inputs) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    nodes.reserve(params.n);
+    for (NodeId v = 0; v < params.n; ++v)
+        nodes.push_back(std::make_unique<PhaseKingNode>(params, v, inputs[v]));
+    return nodes;
+}
+
+}  // namespace adba::base

@@ -1,0 +1,56 @@
+// Rabin's randomized agreement (FOCS 1983) with a trusted external dealer —
+// the idealized shared-coin reference (paper §1.2: "Rabin's protocol assumes
+// a shared (common) coin available to all nodes (say, given by a trusted
+// external dealer)").
+//
+// The dealer is modeled as a public function of (dealer seed, phase) that
+// every node evaluates locally — a perfect common coin, by construction
+// unbiased and identical at all nodes. The dealer's phase-p coin is treated
+// as revealed only in round 2 of phase p (a non-rushing dealer): the
+// adversary strategies in this repository do not act on it before honest
+// nodes adopt it. Each phase is good with probability >= 1/2, so expected
+// O(1) phases — the floor any committee scheme is compared against.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/skeleton.hpp"
+#include "rand/seed_tree.hpp"
+
+namespace adba::base {
+
+struct RabinDealerParams {
+    NodeId n = 0;
+    Count t = 0;
+    Count phases = 1;          ///< w.h.p. budget: failure prob <= 2^-phases
+    std::uint64_t dealer_seed = 0;
+
+    /// phases = ⌈γ·log2 n⌉ + 1 gives failure probability <= 2/n^γ.
+    static RabinDealerParams compute(NodeId n, Count t, std::uint64_t dealer_seed,
+                                     double gamma = 2.0);
+};
+
+class RabinDealerNode final : public core::RabinSkeletonNode {
+public:
+    RabinDealerNode(const RabinDealerParams& params, core::AgreementMode mode,
+                    NodeId self, Bit input, Xoshiro256 rng);
+
+    /// The dealer's public coin for phase p (identical at every node).
+    static Bit dealer_coin(std::uint64_t dealer_seed, Phase p);
+
+protected:
+    CoinSign coin_contribution(Phase) override { return 0; }
+    Bit coin_value(Phase p, const net::ReceiveView& view) override;
+
+private:
+    std::uint64_t dealer_seed_;
+};
+
+std::vector<std::unique_ptr<net::HonestNode>> make_rabin_dealer_nodes(
+    const RabinDealerParams& params, core::AgreementMode mode,
+    const std::vector<Bit>& inputs, const SeedTree& seeds);
+
+Round max_rounds_whp(const RabinDealerParams& p);
+
+}  // namespace adba::base

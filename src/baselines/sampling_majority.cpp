@@ -1,0 +1,86 @@
+#include "baselines/sampling_majority.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace adba::base {
+
+SamplingMajorityParams SamplingMajorityParams::compute(NodeId n, Count t, double kappa) {
+    ADBA_EXPECTS(n >= 2);
+    ADBA_EXPECTS_MSG(3 * static_cast<std::uint64_t>(t) < n, "requires t < n/3");
+    ADBA_EXPECTS(kappa > 0.0);
+    const double logn = static_cast<double>(std::max<std::uint32_t>(1, ceil_log2(n)));
+    SamplingMajorityParams p;
+    p.n = n;
+    p.t = t;
+    p.rounds = static_cast<Count>(std::max(1.0, std::ceil(kappa * logn * logn)));
+    return p;
+}
+
+SamplingMajorityNode::SamplingMajorityNode(SamplingMajorityParams params, NodeId self,
+                                           Bit input, Xoshiro256 rng)
+    : params_(params), self_(self), rng_(rng), val_(input) {
+    ADBA_EXPECTS(params_.n >= 2);
+    ADBA_EXPECTS(self_ < params_.n);
+    ADBA_EXPECTS(input <= 1);
+}
+
+std::optional<net::Message> SamplingMajorityNode::round_send(Round r) {
+    ADBA_EXPECTS(!halted_);
+    net::Message m;
+    m.kind = net::MsgKind::Vote1;  // single-message-kind protocol
+    m.phase = r;
+    m.val = val_;
+    return m;
+}
+
+void SamplingMajorityNode::round_receive(Round r, const net::ReceiveView& view) {
+    ADBA_EXPECTS(!halted_);
+    if (r + 1 >= params_.rounds) {
+        // Decision round: output the majority over ALL received values — the
+        // simplified almost-everywhere-to-everywhere step (APR boost). Once
+        // sampling has driven the population to a (1 - o(1)) majority, the
+        // <= t Byzantine equivocations cannot swing a full tally; without
+        // convergence the outputs split, correctly exposing the stall.
+        Count cnt[2] = {0, 0};
+        for (NodeId u = 0; u < params_.n; ++u) {
+            const net::Message* m = view.from(u);
+            if (m != nullptr && m->kind == net::MsgKind::Vote1 && m->phase == r)
+                ++cnt[m->val & 1];
+        }
+        val_ = cnt[1] >= cnt[0] ? Bit{1} : Bit{0};
+        halted_ = true;
+        return;
+    }
+    // Two independent uniform samples (with replacement, self allowed — APR
+    // sample uniformly from all nodes).
+    Bit sample[2];
+    for (Bit& s : sample) {
+        const auto u = static_cast<NodeId>(rng_.below(params_.n));
+        const net::Message* m = view.from(u);
+        // A silent sender (halted/crashed/withholding Byzantine) yields no
+        // value; the sampler falls back on its own value.
+        s = (m != nullptr && m->kind == net::MsgKind::Vote1 && m->phase == r)
+                ? static_cast<Bit>(m->val & 1)
+                : val_;
+    }
+    const int ones = static_cast<int>(val_) + sample[0] + sample[1];
+    val_ = ones >= 2 ? Bit{1} : Bit{0};
+}
+
+std::vector<std::unique_ptr<net::HonestNode>> make_sampling_majority_nodes(
+    const SamplingMajorityParams& params, const std::vector<Bit>& inputs,
+    const SeedTree& seeds) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    nodes.reserve(params.n);
+    for (NodeId v = 0; v < params.n; ++v) {
+        nodes.push_back(std::make_unique<SamplingMajorityNode>(
+            params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
+    }
+    return nodes;
+}
+
+}  // namespace adba::base

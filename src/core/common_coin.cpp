@@ -1,0 +1,50 @@
+#include "core/common_coin.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::core {
+
+CoinFlipNode::CoinFlipNode(CoinConfig cfg, NodeId self, Xoshiro256 rng)
+    : cfg_(cfg), self_(self), rng_(rng) {
+    ADBA_EXPECTS(cfg_.n > 0);
+    ADBA_EXPECTS(cfg_.designated >= 1 && cfg_.designated <= cfg_.n);
+    ADBA_EXPECTS(self_ < cfg_.n);
+}
+
+std::optional<net::Message> CoinFlipNode::round_send(Round r) {
+    ADBA_EXPECTS(r == 0);
+    if (self_ >= cfg_.designated) return std::nullopt;  // only designated flip
+    flip_ = rng_.sign();
+    net::Message m;
+    m.kind = net::MsgKind::Coin;
+    m.coin = flip_;
+    return m;
+}
+
+void CoinFlipNode::round_receive(Round r, const net::ReceiveView& view) {
+    ADBA_EXPECTS(r == 0);
+    std::int64_t sum = 0;
+    for (NodeId u = 0; u < cfg_.designated; ++u) {
+        const net::Message* m = view.from(u);
+        if (m == nullptr || m->kind != net::MsgKind::Coin) continue;
+        if (m->coin > 0)
+            ++sum;
+        else if (m->coin < 0)
+            --sum;
+    }
+    out_ = sum >= 0 ? Bit{1} : Bit{0};
+    halted_ = true;
+}
+
+std::vector<std::unique_ptr<net::HonestNode>> make_coin_nodes(const CoinConfig& cfg,
+                                                              const SeedTree& seeds) {
+    std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    nodes.reserve(cfg.n);
+    for (NodeId v = 0; v < cfg.n; ++v) {
+        nodes.push_back(std::make_unique<CoinFlipNode>(
+            cfg, v, seeds.stream(StreamPurpose::NodeProtocol, v)));
+    }
+    return nodes;
+}
+
+}  // namespace adba::core

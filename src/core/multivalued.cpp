@@ -1,0 +1,130 @@
+#include "core/multivalued.hpp"
+
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace adba::core {
+
+MultiValuedParams MultiValuedParams::compute(NodeId n, Count t, const Tuning& tune,
+                                             net::Word fallback, AgreementMode mode) {
+    MultiValuedParams p;
+    p.binary = AgreementParams::compute(n, t, tune);
+    p.fallback = fallback;
+    p.mode = mode;
+    return p;
+}
+
+TurpinCoanNode::TurpinCoanNode(const MultiValuedParams& params, NodeId self,
+                               net::Word input, Xoshiro256 rng)
+    : params_(params), self_(self), rng_(rng), input_(input) {
+    ADBA_EXPECTS(self_ < params_.binary.n);
+}
+
+std::optional<net::Message> TurpinCoanNode::round_send(Round r) {
+    ADBA_EXPECTS(!halted());
+    if (r == 0) {
+        net::Message m;
+        m.kind = net::MsgKind::TCValue;
+        m.word = input_;
+        return m;
+    }
+    if (r == 1) {
+        net::Message m;
+        m.kind = net::MsgKind::TCEcho;
+        m.flag = echo_.has_value() ? 1 : 0;
+        m.word = echo_.value_or(0);
+        return m;
+    }
+    ADBA_ENSURES_MSG(inner_ != nullptr, "prelude must have built the inner protocol");
+    return inner_->round_send(r - 2);
+}
+
+void TurpinCoanNode::round_receive(Round r, const net::ReceiveView& view) {
+    ADBA_EXPECTS(!halted());
+    const NodeId n = params_.binary.n;
+    const Count quorum = n - params_.binary.t;
+
+    if (r == 0) {
+        std::map<net::Word, Count> tally;
+        for (NodeId u = 0; u < n; ++u) {
+            const net::Message* m = view.from(u);
+            if (m != nullptr && m->kind == net::MsgKind::TCValue) ++tally[m->word];
+        }
+        echo_.reset();
+        for (const auto& [word, cnt] : tally) {
+            if (cnt >= quorum) {
+                // Two quorums cannot coexist (they would intersect in an
+                // honest double-voter).
+                ADBA_ENSURES_MSG(!echo_.has_value(), "two n-t word quorums");
+                echo_ = word;
+            }
+        }
+        return;
+    }
+
+    if (r == 1) {
+        std::map<net::Word, Count> tally;
+        for (NodeId u = 0; u < n; ++u) {
+            const net::Message* m = view.from(u);
+            if (m != nullptr && m->kind == net::MsgKind::TCEcho && m->flag != 0)
+                ++tally[m->word];
+        }
+        Count best = 0;
+        for (const auto& [word, cnt] : tally) {
+            if (cnt > best) {  // ties break to the smallest word (map order)
+                best = cnt;
+                x_star_ = word;
+            }
+        }
+        x_star_valid_ = best > 0;
+        const Bit binary_input = best >= quorum ? Bit{1} : Bit{0};
+        inner_ = std::make_unique<Algorithm3Node>(params_.binary, params_.mode, self_,
+                                                  binary_input, rng_);
+        return;
+    }
+
+    ADBA_ENSURES_MSG(inner_ != nullptr, "prelude must have built the inner protocol");
+    inner_->round_receive(r - 2, view);
+}
+
+bool TurpinCoanNode::halted() const { return inner_ != nullptr && inner_->halted(); }
+
+Bit TurpinCoanNode::current_value() const {
+    return inner_ ? inner_->current_value() : Bit{0};
+}
+
+bool TurpinCoanNode::current_decided() const {
+    return inner_ != nullptr && inner_->current_decided();
+}
+
+bool TurpinCoanNode::decided_real_value() const {
+    return inner_ != nullptr && inner_->output() == 1;
+}
+
+net::Word TurpinCoanNode::output_word() const {
+    if (!decided_real_value()) return params_.fallback;
+    // Binary outcome 1 implies some honest node saw a quorum of echoes, so
+    // every honest x_star_ is defined and equal (header sketch).
+    ADBA_ENSURES_MSG(x_star_valid_, "binary 1 without any echoed word");
+    return x_star_;
+}
+
+std::vector<std::unique_ptr<net::HonestNode>> make_turpin_coan_nodes(
+    const MultiValuedParams& params, const std::vector<net::Word>& inputs,
+    const SeedTree& seeds) {
+    ADBA_EXPECTS(inputs.size() == params.binary.n);
+    std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    nodes.reserve(params.binary.n);
+    for (NodeId v = 0; v < params.binary.n; ++v) {
+        nodes.push_back(std::make_unique<TurpinCoanNode>(
+            params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
+    }
+    return nodes;
+}
+
+Round max_rounds_whp(const MultiValuedParams& p) {
+    return 2 + max_rounds_whp(p.binary);
+}
+
+}  // namespace adba::core

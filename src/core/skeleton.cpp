@@ -1,0 +1,132 @@
+#include "core/skeleton.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::core {
+
+RabinSkeletonNode::RabinSkeletonNode(SkeletonConfig cfg, NodeId self, Bit input,
+                                     Xoshiro256 rng)
+    : cfg_(cfg), self_(self), rng_(rng), val_(input) {
+    ADBA_EXPECTS(cfg_.n > 0);
+    ADBA_EXPECTS_MSG(3 * static_cast<std::uint64_t>(cfg_.t) < cfg_.n, "requires t < n/3");
+    ADBA_EXPECTS(cfg_.phases >= 1);
+    ADBA_EXPECTS(self_ < cfg_.n);
+    ADBA_EXPECTS(input <= 1);
+}
+
+std::optional<net::Message> RabinSkeletonNode::round_send(Round r) {
+    ADBA_EXPECTS(!halted_);
+    const Phase p = r / 2;
+    net::Message m;
+    m.phase = p;
+    m.val = val_;
+    m.flag = decided_ ? 1 : 0;
+    if (r % 2 == 0) {
+        m.kind = net::MsgKind::Vote1;
+    } else {
+        m.kind = net::MsgKind::Vote2;
+        // Flip regardless of this node's own case: the flip is drawn before
+        // any round-2 delivery is seen, so every honest committee member
+        // contributes (Corollary 1 counts them all).
+        m.coin = coin_contribution(p);
+        if (flushing_) {
+            // Second flush broadcast done; the node's output is final.
+            halted_ = true;
+        }
+    }
+    return m;
+}
+
+void RabinSkeletonNode::round_receive(Round r, const net::ReceiveView& view) {
+    ADBA_EXPECTS(!halted_);
+    const Phase p = r / 2;
+    if (flushing_) return;  // output already fixed; ignore deliveries
+    if (r % 2 == 0) {
+        receive_round1(p, view);
+    } else {
+        receive_round2(p, view);
+        if (finish_) {
+            // Broadcast (val, decided=true) through one more full phase,
+            // then halt (see header comment on the finish flush).
+            flushing_ = true;
+        } else if (cfg_.mode == AgreementMode::WhpFixedPhases && p + 1 == cfg_.phases) {
+            // Phase budget exhausted: decide on the current val (Theorem 2's
+            // w.h.p. guarantee is about exactly this point).
+            halted_ = true;
+        }
+    }
+}
+
+void RabinSkeletonNode::receive_round1(Phase p, const net::ReceiveView& view) {
+    const Count n = cfg_.n;
+    Count cnt[2] = {0, 0};
+    for (NodeId u = 0; u < n; ++u) {
+        const net::Message* m = view.from(u);
+        if (m != nullptr && m->kind == net::MsgKind::Vote1 && m->phase == p)
+            ++cnt[m->val & 1];
+    }
+    const Count quorum = n - cfg_.t;
+    ADBA_ENSURES_MSG(!(cnt[0] >= quorum && cnt[1] >= quorum),
+                     "two n-t quorums cannot coexist (t < n/3)");
+    if (cnt[0] >= quorum) {
+        val_ = 0;
+        decided_ = true;
+    } else if (cnt[1] >= quorum) {
+        val_ = 1;
+        decided_ = true;
+    } else {
+        decided_ = false;
+    }
+}
+
+void RabinSkeletonNode::receive_round2(Phase p, const net::ReceiveView& view) {
+    const Count n = cfg_.n;
+    Count cnt_dec[2] = {0, 0};
+    for (NodeId u = 0; u < n; ++u) {
+        const net::Message* m = view.from(u);
+        if (m != nullptr && m->kind == net::MsgKind::Vote2 && m->phase == p && m->flag != 0)
+            ++cnt_dec[m->val & 1];
+    }
+    const Count quorum = n - cfg_.t;
+    const Count supermin = cfg_.t + 1;
+    // Lemma 3: all honest decided nodes share one value, so two disjoint
+    // (t+1)-sized decided sets for different values would need two honest
+    // nodes decided on different values — impossible.
+    ADBA_ENSURES_MSG(!(cnt_dec[0] >= supermin && cnt_dec[1] >= supermin),
+                     "Lemma 3 violated: decided quorums for both values");
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (cnt_dec[b] >= quorum) {
+            val_ = b;
+            decided_ = true;
+            finish_ = true;
+            finish_phase_ = p;
+            return;
+        }
+    }
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (cnt_dec[b] >= supermin) {
+            val_ = b;
+            decided_ = true;
+            return;
+        }
+    }
+    val_ = coin_value(p, view);
+    decided_ = false;
+}
+
+std::int64_t committee_coin_sum(const net::ReceiveView& view, Phase p, NodeId first,
+                                NodeId last) {
+    ADBA_EXPECTS(first <= last && last <= view.n());
+    std::int64_t sum = 0;
+    for (NodeId u = first; u < last; ++u) {
+        const net::Message* m = view.from(u);
+        if (m == nullptr || m->kind != net::MsgKind::Vote2 || m->phase != p) continue;
+        if (m->coin > 0)
+            ++sum;
+        else if (m->coin < 0)
+            --sum;
+    }
+    return sum;
+}
+
+}  // namespace adba::core

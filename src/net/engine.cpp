@@ -1,0 +1,238 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace adba::net {
+
+// ---------------------------------------------------------------- RunResult
+
+bool RunResult::agreement() const {
+    std::optional<Bit> seen;
+    for (NodeId v = 0; v < outputs.size(); ++v) {
+        if (!honest[v]) continue;
+        if (!seen) {
+            seen = outputs[v];
+        } else if (*seen != outputs[v]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::optional<Bit> RunResult::agreed_value() const {
+    if (!agreement()) return std::nullopt;
+    for (NodeId v = 0; v < outputs.size(); ++v)
+        if (honest[v]) return outputs[v];
+    return std::nullopt;  // no honest node survived (cannot happen for t < n/3)
+}
+
+Count RunResult::honest_count() const {
+    return static_cast<Count>(std::count(honest.begin(), honest.end(), true));
+}
+
+// ------------------------------------------------------------- RoundControl
+
+Round RoundControl::round() const { return e_.round_; }
+NodeId RoundControl::n() const { return e_.cfg_.n; }
+Count RoundControl::budget_left() const { return e_.cfg_.budget - e_.budget_used_; }
+bool RoundControl::is_honest(NodeId v) const {
+    ADBA_EXPECTS(v < e_.cfg_.n);
+    return e_.is_honest(v);
+}
+bool RoundControl::is_halted(NodeId v) const {
+    ADBA_EXPECTS(v < e_.cfg_.n);
+    return e_.is_halted(v);
+}
+const std::optional<Message>& RoundControl::intended_broadcast(NodeId v) const {
+    ADBA_EXPECTS(v < e_.cfg_.n);
+    ADBA_EXPECTS_MSG(e_.is_honest(v), "only honest nodes have intended broadcasts");
+    return e_.out_[v];
+}
+const HonestNode& RoundControl::node_state(NodeId v) const {
+    ADBA_EXPECTS(v < e_.cfg_.n);
+    ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
+    return *e_.nodes_[v];
+}
+std::optional<Message> RoundControl::corrupt(NodeId v) { return e_.do_corrupt(v); }
+void RoundControl::deliver_as(NodeId byz_from, NodeId to, const Message& m) {
+    e_.do_deliver(byz_from, to, m);
+}
+void RoundControl::broadcast_as(NodeId byz_from, const Message& m) {
+    for (NodeId to = 0; to < e_.cfg_.n; ++to) e_.do_deliver(byz_from, to, m);
+}
+
+// ------------------------------------------------------------------- Engine
+
+Engine::Engine(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
+               Adversary& adversary)
+    : cfg_(cfg), nodes_(std::move(nodes)), adversary_(adversary) {
+    ADBA_EXPECTS(cfg_.n > 0);
+    ADBA_EXPECTS(nodes_.size() == cfg_.n);
+    ADBA_EXPECTS(cfg_.max_rounds > 0);
+    for (const auto& p : nodes_) ADBA_EXPECTS(p != nullptr);
+    honest_.assign(cfg_.n, true);
+    out_.resize(cfg_.n);
+    byz_row_index_.assign(cfg_.n, -1);
+    if (cfg_.record_transcript) transcript_.emplace();
+}
+
+bool Engine::is_halted(NodeId v) const { return honest_[v] && nodes_[v]->halted(); }
+
+std::optional<Message> Engine::do_corrupt(NodeId v) {
+    ADBA_EXPECTS(v < cfg_.n);
+    ADBA_EXPECTS_MSG(honest_[v], "cannot corrupt an already-Byzantine node");
+    ADBA_EXPECTS_MSG(!nodes_[v]->halted(), "cannot corrupt a node that already terminated");
+    ADBA_EXPECTS_MSG(budget_used_ < cfg_.budget, "corruption budget exhausted");
+    ++budget_used_;
+    ++metrics_.corruptions;
+    honest_[v] = false;
+    std::optional<Message> discarded = std::move(out_[v]);
+    out_[v].reset();
+    if (transcript_) transcript_->record_corruption(v);
+    return discarded;
+}
+
+void Engine::do_deliver(NodeId byz_from, NodeId to, const Message& m) {
+    ADBA_EXPECTS(byz_from < cfg_.n && to < cfg_.n);
+    ADBA_EXPECTS_MSG(!honest_[byz_from], "deliver_as requires a corrupted sender");
+    auto& row = byz_row(byz_from);
+    if (!row[to]) ++metrics_.byzantine_messages;
+    row[to] = m;
+}
+
+std::vector<std::optional<Message>>& Engine::byz_row(NodeId v) {
+    if (byz_row_index_[v] < 0) {
+        if (byz_rows_in_use_ == byz_rows_.size()) byz_rows_.emplace_back(cfg_.n);
+        auto& row = byz_rows_[byz_rows_in_use_];
+        row.assign(cfg_.n, std::nullopt);
+        byz_row_index_[v] = static_cast<std::int32_t>(byz_rows_in_use_);
+        ++byz_rows_in_use_;
+    }
+    return byz_rows_[static_cast<std::size_t>(byz_row_index_[v])];
+}
+
+namespace {
+
+/// Receiver-specific delivery lookup backed by the engine's round buffers.
+class EngineView final : public ReceiveView {
+public:
+    EngineView(NodeId n, NodeId recv, const std::vector<bool>& honest,
+               const std::vector<std::optional<Message>>& out,
+               const std::vector<std::int32_t>& byz_row_index,
+               const std::vector<std::vector<std::optional<Message>>>& byz_rows)
+        : n_(n), recv_(recv), honest_(honest), out_(out), byz_row_index_(byz_row_index),
+          byz_rows_(byz_rows) {}
+
+    const Message* from(NodeId sender) const override {
+        ADBA_EXPECTS(sender < n_);
+        if (honest_[sender]) {
+            const auto& m = out_[sender];
+            return m ? &*m : nullptr;
+        }
+        const std::int32_t row = byz_row_index_[sender];
+        if (row < 0) return nullptr;
+        const auto& m = byz_rows_[static_cast<std::size_t>(row)][recv_];
+        return m ? &*m : nullptr;
+    }
+
+    NodeId n() const override { return n_; }
+    NodeId receiver() const override { return recv_; }
+
+private:
+    NodeId n_;
+    NodeId recv_;
+    const std::vector<bool>& honest_;
+    const std::vector<std::optional<Message>>& out_;
+    const std::vector<std::int32_t>& byz_row_index_;
+    const std::vector<std::vector<std::optional<Message>>>& byz_rows_;
+};
+
+}  // namespace
+
+RunResult Engine::run() {
+    ADBA_EXPECTS_MSG(!ran_, "Engine::run is single-shot");
+    ran_ = true;
+
+    adversary_.on_start(cfg_.n, cfg_.budget);
+
+    bool all_halted = false;
+    for (round_ = 0; round_ < cfg_.max_rounds; ++round_) {
+        if (transcript_) transcript_->begin_round(round_, cfg_.n);
+
+        // Beat 1: honest sends (randomness for this round is drawn here).
+        for (NodeId v = 0; v < cfg_.n; ++v) {
+            if (honest_[v] && !nodes_[v]->halted()) {
+                out_[v] = nodes_[v]->round_send(round_);
+            } else {
+                out_[v].reset();
+            }
+        }
+
+        // Beat 2: the rushing adversary observes and acts.
+        std::fill(byz_row_index_.begin(), byz_row_index_.end(), -1);
+        byz_rows_in_use_ = 0;
+        {
+            RoundControl ctl(*this);
+            adversary_.act(ctl);
+        }
+
+        // Accounting + transcript reflect post-corruption reality: a node
+        // corrupted this round never got its broadcast onto the wire.
+        for (NodeId v = 0; v < cfg_.n; ++v) {
+            if (honest_[v]) {
+                if (transcript_) transcript_->record_send(v, out_[v], true);
+                if (out_[v]) {
+                    const auto fanout = static_cast<std::uint64_t>(cfg_.n) - 1;
+                    metrics_.honest_messages += fanout;
+                    metrics_.honest_bits += fanout * wire_bits(*out_[v], cfg_.n);
+                }
+            } else if (transcript_) {
+                transcript_->record_send(v, std::nullopt, false);
+            }
+        }
+
+        // Beat 3: deliveries.
+        for (NodeId v = 0; v < cfg_.n; ++v) {
+            if (!honest_[v] || nodes_[v]->halted()) continue;
+            EngineView view(cfg_.n, v, honest_, out_, byz_row_index_, byz_rows_);
+            nodes_[v]->round_receive(round_, view);
+        }
+
+        metrics_.rounds = round_ + 1;
+        if (observer_) observer_(round_, nodes_, honest_);
+
+        all_halted = true;
+        for (NodeId v = 0; v < cfg_.n; ++v) {
+            if (honest_[v] && !nodes_[v]->halted()) {
+                all_halted = false;
+                break;
+            }
+        }
+        if (all_halted) {
+            ++round_;  // count this round as executed
+            break;
+        }
+    }
+
+    RunResult res;
+    res.outputs.resize(cfg_.n, 0);
+    res.honest = honest_;
+    res.halted.assign(cfg_.n, false);
+    for (NodeId v = 0; v < cfg_.n; ++v) {
+        if (honest_[v]) {
+            res.outputs[v] = nodes_[v]->output();
+            res.halted[v] = nodes_[v]->halted();
+        }
+    }
+    res.rounds = std::min(round_, cfg_.max_rounds);
+    res.all_halted = all_halted;
+    res.metrics = metrics_;
+    res.transcript = std::move(transcript_);
+
+    ADBA_ENSURES_MSG(budget_used_ <= cfg_.budget, "budget accounting overflow");
+    return res;
+}
+
+}  // namespace adba::net

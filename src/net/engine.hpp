@@ -1,0 +1,162 @@
+// Synchronous complete-network simulator with a first-class adaptive
+// rushing Byzantine adversary (the paper's model, §1.1).
+//
+// Round cadence:
+//   1. every live honest node computes its broadcast (drawing this round's
+//      randomness);
+//   2. the adversary observes ALL of those broadcasts (rushing = it sees the
+//      current round's random choices), may adaptively corrupt nodes
+//      (discarding their broadcast and taking over their identity), and
+//      chooses per-recipient messages for every Byzantine node
+//      (equivocation is allowed: different receivers may get different
+//      messages, or silence);
+//   3. deliveries: each live honest node receives, from each sender, either
+//      the sender's honest broadcast (delivered verbatim and attributed —
+//      the channel authenticates senders, §1.1) or the adversary's choice.
+//
+// Corruption is permanent and budgeted: at most `budget` (= t) corruptions
+// per run, enforced by contract. Halted nodes have left the protocol and
+// cannot be corrupted (their output already stands).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/metrics.hpp"
+#include "net/node.hpp"
+#include "net/transcript.hpp"
+#include "support/types.hpp"
+
+namespace adba::net {
+
+class Engine;
+
+/// The adversary's handle for one round: observation plus actions.
+/// Only valid during Adversary::act; do not retain.
+class RoundControl {
+public:
+    // ---- observation (full information + rushing) ----
+    Round round() const;
+    NodeId n() const;
+    /// Corruptions still available to the adversary.
+    Count budget_left() const;
+    /// True iff v has never been corrupted.
+    bool is_honest(NodeId v) const;
+    /// True iff v terminated (honest and permanently silent).
+    bool is_halted(NodeId v) const;
+    /// Honest v's intended broadcast this round (nullopt = silent).
+    const std::optional<Message>& intended_broadcast(NodeId v) const;
+    /// Full-information introspection into an honest node's state.
+    const HonestNode& node_state(NodeId v) const;
+
+    // ---- actions ----
+    /// Corrupts honest, non-halted v: discards v's broadcast for this round,
+    /// moves v to the Byzantine set forever, consumes one budget unit.
+    /// Returns the discarded broadcast so crash-style adversaries can
+    /// selectively re-deliver it.
+    std::optional<Message> corrupt(NodeId v);
+    /// Delivers m from Byzantine node `byz_from` to `to` this round.
+    void deliver_as(NodeId byz_from, NodeId to, const Message& m);
+    /// Delivers m from `byz_from` to every node.
+    void broadcast_as(NodeId byz_from, const Message& m);
+    // Silence is the default behaviour of a Byzantine sender.
+
+private:
+    friend class Engine;
+    explicit RoundControl(Engine& e) : e_(e) {}
+    Engine& e_;
+};
+
+/// Adversary strategy interface. Implementations live in src/adversary.
+class Adversary {
+public:
+    virtual ~Adversary() = default;
+
+    /// Called once before round 0.
+    virtual void on_start(NodeId /*n*/, Count /*budget*/) {}
+
+    /// Called once per round, between honest sends and deliveries.
+    virtual void act(RoundControl& ctl) = 0;
+};
+
+/// A do-nothing adversary (no corruptions); the honest-execution baseline.
+class NullAdversary final : public Adversary {
+public:
+    void act(RoundControl&) override {}
+};
+
+struct EngineConfig {
+    NodeId n = 0;
+    Count budget = 0;        ///< adversary's corruption budget t
+    Round max_rounds = 0;    ///< hard stop if the protocol does not self-halt
+    bool record_transcript = false;
+};
+
+/// Outcome of one simulated run.
+struct RunResult {
+    std::vector<Bit> outputs;      ///< indexed by node; valid where honest[v]
+    std::vector<bool> honest;      ///< true = never corrupted
+    std::vector<bool> halted;      ///< node self-terminated
+    Round rounds = 0;              ///< rounds executed
+    bool all_halted = false;       ///< every honest node self-terminated
+    Metrics metrics;
+    std::optional<Transcript> transcript;
+
+    /// All surviving honest nodes output the same bit.
+    bool agreement() const;
+    /// The common output, if agreement() holds.
+    std::optional<Bit> agreed_value() const;
+    Count honest_count() const;
+};
+
+/// Drives one protocol execution against one adversary.
+class Engine {
+public:
+    /// `nodes.size()` must equal cfg.n; `adversary` must outlive run().
+    Engine(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
+           Adversary& adversary);
+
+    /// Runs rounds until every honest node halts or cfg.max_rounds elapse.
+    RunResult run();
+
+    /// Test hook: invoked after each round's deliveries with full state
+    /// access, for invariant checking (Lemmas 2-4 property tests).
+    using RoundObserver =
+        std::function<void(Round, const std::vector<std::unique_ptr<HonestNode>>&,
+                           const std::vector<bool>& honest_mask)>;
+    void set_round_observer(RoundObserver obs) { observer_ = std::move(obs); }
+
+private:
+    friend class RoundControl;
+
+    bool is_honest(NodeId v) const { return honest_[v]; }
+    bool is_halted(NodeId v) const;
+
+    std::optional<Message> do_corrupt(NodeId v);
+    void do_deliver(NodeId byz_from, NodeId to, const Message& m);
+    /// Byzantine delivery row for sender v this round, creating on demand.
+    std::vector<std::optional<Message>>& byz_row(NodeId v);
+
+    EngineConfig cfg_;
+    std::vector<std::unique_ptr<HonestNode>> nodes_;
+    Adversary& adversary_;
+
+    Round round_ = 0;
+    Count budget_used_ = 0;
+    std::vector<bool> honest_;
+    // Per-round buffers (reused across rounds).
+    std::vector<std::optional<Message>> out_;            // honest broadcasts
+    std::vector<std::int32_t> byz_row_index_;            // node -> row or -1
+    std::vector<std::vector<std::optional<Message>>> byz_rows_;
+    std::size_t byz_rows_in_use_ = 0;
+
+    Metrics metrics_;
+    std::optional<Transcript> transcript_;
+    RoundObserver observer_;
+    bool ran_ = false;
+};
+
+}  // namespace adba::net

@@ -1,0 +1,27 @@
+// Communication accounting for the simulator.
+//
+// The paper reports message complexity O(min(n t^2 log n, n^2 t / log n))
+// (§1.2, §4); experiment E6 regenerates that comparison from these counters.
+// Only honest traffic is charged to the protocol (Byzantine nodes may send
+// arbitrarily much; that is the adversary's budget, not the algorithm's).
+#pragma once
+
+#include <cstdint>
+
+namespace adba::net {
+
+struct Metrics {
+    /// Point-to-point messages sent by honest nodes (a broadcast to n-1
+    /// neighbors counts n-1; self-delivery is local and free).
+    std::uint64_t honest_messages = 0;
+    /// Total bits of honest traffic under CONGEST encoding (wire_bits).
+    std::uint64_t honest_bits = 0;
+    /// Messages delivered on behalf of Byzantine senders.
+    std::uint64_t byzantine_messages = 0;
+    /// Rounds actually executed.
+    std::uint64_t rounds = 0;
+    /// Nodes corrupted over the run.
+    std::uint64_t corruptions = 0;
+};
+
+}  // namespace adba::net

@@ -1,0 +1,68 @@
+// Interface implemented by every honest protocol node.
+//
+// The engine drives nodes with a strict two-beat cadence per round:
+//   1. round_send(r)    — compute and emit this round's broadcast (random
+//                         choices for round r are drawn here);
+//   2. round_receive(r) — observe the delivered messages and update state.
+// Between the two beats the adversary observes every honest broadcast
+// (rushing, §1.1) and may corrupt nodes and substitute per-recipient
+// Byzantine messages.
+#pragma once
+
+#include <optional>
+
+#include "net/message.hpp"
+#include "support/types.hpp"
+
+namespace adba::net {
+
+/// Receiver-specific view of one round's deliveries.
+class ReceiveView {
+public:
+    virtual ~ReceiveView() = default;
+
+    /// Message delivered from `sender` to this receiver this round, or
+    /// nullptr for silence (halted, crashed, or adversarially withheld).
+    /// `from(self)` returns the node's own broadcast (a node counts its own
+    /// value in the paper's tallies).
+    virtual const Message* from(NodeId sender) const = 0;
+
+    /// Network size; senders are 0..n()-1.
+    virtual NodeId n() const = 0;
+
+    /// The receiving node's own id.
+    virtual NodeId receiver() const = 0;
+};
+
+/// An honest protocol participant. Implementations are pure state machines;
+/// all randomness comes from the per-node stream handed to the constructor.
+class HonestNode {
+public:
+    virtual ~HonestNode() = default;
+
+    /// Emits this round's broadcast; nullopt = silent this round.
+    /// Called only while the node is honest and not halted.
+    virtual std::optional<Message> round_send(Round r) = 0;
+
+    /// Consumes this round's deliveries.
+    virtual void round_receive(Round r, const ReceiveView& view) = 0;
+
+    /// True once the node has terminated the protocol (it stays silent and
+    /// its output() is final). Halting is irreversible.
+    virtual bool halted() const = 0;
+
+    /// The node's current agreement value (final once halted). Also serves
+    /// as full-information introspection for adversaries: the model lets
+    /// Byzantine nodes know the entire honest state (§1.1).
+    virtual Bit current_value() const = 0;
+
+    /// Current "decided" flag (Algorithm 3 bookkeeping); false where the
+    /// protocol has no such notion. Introspection for adversaries/tests.
+    virtual bool current_decided() const { return false; }
+
+    /// Final output bit (valid when the engine stops; equals current_value
+    /// for all protocols here).
+    virtual Bit output() const { return current_value(); }
+};
+
+}  // namespace adba::net

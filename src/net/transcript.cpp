@@ -1,0 +1,32 @@
+#include "net/transcript.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::net {
+
+void Transcript::begin_round(Round r, NodeId n) {
+    ADBA_EXPECTS(rounds_.size() == r);
+    RoundRecord rec;
+    rec.round = r;
+    rec.sends.resize(n);
+    rounds_.push_back(std::move(rec));
+}
+
+void Transcript::record_send(NodeId v, const std::optional<Message>& m, bool honest) {
+    ADBA_EXPECTS(!rounds_.empty());
+    auto& rec = rounds_.back();
+    ADBA_EXPECTS(v < rec.sends.size());
+    rec.sends[v] = SendRecord{m, honest};
+}
+
+void Transcript::record_corruption(NodeId v) {
+    ADBA_EXPECTS(!rounds_.empty());
+    rounds_.back().new_corruptions.push_back(v);
+}
+
+const RoundRecord& Transcript::round(Round r) const {
+    ADBA_EXPECTS(r < rounds_.size());
+    return rounds_[r];
+}
+
+}  // namespace adba::net

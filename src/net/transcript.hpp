@@ -1,0 +1,47 @@
+// Optional round-by-round execution record.
+//
+// Tests use transcripts to check the paper's lemma-level invariants (e.g.
+// Lemma 3: within any phase, no two honest nodes pass the n-t threshold with
+// different values), and adversaries may consult them as the full-information
+// model permits. Recording is opt-in: it costs O(n) per round.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "support/types.hpp"
+
+namespace adba::net {
+
+/// What one node did in one round, as visible on the wire.
+struct SendRecord {
+    /// The broadcast an honest node emitted (nullopt = silent/halted).
+    std::optional<Message> broadcast;
+    /// True if the node was honest when sending this round.
+    bool honest = false;
+};
+
+/// One round of history.
+struct RoundRecord {
+    Round round = 0;
+    std::vector<SendRecord> sends;        ///< indexed by NodeId
+    std::vector<NodeId> new_corruptions;  ///< nodes corrupted during this round
+};
+
+/// Full execution history of a run.
+class Transcript {
+public:
+    void begin_round(Round r, NodeId n);
+    void record_send(NodeId v, const std::optional<Message>& m, bool honest);
+    void record_corruption(NodeId v);
+
+    const std::vector<RoundRecord>& rounds() const { return rounds_; }
+    const RoundRecord& round(Round r) const;
+    bool empty() const { return rounds_.empty(); }
+
+private:
+    std::vector<RoundRecord> rounds_;
+};
+
+}  // namespace adba::net

@@ -1,0 +1,65 @@
+// Deterministic pseudo-randomness for reproducible simulation.
+//
+// The paper's protocols need only unbiased coin flips (Algorithm 1 line 1),
+// but the simulator, adversaries, and workload generators need general
+// deterministic streams. We implement:
+//  * splitmix64 — seed expansion / hashing (Steele et al.), used to derive
+//    independent stream seeds,
+//  * xoshiro256** — the working generator (Blackman & Vigna), fast and
+//    well-distributed, one independent instance per (node, purpose).
+//
+// Nothing here is cryptographic — the full-information model explicitly
+// grants the adversary knowledge of all random choices, so the simulator
+// hands them over; secrecy would be pointless (paper §1.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace adba {
+
+/// splitmix64 step: advances the state and returns a 64-bit output.
+/// Standard constants from the reference implementation.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// One-shot avalanche hash of a 64-bit value (splitmix64 finalizer).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four words via splitmix64 from a single seed, per the
+    /// generator authors' recommendation.
+    explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type operator()();
+
+    /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Fair bit: 0 or 1 with probability 1/2 each.
+    Bit bit();
+
+    /// Fair sign: -1 or +1 with probability 1/2 each (Algorithm 1 line 1).
+    CoinSign sign();
+
+    /// Bernoulli(p).
+    bool bernoulli(double p);
+
+    const std::array<std::uint64_t, 4>& state() const { return s_; }
+
+private:
+    std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace adba

@@ -1,0 +1,58 @@
+#include "sim/coin_runner.hpp"
+
+#include "core/common_coin.hpp"
+#include "net/engine.hpp"
+#include "rand/seed_tree.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+
+CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed) {
+    ADBA_EXPECTS(s.designated >= 1 && s.designated <= s.n);
+    const SeedTree seeds(seed);
+    const core::CoinConfig cfg{s.n, s.designated};
+    auto nodes = core::make_coin_nodes(cfg, seeds);
+
+    adv::CoinRuinAdversary adversary(
+        adv::CoinRuinConfig{s.designated, s.f, s.attack, s.forced_bit});
+
+    net::EngineConfig ecfg;
+    ecfg.n = s.n;
+    ecfg.budget = s.f;
+    ecfg.max_rounds = 1;
+    net::Engine engine(ecfg, std::move(nodes), adversary);
+    const net::RunResult run = engine.run();
+
+    CoinTrial out;
+    out.common = run.agreement();
+    if (out.common) {
+        if (const auto v = run.agreed_value()) out.value = *v;
+    }
+    out.attack_feasible = adversary.attack_feasible();
+    return out;
+}
+
+CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
+                              Count trials) {
+    CoinAggregate agg;
+    agg.trials = trials;
+    for (Count i = 0; i < trials; ++i) {
+        const CoinTrial t = run_coin_trial(s, mix64(base_seed + 0x9e3779b1ULL * i));
+        if (t.common) {
+            ++agg.common;
+            if (t.value == 1) ++agg.common_ones;
+        }
+        if (t.attack_feasible) ++agg.attack_feasible;
+    }
+    return agg;
+}
+
+double CoinAggregate::p_common() const {
+    return trials == 0 ? 0.0 : static_cast<double>(common) / trials;
+}
+
+double CoinAggregate::p_one_given_common() const {
+    return common == 0 ? 0.0 : static_cast<double>(common_ones) / common;
+}
+
+}  // namespace adba::sim

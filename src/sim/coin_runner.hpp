@@ -1,0 +1,43 @@
+// Harness for the standalone common-coin experiments (E1/E2): runs
+// Algorithm 1/2 against the rushing coin-ruin adversary and estimates
+// Definition 2's constants (δ = P(common), ε-band of P(bit=0 | common)).
+#pragma once
+
+#include <cstdint>
+
+#include "adversary/coin_ruin.hpp"
+#include "support/types.hpp"
+
+namespace adba::sim {
+
+struct CoinScenario {
+    NodeId n = 0;
+    NodeId designated = 0;  ///< k flippers (== n for Algorithm 1)
+    Count f = 0;            ///< adaptive corruption budget
+    adv::CoinAttack attack = adv::CoinAttack::Split;
+    Bit forced_bit = 0;
+};
+
+struct CoinTrial {
+    bool common = false;
+    Bit value = 0;          ///< the common bit, when common
+    bool attack_feasible = false;
+};
+
+CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed);
+
+struct CoinAggregate {
+    Count trials = 0;
+    Count common = 0;
+    Count common_ones = 0;   ///< common with value 1
+    Count attack_feasible = 0;
+
+    double p_common() const;
+    /// P(bit = 1 | common); Definition 2(B) wants this in [ε, 1-ε].
+    double p_one_given_common() const;
+};
+
+CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
+                              Count trials);
+
+}  // namespace adba::sim

@@ -1,0 +1,44 @@
+#include "sim/inputs.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+
+std::vector<Bit> make_inputs(InputPattern pattern, NodeId n, const SeedTree& seeds) {
+    ADBA_EXPECTS(n > 0);
+    std::vector<Bit> inputs(n, 0);
+    switch (pattern) {
+        case InputPattern::AllZero:
+            break;
+        case InputPattern::AllOne:
+            inputs.assign(n, 1);
+            break;
+        case InputPattern::Split:
+            for (NodeId v = 0; v < n; ++v) inputs[v] = static_cast<Bit>(v & 1);
+            break;
+        case InputPattern::Random: {
+            auto rng = seeds.stream(StreamPurpose::InputAssignment);
+            for (NodeId v = 0; v < n; ++v) inputs[v] = rng.bit();
+            break;
+        }
+    }
+    return inputs;
+}
+
+bool unanimous(const std::vector<Bit>& inputs) {
+    for (Bit b : inputs)
+        if (b != inputs.front()) return false;
+    return true;
+}
+
+std::string to_string(InputPattern pattern) {
+    switch (pattern) {
+        case InputPattern::AllZero: return "all-zero";
+        case InputPattern::AllOne: return "all-one";
+        case InputPattern::Split: return "split";
+        case InputPattern::Random: return "random";
+    }
+    return "?";
+}
+
+}  // namespace adba::sim

@@ -1,0 +1,116 @@
+#include "sim/macro.hpp"
+
+#include <vector>
+
+#include "baselines/chor_coan.hpp"
+#include "rand/rng.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+
+namespace {
+
+core::BlockSchedule schedule_for(const MacroScenario& s, Count& phases_out) {
+    const auto n = static_cast<NodeId>(s.n);
+    const auto t = static_cast<Count>(s.t);
+    switch (s.schedule) {
+        case MacroScheduleKind::Ours: {
+            const auto p = core::AgreementParams::compute(n, t, s.tuning);
+            phases_out = p.phases;
+            return p.schedule;
+        }
+        case MacroScheduleKind::ChorCoanRushing: {
+            const auto p = base::ChorCoanParams::compute_rushing(n, t, s.tuning);
+            phases_out = p.phases;
+            return p.schedule;
+        }
+        case MacroScheduleKind::ChorCoanClassic: {
+            const auto p = base::ChorCoanParams::compute_classic(n, t, s.tuning);
+            phases_out = p.phases;
+            return p.schedule;
+        }
+    }
+    ADBA_ENSURES_MSG(false, "unreachable schedule kind");
+    return {};
+}
+
+}  // namespace
+
+MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
+    ADBA_EXPECTS(s.n >= 4 && s.n <= 0xFFFFFFFFULL);
+    ADBA_EXPECTS_MSG(3 * s.t < s.n, "requires t < n/3");
+    ADBA_EXPECTS(s.q <= s.t);
+
+    Count phases = 0;
+    const core::BlockSchedule sched = schedule_for(s, phases);
+
+    Xoshiro256 rng(mix64(seed ^ 0x6d6163726f2d3031ULL));
+    std::vector<std::uint32_t> byz_in(sched.num_blocks, 0);  // corrupted per committee
+    std::uint64_t used = 0;
+
+    MacroResult out;
+    out.phase_budget = phases;
+    out.committee_size = sched.block;
+
+    for (Phase p = 0; p < phases; ++p) {
+        const Count k = sched.committee_of_phase(p);
+        const NodeId csize = sched.size(k);
+        ADBA_ENSURES(byz_in[k] <= csize);
+        const std::uint32_t honest_members = csize - byz_in[k];
+
+        // Round 2's committee flips (split inputs keep round 1 quorum-free;
+        // see header).
+        std::int64_t sum = 0;
+        for (std::uint32_t i = 0; i < honest_members; ++i) sum += rng.sign();
+        std::uint64_t pos = (static_cast<std::uint64_t>(honest_members) +
+                             static_cast<std::uint64_t>(sum)) / 2;
+        std::uint64_t neg = honest_members - pos;
+
+        // Adversary's greedy SPLIT ruin: corrupt majority-sign flippers
+        // until the equivocation margin covers the surviving sum.
+        std::int64_t m = byz_in[k];
+        std::uint64_t cost = 0;
+        bool feasible = true;
+        while (!(sum >= -m && sum <= m - 1)) {
+            if (sum >= 0 && pos > 0) {
+                --pos;
+                --sum;
+            } else if (sum < 0 && neg > 0) {
+                --neg;
+                ++sum;
+            } else {
+                feasible = false;
+                break;
+            }
+            ++m;
+            ++cost;
+        }
+
+        if (feasible && used + cost <= s.q) {
+            used += cost;
+            byz_in[k] += static_cast<std::uint32_t>(cost);
+            out.phases_run = p + 1;
+            continue;  // phase ruined; honest values re-split balanced
+        }
+
+        // Good phase p: the common coin unifies every honest value. Phase
+        // p+1 decides and finishes (quorum blocking costs t-used+1 > q-used,
+        // never affordable); the flush phase p+2 completes termination. The
+        // micro engine counts 2(p+3) rounds for this ending.
+        out.phases_run = p + 1;
+        out.rounds = 2 * (static_cast<std::uint64_t>(p) + 3);
+        out.agreement = true;
+        out.corruptions = used;
+        return out;
+    }
+
+    // Phase budget exhausted with every phase ruined: the honest values are
+    // still split — the w.h.p. failure event.
+    out.phases_run = phases;
+    out.rounds = 2 * static_cast<std::uint64_t>(phases);
+    out.agreement = false;
+    out.corruptions = used;
+    return out;
+}
+
+}  // namespace adba::sim

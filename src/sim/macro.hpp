@@ -1,0 +1,52 @@
+// Macro-scale simulator for the asymptotic experiments (E4).
+//
+// The full-fidelity engine delivers n^2 messages per round, capping
+// practical n at a few thousand — but the paper's headline separation
+// (t^2 log n / n vs t / log n) only opens up numerically around n >= 2^16
+// (DESIGN.md §2, substitution 3). This module simulates the SAME protocol
+// semantics restricted to the regime the worst-case adversary actually
+// induces from split inputs:
+//
+//   * no honest node ever passes a vote quorum while the adversary keeps
+//     coins split, so every phase is: flip committee coins -> adversary
+//     greedily corrupts majority-sign flippers until the equivocation
+//     margin covers the honest sum (cost per ruined phase ~ ½ sqrt(s)) ->
+//     split values re-balanced;
+//   * the first un-ruinable phase produces a common coin, after which
+//     quorum blocking is unaffordable (Lemma 2) and the run terminates two
+//     phases later (Lemma 4).
+//
+// Per-phase work is O(committee size) instead of O(n^2) per round, reaching
+// n = 2^20 comfortably. A calibration test asserts macro and micro agree on
+// mean rounds at overlapping sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "support/types.hpp"
+
+namespace adba::sim {
+
+enum class MacroScheduleKind : std::uint8_t { Ours, ChorCoanRushing, ChorCoanClassic };
+
+struct MacroScenario {
+    std::uint64_t n = 0;
+    std::uint64_t t = 0;       ///< protocol budget (threshold parameter)
+    std::uint64_t q = 0;       ///< actual adversary corruption cap
+    MacroScheduleKind schedule = MacroScheduleKind::Ours;
+    core::Tuning tuning;
+};
+
+struct MacroResult {
+    std::uint64_t rounds = 0;
+    std::uint64_t phases_run = 0;
+    std::uint64_t corruptions = 0;
+    bool agreement = false;
+    std::uint64_t phase_budget = 0;
+    std::uint64_t committee_size = 0;
+};
+
+MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed);
+
+}  // namespace adba::sim

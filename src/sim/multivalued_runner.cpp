@@ -1,0 +1,137 @@
+#include "sim/multivalued_runner.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "adversary/chaos.hpp"
+#include "adversary/composite.hpp"
+#include "adversary/tc_prelude.hpp"
+#include "adversary/worst_case.hpp"
+#include "net/engine.hpp"
+#include "rand/seed_tree.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+
+namespace {
+
+std::vector<net::Word> make_mv_inputs(MvInputPattern pattern, NodeId n,
+                                      const SeedTree& seeds) {
+    std::vector<net::Word> inputs(n, 0);
+    switch (pattern) {
+        case MvInputPattern::AllSame:
+            inputs.assign(n, 0xCAFE);
+            break;
+        case MvInputPattern::TwoBlocks:
+            for (NodeId v = 0; v < n; ++v) inputs[v] = v < n / 2 ? 0xAAAA : 0xBBBB;
+            break;
+        case MvInputPattern::Distinct:
+            for (NodeId v = 0; v < n; ++v) inputs[v] = 0x1000u + v;
+            break;
+        case MvInputPattern::RandomTiny: {
+            auto rng = seeds.stream(StreamPurpose::InputAssignment);
+            for (NodeId v = 0; v < n; ++v)
+                inputs[v] = static_cast<net::Word>(rng.below(4));
+            break;
+        }
+        case MvInputPattern::NearQuorum: {
+            const auto share = static_cast<NodeId>((6 * static_cast<std::uint64_t>(n) + 9) / 10);
+            for (NodeId v = 0; v < n; ++v)
+                inputs[v] = v < share ? 0xAAAA : 0x2000u + v;
+            break;
+        }
+    }
+    return inputs;
+}
+
+std::unique_ptr<net::Adversary> make_mv_adversary(const MvScenario& s,
+                                                  const core::MultiValuedParams& params,
+                                                  const SeedTree& seeds) {
+    switch (s.adversary) {
+        case MvAdversaryKind::None:
+            return std::make_unique<net::NullAdversary>();
+        case MvAdversaryKind::Chaos:
+            return std::make_unique<adv::ChaosAdversary>(
+                adv::ChaosConfig{s.t, 0.3, 0.7}, seeds.stream(StreamPurpose::Adversary));
+        case MvAdversaryKind::WorstCaseInner:
+            return std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
+                s.t, s.t, params.binary.schedule, true, /*round_offset=*/2});
+        case MvAdversaryKind::PreludePlusWorstCase: {
+            const Count half = s.t / 2;
+            auto prelude = std::make_unique<adv::TcPreludeAdversary>(
+                half, seeds.stream(StreamPurpose::Adversary));
+            auto inner = std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
+                s.t, s.t - half, params.binary.schedule, true, /*round_offset=*/2});
+            return std::make_unique<adv::SwitchAdversary>(std::move(prelude),
+                                                          std::move(inner), 2);
+        }
+    }
+    ADBA_ENSURES_MSG(false, "unreachable adversary kind");
+    return nullptr;
+}
+
+}  // namespace
+
+MvTrialResult run_mv_trial(const MvScenario& s, std::uint64_t seed) {
+    ADBA_EXPECTS(s.n > 0);
+    const SeedTree seeds(seed);
+    const auto mode = s.las_vegas ? core::AgreementMode::LasVegas
+                                  : core::AgreementMode::WhpFixedPhases;
+    const auto params =
+        core::MultiValuedParams::compute(s.n, s.t, s.tuning, s.fallback, mode);
+    const auto inputs = make_mv_inputs(s.inputs, s.n, seeds);
+
+    auto nodes = core::make_turpin_coan_nodes(params, inputs, seeds);
+    std::vector<const core::TurpinCoanNode*> raw;
+    raw.reserve(s.n);
+    for (const auto& p : nodes)
+        raw.push_back(static_cast<const core::TurpinCoanNode*>(p.get()));
+
+    auto adversary = make_mv_adversary(s, params, seeds);
+    const Round cap = s.las_vegas ? 32 * core::max_rounds_whp(params) + 256
+                                  : core::max_rounds_whp(params);
+    net::Engine engine({s.n, s.t, cap, false}, std::move(nodes), *adversary);
+    const net::RunResult run = engine.run();
+
+    MvTrialResult res;
+    res.rounds = run.rounds;
+    res.all_halted = run.all_halted;
+    res.agreement = true;
+    std::optional<net::Word> seen;
+    bool any_real = false;
+    for (NodeId v = 0; v < s.n; ++v) {
+        if (!run.honest[v]) continue;
+        const net::Word w = raw[v]->output_word();
+        any_real = any_real || raw[v]->decided_real_value();
+        if (!seen) {
+            seen = w;
+        } else if (*seen != w) {
+            res.agreement = false;
+        }
+    }
+    res.agreed_word = res.agreement ? seen : std::nullopt;
+    res.decided_real = any_real;
+
+    bool unanimous = true;
+    for (const auto w : inputs) unanimous = unanimous && w == inputs.front();
+    res.validity_applicable = unanimous;
+    res.validity_ok = !unanimous || (res.agreement && res.agreed_word &&
+                                     *res.agreed_word == inputs.front());
+    return res;
+}
+
+MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials) {
+    MvAggregate agg;
+    agg.trials = trials;
+    for (Count i = 0; i < trials; ++i) {
+        const auto r = run_mv_trial(s, mix64(base_seed + 0x9e37ULL * i));
+        if (!r.agreement) ++agg.agreement_failures;
+        if (!r.validity_ok) ++agg.validity_failures;
+        if (!r.all_halted) ++agg.not_halted;
+        if (r.decided_real) ++agg.decided_real;
+        agg.rounds.add(static_cast<double>(r.rounds));
+    }
+    return agg;
+}
+
+}  // namespace adba::sim

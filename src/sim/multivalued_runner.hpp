@@ -1,0 +1,65 @@
+// Trial runner for the multi-valued (Turpin-Coan over Algorithm 3) stack.
+// Separate from the binary runner because inputs, outputs, and agreement
+// evaluation are over words, not bits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/multivalued.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+
+namespace adba::sim {
+
+enum class MvInputPattern : std::uint8_t {
+    AllSame,    ///< every node inputs the same word (validity probe)
+    TwoBlocks,  ///< half input word A, half word B
+    Distinct,   ///< every node inputs its own id (maximal fragmentation)
+    RandomTiny, ///< i.i.d. uniform over a 4-word domain
+    NearQuorum, ///< 60% share a word — inside the adversary's quorum-boundary
+                ///< band (h_w < n-t <= h_w + t), the only regime where the
+                ///< Turpin-Coan prelude can be split
+};
+
+enum class MvAdversaryKind : std::uint8_t {
+    None,
+    Chaos,                 ///< fuzzed garbage incl. TC kinds
+    WorstCaseInner,        ///< full budget on the embedded Algorithm 3
+    PreludePlusWorstCase,  ///< half budget equivocating the prelude, half inner
+};
+
+struct MvScenario {
+    NodeId n = 0;
+    Count t = 0;
+    MvInputPattern inputs = MvInputPattern::TwoBlocks;
+    MvAdversaryKind adversary = MvAdversaryKind::WorstCaseInner;
+    core::Tuning tuning;
+    net::Word fallback = 0;
+    bool las_vegas = false;  ///< inner protocol in Las Vegas mode
+};
+
+struct MvTrialResult {
+    bool agreement = false;
+    std::optional<net::Word> agreed_word;
+    bool validity_applicable = false;
+    bool validity_ok = true;
+    bool all_halted = false;
+    bool decided_real = false;  ///< binary outcome 1 (a proposed word won)
+    Round rounds = 0;
+};
+
+MvTrialResult run_mv_trial(const MvScenario& s, std::uint64_t seed);
+
+struct MvAggregate {
+    Count trials = 0;
+    Count agreement_failures = 0;
+    Count validity_failures = 0;
+    Count not_halted = 0;
+    Count decided_real = 0;
+    Samples rounds;
+};
+
+MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials);
+
+}  // namespace adba::sim

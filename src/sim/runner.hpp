@@ -1,0 +1,93 @@
+// Trial runner: wires a protocol, an adversary, and an input pattern into
+// the engine and aggregates outcomes over seeds. Every experiment binary and
+// most tests go through this layer, so a scenario is a pure value and a
+// trial a pure function of (scenario, seed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/params.hpp"
+#include "net/engine.hpp"
+#include "sim/inputs.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+
+namespace adba::sim {
+
+enum class ProtocolKind : std::uint8_t {
+    Ours,              ///< Algorithm 3, w.h.p. fixed phases (Theorem 2)
+    OursLasVegas,      ///< Algorithm 3, Las Vegas variant (§3.2)
+    ChorCoanRushing,   ///< rushing-hardened Chor-Coan (footnote 3 comparator)
+    ChorCoanClassic,   ///< historic Θ(log n)-group Chor-Coan
+    RabinDealer,       ///< trusted-dealer shared coin (ideal reference)
+    LocalCoin,         ///< skeleton with private coins (ablation)
+    BenOr,             ///< Ben-Or 1983 proper (t < n/5, private coins)
+    PhaseKing,         ///< deterministic 2(t+1)-round baseline (t < n/4)
+    SamplingMajority,  ///< APR 2013 sampling-majority drift protocol (§1.3)
+};
+
+enum class AdversaryKind : std::uint8_t {
+    None,
+    Static,             ///< static random set, split-vote behaviour
+    SplitVote,          ///< static set, threshold-straddling equivocation
+    Chaos,              ///< random corruptions, fuzzed messages
+    CrashRandom,        ///< adaptive random crash faults
+    CrashTargetedCoin,  ///< BJBO-style adaptive crash attack on the coin
+    WorstCase,          ///< schedule-aware rushing attack (the paper's model)
+    KingKiller,         ///< adaptive king corruption (Phase-King only)
+    Balancer,           ///< drift-cancelling attack (sampling-majority, E11)
+};
+
+struct Scenario {
+    NodeId n = 0;
+    Count t = 0;            ///< protocol fault tolerance / engine budget
+    std::optional<Count> q; ///< actual corruptions cap (default: t)
+    ProtocolKind protocol = ProtocolKind::Ours;
+    AdversaryKind adversary = AdversaryKind::WorstCase;
+    InputPattern inputs = InputPattern::Split;
+    core::Tuning tuning;
+    Count local_coin_phases = 64;      ///< phase budget for LocalCoin / BenOr
+    double sampling_kappa = 4.0;       ///< SamplingMajority round budget knob
+    Round max_rounds_override = 0;     ///< 0 = protocol-derived default
+    bool record_transcript = false;
+};
+
+struct TrialResult {
+    bool agreement = false;
+    std::optional<Bit> agreed_value;
+    /// Validity check: inputs unanimous -> output must equal that input.
+    bool validity_applicable = false;
+    bool validity_ok = true;
+    bool all_halted = false;
+    Round rounds = 0;
+    net::Metrics metrics;
+    Count phases_configured = 0;  ///< protocol phase budget actually used
+};
+
+/// Runs one trial; pure function of (scenario, seed).
+TrialResult run_trial(const Scenario& s, std::uint64_t seed);
+
+/// Aggregate over `trials` seeds derived from base_seed.
+struct Aggregate {
+    Samples rounds;
+    Samples messages;
+    Samples bits;
+    Samples corruptions;
+    Count trials = 0;
+    Count agreement_failures = 0;
+    Count validity_failures = 0;
+    Count not_halted = 0;
+};
+
+Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials);
+
+std::string to_string(ProtocolKind k);
+std::string to_string(AdversaryKind k);
+
+/// The committee/group schedule the given scenario's protocol uses (for
+/// schedule-aware adversaries); nullopt for protocols without one.
+std::optional<core::BlockSchedule> schedule_of(const Scenario& s);
+
+}  // namespace adba::sim

@@ -1,0 +1,72 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace adba {
+
+Cli::Cli(int argc, char** argv) {
+    if (argc > 0) passthrough_.emplace_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--benchmark", 0) == 0 || arg.rfind("--", 0) != 0) {
+            passthrough_.push_back(std::move(arg));
+            continue;
+        }
+        std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            kv_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            kv_[body] = argv[++i];
+        } else {
+            kv_[body] = "true";  // bare boolean flag
+        }
+    }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& key,
+                                            std::vector<std::int64_t> fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    std::vector<std::int64_t> out;
+    const std::string& s = it->second;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        auto comma = s.find(',', pos);
+        if (comma == std::string::npos) comma = s.size();
+        out.push_back(std::stoll(s.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+    ADBA_ENSURES_MSG(!out.empty(), "empty list for --" + key);
+    return out;
+}
+
+}  // namespace adba

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for examples and bench binaries.
+//
+// Supports `--name=value` and `--name value` forms plus `--flag` booleans.
+// Unrecognized google-benchmark flags (--benchmark_*) are passed through
+// untouched so bench binaries can share argv with benchmark::Initialize.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adba {
+
+/// Parsed command-line options with typed, defaulted accessors.
+class Cli {
+public:
+    /// Parses argv, consuming recognized `--key[=value]` pairs.
+    /// Arguments beginning with `--benchmark` are left for google-benchmark.
+    Cli(int argc, char** argv);
+
+    bool has(const std::string& key) const;
+    std::string get(const std::string& key, const std::string& fallback) const;
+    std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    double get_double(const std::string& key, double fallback) const;
+    bool get_bool(const std::string& key, bool fallback) const;
+
+    /// Comma-separated integer list, e.g. `--t=4,8,16`.
+    std::vector<std::int64_t> get_int_list(const std::string& key,
+                                           std::vector<std::int64_t> fallback) const;
+
+    /// Remaining untouched arguments (argv[0] + benchmark flags + positionals).
+    const std::vector<std::string>& passthrough() const { return passthrough_; }
+
+private:
+    std::map<std::string, std::string> kv_;
+    std::vector<std::string> passthrough_;
+};
+
+}  // namespace adba

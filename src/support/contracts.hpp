@@ -1,0 +1,48 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.5/I.7: state pre- and postconditions; P.7: catch run-time errors early).
+//
+// Contracts are always on: simulation correctness is the product here, and
+// the cost of a predicate test is negligible next to n^2 message delivery.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adba {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+/// Deliberately a distinct type so tests can assert on contract violations.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace adba
+
+/// Precondition: the caller must guarantee `cond`.
+#define ADBA_EXPECTS(cond)                                                              \
+    do {                                                                                \
+        if (!(cond)) ::adba::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, ""); \
+    } while (false)
+
+/// Precondition with a human-readable explanation.
+#define ADBA_EXPECTS_MSG(cond, msg)                                                     \
+    do {                                                                                \
+        if (!(cond)) ::adba::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, (msg)); \
+    } while (false)
+
+/// Postcondition / invariant: the callee must guarantee `cond`.
+#define ADBA_ENSURES(cond)                                                              \
+    do {                                                                                \
+        if (!(cond)) ::adba::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, ""); \
+    } while (false)
+
+#define ADBA_ENSURES_MSG(cond, msg)                                                     \
+    do {                                                                                \
+        if (!(cond)) ::adba::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, (msg)); \
+    } while (false)

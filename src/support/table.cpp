@@ -1,0 +1,80 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace adba {
+
+void Table::set_header(std::vector<std::string> header) {
+    ADBA_EXPECTS_MSG(rows_.empty(), "header must be set before rows");
+    ADBA_EXPECTS(!header.empty());
+    header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+    ADBA_EXPECTS_MSG(row.size() == header_.size(), "row arity must match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::to_markdown() const {
+    ADBA_EXPECTS_MSG(!header_.empty(), "table needs a header");
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::setw(static_cast<int>(width[c])) << std::left << row[c] << " |";
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    os << "### " << title_ << "\n\n";
+    emit_row(os, header_);
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_) emit_row(os, row);
+    return os.str();
+}
+
+std::string Table::to_csv() const {
+    ADBA_EXPECTS_MSG(!header_.empty(), "table needs a header");
+    auto escape = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"') out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        os << (c ? "," : "") << escape(header_[c]);
+    os << "\n";
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << escape(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << "\n" << to_markdown() << "\n"; }
+
+}  // namespace adba

@@ -1,0 +1,36 @@
+// Fundamental vocabulary types shared by every subsystem.
+//
+// The paper's model: n nodes with globally known unique IDs 0..n-1 (the paper
+// uses 1..n; we use 0-based indices and translate committee arithmetic
+// accordingly), binary inputs, synchronous rounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adba {
+
+/// Index of a node in the complete network; dense in [0, n).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Zero-based global round counter maintained by the simulator.
+using Round = std::uint32_t;
+
+/// Zero-based phase counter of a phase-structured protocol.
+using Phase = std::uint32_t;
+
+/// A binary agreement value. Only 0 and 1 are meaningful.
+using Bit = std::uint8_t;
+
+/// A ±1 coin contribution as flipped by Algorithm 1/2 participants.
+/// 0 never appears in an honest flip; it is used by the wire encoding to
+/// mean "no coin contribution in this message".
+using CoinSign = std::int8_t;
+
+/// Number of simulation trials, corruption budgets, etc.
+using Count = std::uint32_t;
+
+}  // namespace adba

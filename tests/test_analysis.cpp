@@ -1,0 +1,123 @@
+// Closed-form bound curve tests (the "theory" columns of the experiment
+// tables).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::an {
+namespace {
+
+TEST(Bounds, OursIsMinOfTwoTerms) {
+    // n = 2^16, log2 = 16.
+    const double n = 65536.0;
+    // Small t: t^2 log n / n term wins.
+    EXPECT_NEAR(rounds_ours(n, 128.0), 128.0 * 128.0 * 16.0 / n, 1e-9);
+    // Large t: t / log n term wins.
+    EXPECT_NEAR(rounds_ours(n, 20000.0), 20000.0 / 16.0, 1e-9);
+}
+
+TEST(Bounds, OursNeverExceedsChorCoan) {
+    for (double n : {256.0, 4096.0, 1e6}) {
+        for (double t = 1; t < n / 3; t *= 2) {
+            EXPECT_LE(rounds_ours(n, t), rounds_chor_coan(n, t) + 1e-12)
+                << "n=" << n << " t=" << t;
+        }
+    }
+}
+
+TEST(Bounds, StrictImprovementBelowCrossover) {
+    const double n = 1 << 20;
+    const double cross = crossover_t(n);
+    EXPECT_NEAR(cross, n / 400.0, 1e-6);  // log2^2 = 400
+    const double t = cross / 4.0;
+    EXPECT_LT(rounds_ours(n, t), 0.5 * rounds_chor_coan(n, t));
+}
+
+TEST(Bounds, MatchesChorCoanAboveCrossover) {
+    const double n = 1 << 20;
+    const double t = 2.0 * crossover_t(n);
+    EXPECT_DOUBLE_EQ(rounds_ours(n, t), rounds_chor_coan(n, t));
+}
+
+TEST(Bounds, PaperHeadlineExampleIsAsymptotic) {
+    // Paper §1.2's example: at t = n^0.75 ours is Õ(n^0.5) vs Chor-Coan
+    // Õ(n^0.75). WITH the hidden log factors spelled out, the separation
+    // n^0.5·log n < n^0.75/log n requires log^2 n < n^0.25, i.e. n ≳ 2^56 —
+    // at any simulable n the min() saturates at the Chor-Coan term. The
+    // log-FREE polynomial parts separate at every n; both facts are
+    // documented in EXPERIMENTS.md E4.
+    const double n = 1 << 20;
+    const double t = std::pow(n, 0.75);
+    // min() saturates: ours == Chor-Coan at this (n, t).
+    EXPECT_DOUBLE_EQ(rounds_ours(n, t), rounds_chor_coan(n, t));
+    // Log-free polynomial parts: t^2/n = n^0.5 << t = n^0.75.
+    EXPECT_LT(t * t / n, t / 8.0);
+    // And at truly asymptotic n the log-laden separation appears:
+    const double big_n = std::pow(2.0, 60);
+    const double big_t = std::pow(big_n, 0.75);
+    EXPECT_LT(big_t * big_t / big_n * 60.0, big_t / 60.0);
+}
+
+TEST(Bounds, ApproachesLowerBoundAtSqrtN) {
+    // At t = sqrt(n): ours = log n rounds, lower bound = 1/sqrt(log n) —
+    // a polylog gap only (paper: near-optimal up to log factors).
+    const double n = 1 << 20;
+    const double t = std::sqrt(n);
+    const double ratio = rounds_ours(n, t) / rounds_lower_bound(n, t);
+    EXPECT_LT(ratio, 20.0 * 20.0 * std::sqrt(20.0) + 1.0);  // polylog(n)
+    EXPECT_GE(ratio, 1.0);
+}
+
+TEST(Bounds, LowerBoundBelowEverything) {
+    // The constant-free curves only order correctly for t >= sqrt(n) —
+    // below that both bounds are o(1) "rounds" and the comparison is
+    // meaningless (the protocol's real floor is the gamma·log n phase
+    // budget). Theorem 1's regime of interest is t >= sqrt(n).
+    for (double n : {1024.0, 1e6}) {
+        for (double t = std::sqrt(n); t < n / 3; t *= 2) {
+            EXPECT_LE(rounds_lower_bound(n, t), rounds_ours(n, t) + 1e-9)
+                << "n=" << n << " t=" << t;
+            EXPECT_LE(rounds_lower_bound(n, t), rounds_deterministic(t));
+        }
+    }
+}
+
+TEST(Bounds, DeterministicIsLinear) {
+    EXPECT_DOUBLE_EQ(rounds_deterministic(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(rounds_deterministic(100.0), 101.0);
+}
+
+TEST(Bounds, MonotoneInT) {
+    const double n = 4096.0;
+    double prev = 0.0;
+    for (double t = 0; t < n / 3; t += 50) {
+        const double r = rounds_ours(n, t);
+        EXPECT_GE(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Bounds, ContractsOnDomain) {
+    EXPECT_THROW(rounds_ours(0.5, 1.0), ContractViolation);
+    EXPECT_THROW(rounds_ours(10.0, -1.0), ContractViolation);
+    EXPECT_THROW(crossover_t(0.0), ContractViolation);
+    EXPECT_THROW(paley_zygmund(1.5, 1.0, 1.0), ContractViolation);
+    EXPECT_THROW(paley_zygmund(0.5, 1.0, 0.0), ContractViolation);
+}
+
+TEST(Bounds, CoinCommonLowerBoundMonotoneInF) {
+    // More corruptions -> weaker guarantee.
+    const double n = 1024.0;
+    double prev = 1.0;
+    for (double f = 0; f <= 16.0; f += 2.0) {
+        const double p = coin_common_prob_lower(n, f);
+        EXPECT_LE(p, prev + 1e-12) << f;
+        prev = p;
+    }
+}
+
+}  // namespace
+}  // namespace adba::an

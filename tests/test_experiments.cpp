@@ -1,0 +1,176 @@
+// Miniature versions of every bench experiment (E1-E13): each bench's code
+// path and headline direction is asserted here at small scale, so a
+// regression in any experiment pipeline fails in CI rather than in a
+// reader's terminal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "sim/coin_runner.hpp"
+#include "sim/macro.hpp"
+#include "sim/multivalued_runner.hpp"
+#include "sim/runner.hpp"
+#include "support/math.hpp"
+
+namespace adba::sim {
+namespace {
+
+Aggregate run(ProtocolKind p, AdversaryKind a, NodeId n, Count t, Count trials,
+              InputPattern in = InputPattern::Split,
+              std::optional<Count> q = std::nullopt) {
+    Scenario s;
+    s.n = n;
+    s.t = t;
+    s.q = q;
+    s.protocol = p;
+    s.adversary = a;
+    s.inputs = in;
+    return run_trials(s, 0xEE0 + n * 7 + t, trials);
+}
+
+TEST(E1Mini, CoinCommonnessEndpoints) {
+    // f=0: always common; f = 2 sqrt(n): almost never.
+    const auto clean = run_coin_trials({144, 144, 0, adv::CoinAttack::Split, 0}, 1, 300);
+    EXPECT_EQ(clean.common, clean.trials);
+    const auto wrecked =
+        run_coin_trials({144, 144, 24, adv::CoinAttack::Split, 0}, 2, 300);
+    EXPECT_LE(wrecked.p_common(), 0.1);
+}
+
+TEST(E2Mini, CommitteePerimeterIndependentOfN) {
+    // Same k, two very different n: commonness within noise of each other.
+    const auto small_n = run_coin_trials({128, 36, 3, adv::CoinAttack::Split, 0}, 3, 800);
+    const auto big_n = run_coin_trials({1024, 36, 3, adv::CoinAttack::Split, 0}, 4, 800);
+    EXPECT_NEAR(small_n.p_common(), big_n.p_common(), 0.12);
+}
+
+TEST(E3Mini, OrderingOfProtocols) {
+    const NodeId n = 64;
+    const Count t = 12;
+    const auto ours = run(ProtocolKind::Ours, AdversaryKind::WorstCase, n, t, 10);
+    const auto cc = run(ProtocolKind::ChorCoanRushing, AdversaryKind::WorstCase, n, t, 10);
+    const auto pk = run(ProtocolKind::PhaseKing, AdversaryKind::KingKiller, n, t, 3);
+    const auto dealer = run(ProtocolKind::RabinDealer, AdversaryKind::SplitVote, n, t, 10);
+    EXPECT_EQ(ours.agreement_failures, 0u);
+    // ours never exceeds the rushing Chor-Coan comparator (same alpha):
+    EXPECT_LE(ours.rounds.mean(), cc.rounds.mean() + 1e-9);
+    // the deterministic baseline is the exact 2(t+1) line:
+    EXPECT_DOUBLE_EQ(pk.rounds.mean(), 2.0 * (t + 1));
+    // the ideal dealer coin is the flat floor:
+    EXPECT_LE(dealer.rounds.mean(), 8.0);
+    EXPECT_LT(dealer.rounds.mean(), ours.rounds.mean());
+}
+
+TEST(E4Mini, MacroSeparationAtSqrtN) {
+    // t = sqrt(n): ours' phase budget stops growing with t while the
+    // Chor-Coan schedule keeps paying t/log n — the ratio at n=2^16 must
+    // already be visibly below 1 (the bench shows it falling with n).
+    const std::uint64_t n = 1 << 16;
+    const std::uint64_t t = 256;
+    double ours = 0, cc = 0;
+    for (int i = 0; i < 12; ++i) {
+        MacroScenario m;
+        m.n = n;
+        m.t = t;
+        m.q = t;
+        m.schedule = MacroScheduleKind::Ours;
+        ours += static_cast<double>(run_macro_trial(m, 50 + static_cast<std::uint64_t>(i)).rounds);
+        m.schedule = MacroScheduleKind::ChorCoanRushing;
+        cc += static_cast<double>(run_macro_trial(m, 50 + static_cast<std::uint64_t>(i)).rounds);
+    }
+    EXPECT_LT(ours / cc, 0.85);
+}
+
+TEST(E5Mini, EarlyTerminationEndpoints) {
+    const auto q0 = run(ProtocolKind::Ours, AdversaryKind::WorstCase, 128, 42, 8,
+                        InputPattern::Split, Count{0});
+    EXPECT_DOUBLE_EQ(q0.rounds.mean(), 6.0);
+    const auto qfull = run(ProtocolKind::Ours, AdversaryKind::WorstCase, 128, 42, 8,
+                           InputPattern::Split, Count{42});
+    EXPECT_GT(qfull.rounds.mean(), 3.0 * q0.rounds.mean());
+}
+
+TEST(E6Mini, MessagesBoundedByBroadcastBudget) {
+    const NodeId n = 64;
+    const auto agg = run(ProtocolKind::Ours, AdversaryKind::WorstCase, n, 21, 5);
+    EXPECT_LE(agg.messages.max(),
+              static_cast<double>(n) * (n - 1) * agg.rounds.max());
+    EXPECT_GE(agg.messages.min(), static_cast<double>(n - 21) * (n - 1) * 2);
+}
+
+TEST(E7Mini, LasVegasAlwaysTerminates) {
+    const auto agg = run(ProtocolKind::OursLasVegas, AdversaryKind::WorstCase, 96, 31, 10);
+    EXPECT_EQ(agg.agreement_failures, 0u);
+    EXPECT_EQ(agg.not_halted, 0u);
+}
+
+TEST(E8Mini, AdaptiveRushingIsTheOnlyExpensiveClass) {
+    const NodeId n = 96;
+    const Count t = 31;
+    const auto none = run(ProtocolKind::Ours, AdversaryKind::None, n, t, 6);
+    const auto stat = run(ProtocolKind::Ours, AdversaryKind::Static, n, t, 6);
+    const auto worst = run(ProtocolKind::Ours, AdversaryKind::WorstCase, n, t, 6);
+    EXPECT_LE(none.rounds.mean(), 6.0);
+    EXPECT_LE(stat.rounds.mean(), 10.0) << "static adversaries are absorbed";
+    EXPECT_GT(worst.rounds.mean(), 3.0 * stat.rounds.mean());
+}
+
+TEST(E9Mini, AlphaBoundaryMeasured) {
+    // alpha=1 must fail visibly at the hardest cell; alpha=4 (default) never.
+    core::Tuning weak;
+    weak.alpha = 1.0;
+    Scenario s;
+    s.n = 64;
+    s.t = 21;
+    s.protocol = ProtocolKind::Ours;
+    s.adversary = AdversaryKind::WorstCase;
+    s.inputs = InputPattern::Split;
+    s.tuning = weak;
+    const auto bad = run_trials(s, 0xE9, 25);
+    EXPECT_GT(bad.agreement_failures, 5u) << "alpha=1 should lose most runs here";
+    s.tuning = core::Tuning{};
+    const auto good = run_trials(s, 0xE9, 25);
+    EXPECT_EQ(good.agreement_failures, 0u);
+}
+
+TEST(E11Mini, SamplingFrontierDirection) {
+    const auto low = run(ProtocolKind::SamplingMajority, AdversaryKind::Balancer, 144, 3,
+                         8);
+    EXPECT_EQ(low.agreement_failures, 0u);
+}
+
+TEST(E12Mini, MultiValuedSafetyAcrossBand) {
+    MvScenario s;
+    s.n = 48;
+    s.t = 15;
+    s.inputs = MvInputPattern::NearQuorum;
+    s.adversary = MvAdversaryKind::PreludePlusWorstCase;
+    const auto agg = run_mv_trials(s, 0xE12, 8);
+    EXPECT_EQ(agg.agreement_failures, 0u);
+    EXPECT_EQ(agg.validity_failures, 0u);
+}
+
+TEST(E13Mini, CrashCheaperThanByzantinePerRound) {
+    const NodeId n = 128;
+    const Count t = 42;
+    const auto crash =
+        run(ProtocolKind::Ours, AdversaryKind::CrashTargetedCoin, n, t, 10);
+    const auto byz = run(ProtocolKind::Ours, AdversaryKind::WorstCase, n, t, 10);
+    EXPECT_EQ(crash.agreement_failures, 0u);
+    EXPECT_LE(crash.rounds.mean(), byz.rounds.mean() + 1e-9)
+        << "a crash budget never beats the full Byzantine budget";
+    EXPECT_GE(crash.rounds.mean(), 6.0);
+}
+
+TEST(TheoryCurves, CrossoverConsistency) {
+    // The bench footer's crossover formula matches the bound curves.
+    const double n = 4096.0;
+    const double cross = an::crossover_t(n);
+    EXPECT_NEAR(an::rounds_ours(n, cross), an::rounds_chor_coan(n, cross),
+                1e-9 * an::rounds_ours(n, cross));
+    EXPECT_LT(an::rounds_ours(n, cross / 2), an::rounds_chor_coan(n, cross / 2));
+}
+
+}  // namespace
+}  // namespace adba::sim

@@ -1,0 +1,118 @@
+// Randomized scenario fuzzing: safety must hold on configurations nobody
+// hand-picked. Each seed derives a random (n, t, q, protocol, adversary,
+// input) cell within each protocol's contract and asserts the safety
+// invariants. Deterministic per seed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "rand/rng.hpp"
+#include "sim/multivalued_runner.hpp"
+#include "sim/runner.hpp"
+#include "support/math.hpp"
+
+namespace adba::sim {
+namespace {
+
+struct FuzzCell {
+    Scenario scenario;
+    std::string describe;
+};
+
+FuzzCell random_cell(std::uint64_t seed) {
+    Xoshiro256 rng(mix64(seed ^ 0xF022));
+    FuzzCell cell;
+    Scenario& s = cell.scenario;
+    // n in [8, 128]; protocols with tighter bounds clamp t accordingly.
+    s.n = static_cast<NodeId>(8 + rng.below(121));
+
+    const ProtocolKind protocols[] = {
+        ProtocolKind::Ours,       ProtocolKind::OursLasVegas,
+        ProtocolKind::ChorCoanRushing, ProtocolKind::ChorCoanClassic,
+        ProtocolKind::RabinDealer,     ProtocolKind::PhaseKing,
+        ProtocolKind::BenOr,           ProtocolKind::SamplingMajority,
+    };
+    s.protocol = protocols[rng.below(std::size(protocols))];
+
+    Count t_max = (s.n - 1) / 3;
+    if (s.protocol == ProtocolKind::PhaseKing) t_max = (s.n - 1) / 4;
+    if (s.protocol == ProtocolKind::BenOr) t_max = (s.n - 1) / 5;
+    s.t = static_cast<Count>(rng.below(t_max + 1));
+    s.q = static_cast<Count>(rng.below(s.t + 1));
+
+    // Adversary: respect per-adversary protocol requirements.
+    const bool has_schedule = s.protocol == ProtocolKind::Ours ||
+                              s.protocol == ProtocolKind::OursLasVegas ||
+                              s.protocol == ProtocolKind::ChorCoanRushing ||
+                              s.protocol == ProtocolKind::ChorCoanClassic;
+    std::vector<AdversaryKind> kinds = {AdversaryKind::None, AdversaryKind::Static,
+                                        AdversaryKind::SplitVote, AdversaryKind::Chaos,
+                                        AdversaryKind::CrashRandom,
+                                        AdversaryKind::Balancer};
+    if (has_schedule) {
+        kinds.push_back(AdversaryKind::CrashTargetedCoin);
+        kinds.push_back(AdversaryKind::WorstCase);
+    }
+    if (s.protocol == ProtocolKind::PhaseKing) kinds.push_back(AdversaryKind::KingKiller);
+    s.adversary = kinds[rng.below(kinds.size())];
+
+    const InputPattern inputs[] = {InputPattern::AllZero, InputPattern::AllOne,
+                                   InputPattern::Split, InputPattern::Random};
+    s.inputs = inputs[rng.below(std::size(inputs))];
+
+    // Keep the exponential-expected protocols on generous budgets so the
+    // liveness check below stays meaningful.
+    s.local_coin_phases = 1024;
+
+    cell.describe = to_string(s.protocol) + " vs " + to_string(s.adversary) + " n=" +
+                    std::to_string(s.n) + " t=" + std::to_string(s.t) + " q=" +
+                    std::to_string(*s.q) + " in=" + to_string(s.inputs);
+    return cell;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, SafetyInvariantsHold) {
+    const FuzzCell cell = random_cell(GetParam());
+    const TrialResult r = run_trial(cell.scenario, mix64(GetParam()));
+    // Validity is unconditional; agreement is w.h.p. for the randomized
+    // protocols but the private-coin ones may stall within their budget —
+    // in that case nodes still must never violate validity, and the trial
+    // must at least have executed.
+    EXPECT_TRUE(r.validity_ok) << cell.describe;
+    EXPECT_GT(r.rounds, 0u) << cell.describe;
+    EXPECT_LE(r.metrics.corruptions, *cell.scenario.q) << cell.describe;
+    const bool exponential = cell.scenario.protocol == ProtocolKind::BenOr ||
+                             cell.scenario.protocol == ProtocolKind::LocalCoin;
+    const bool drift = cell.scenario.protocol == ProtocolKind::SamplingMajority;
+    if (!exponential && !drift) {
+        EXPECT_TRUE(r.agreement) << cell.describe;
+        EXPECT_TRUE(r.all_halted) << cell.describe;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random200, FuzzSweep, ::testing::Range<std::uint64_t>(0, 200));
+
+class MvFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvFuzzSweep, MultiValuedSafetyHolds) {
+    Xoshiro256 rng(mix64(GetParam() ^ 0xF123));
+    MvScenario s;
+    s.n = static_cast<NodeId>(10 + rng.below(87));
+    s.t = static_cast<Count>(rng.below((s.n - 1) / 3 + 1));
+    const MvInputPattern inputs[] = {MvInputPattern::AllSame, MvInputPattern::TwoBlocks,
+                                     MvInputPattern::Distinct, MvInputPattern::RandomTiny,
+                                     MvInputPattern::NearQuorum};
+    s.inputs = inputs[rng.below(std::size(inputs))];
+    const MvAdversaryKind kinds[] = {MvAdversaryKind::None, MvAdversaryKind::Chaos,
+                                     MvAdversaryKind::WorstCaseInner,
+                                     MvAdversaryKind::PreludePlusWorstCase};
+    s.adversary = kinds[rng.below(std::size(kinds))];
+    const MvTrialResult r = run_mv_trial(s, mix64(GetParam()));
+    EXPECT_TRUE(r.agreement) << "n=" << s.n << " t=" << s.t;
+    EXPECT_TRUE(r.validity_ok) << "n=" << s.n << " t=" << s.t;
+    EXPECT_TRUE(r.all_halted) << "n=" << s.n << " t=" << s.t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random120, MvFuzzSweep, ::testing::Range<std::uint64_t>(0, 120));
+
+}  // namespace
+}  // namespace adba::sim

@@ -1,0 +1,150 @@
+// Committee sizing (paper §3.2) and block-schedule tests.
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+
+namespace adba::core {
+namespace {
+
+TEST(BlockSchedule, EvenPartition) {
+    const auto s = BlockSchedule::make(12, 3);
+    EXPECT_EQ(s.num_blocks, 4u);
+    EXPECT_EQ(s.range(0), (std::pair<NodeId, NodeId>{0, 3}));
+    EXPECT_EQ(s.range(3), (std::pair<NodeId, NodeId>{9, 12}));
+    EXPECT_EQ(s.size(0), 3u);
+    EXPECT_EQ(s.size(3), 3u);
+}
+
+TEST(BlockSchedule, ShortLastBlock) {
+    // Paper: "the last committee may not be of size s" — handled exactly.
+    const auto s = BlockSchedule::make(10, 3);
+    EXPECT_EQ(s.num_blocks, 4u);
+    EXPECT_EQ(s.size(3), 1u);
+    EXPECT_EQ(s.range(3), (std::pair<NodeId, NodeId>{9, 10}));
+}
+
+TEST(BlockSchedule, MembershipMatchesRanges) {
+    const auto s = BlockSchedule::make(10, 3);
+    for (Count k = 0; k < s.num_blocks; ++k) {
+        const auto [first, last] = s.range(k);
+        for (NodeId v = 0; v < s.n; ++v) {
+            const bool inside = v >= first && v < last;
+            // flips_in_phase(v, p) with p == k (first cycle).
+            EXPECT_EQ(s.flips_in_phase(v, k), inside);
+        }
+    }
+}
+
+TEST(BlockSchedule, PhasesCycleThroughCommittees) {
+    const auto s = BlockSchedule::make(8, 2);  // 4 committees
+    EXPECT_EQ(s.committee_of_phase(0), 0u);
+    EXPECT_EQ(s.committee_of_phase(3), 3u);
+    EXPECT_EQ(s.committee_of_phase(4), 0u);
+    EXPECT_EQ(s.committee_of_phase(11), 3u);
+}
+
+TEST(BlockSchedule, BlockSizeClamped) {
+    const auto s = BlockSchedule::make(5, 100);
+    EXPECT_EQ(s.block, 5u);
+    EXPECT_EQ(s.num_blocks, 1u);
+    const auto s2 = BlockSchedule::make(5, 0);
+    EXPECT_EQ(s2.block, 1u);
+    EXPECT_EQ(s2.num_blocks, 5u);
+}
+
+TEST(RawCommitteeCount, MatchesPaperFormula) {
+    // n=1024, log2 n = 10, alpha=1:
+    //   c1 = ceil(t^2/n) * 10, c2 = 3t/10.
+    EXPECT_EQ(raw_committee_count(1024, 10, 1.0), 3u);     // min(10, 3)
+    EXPECT_EQ(raw_committee_count(1024, 32, 1.0), 10u);    // min(10, 9.6->10)... c2=9.6 -> ceil 10
+    EXPECT_EQ(raw_committee_count(1024, 100, 1.0), 30u);   // min(100, 30)
+    EXPECT_EQ(raw_committee_count(1024, 341, 1.0), 103u);  // min(1140, 102.3->103)
+}
+
+TEST(RawCommitteeCount, TZeroGivesOneCommittee) {
+    EXPECT_EQ(raw_committee_count(64, 0, 2.0), 1u);
+}
+
+TEST(RawCommitteeCount, ClampedToN) {
+    // Large alpha can push c above n; must clamp.
+    EXPECT_LE(raw_committee_count(16, 5, 64.0), 16u);
+}
+
+TEST(AgreementParams, WhpFloorApplies) {
+    // Small t: raw count would be tiny, but the w.h.p. floor gives
+    // gamma*log2(n) phases.
+    const auto p = AgreementParams::compute(256, 1, Tuning{2.0, 2.0, 1.0});
+    EXPECT_EQ(p.phases, 16u);  // gamma * log2(256) = 2*8
+    EXPECT_EQ(p.schedule.block, 16u);
+}
+
+TEST(AgreementParams, SecondRegimeMatchesChorCoanTerm) {
+    // t near n/3: min picks 3*alpha*t/log n.
+    const NodeId n = 1024;
+    const Count t = 341;
+    const auto p = AgreementParams::compute(n, t, Tuning{1.0, 1.0, 1.0});
+    EXPECT_EQ(p.phases, 103u);
+    EXPECT_EQ(p.schedule.block, ceil_div(n, 103));
+}
+
+TEST(AgreementParams, CommitteeSizeTimesCountCoversN) {
+    for (NodeId n : {16u, 64u, 100u, 256u, 1000u, 4096u}) {
+        for (Count t : {0u, 1u, n / 10, n / 4, (n - 1) / 3}) {
+            const auto p = AgreementParams::compute(n, t);
+            EXPECT_GE(static_cast<std::uint64_t>(p.schedule.block) * p.schedule.num_blocks,
+                      n);
+            EXPECT_GE(p.phases, 1u);
+            // Every node belongs to exactly one committee.
+            for (NodeId v = 0; v < n; v += std::max<NodeId>(1, n / 17)) {
+                Count owner = 0, found = 0;
+                for (Count k = 0; k < p.schedule.num_blocks; ++k) {
+                    const auto [a, b] = p.schedule.range(k);
+                    if (v >= a && v < b) {
+                        ++found;
+                        owner = k;
+                    }
+                }
+                EXPECT_EQ(found, 1u);
+                EXPECT_EQ(v / p.schedule.block, owner);
+            }
+        }
+    }
+}
+
+TEST(AgreementParams, RejectsTooManyByzantine) {
+    EXPECT_THROW(AgreementParams::compute(9, 3), ContractViolation);   // 3t = n
+    EXPECT_NO_THROW(AgreementParams::compute(10, 3));                  // 3t < n
+}
+
+TEST(AgreementParams, MonotoneInT) {
+    // More tolerated faults never means fewer phases (for fixed n, alpha).
+    const NodeId n = 512;
+    Count prev = 0;
+    for (Count t = 0; t < n / 3; t += 7) {
+        const auto p = AgreementParams::compute(n, t);
+        EXPECT_GE(p.phases, prev);
+        prev = p.phases;
+    }
+}
+
+TEST(AgreementParams, MaxRoundsCoversFlushPhase) {
+    const auto p = AgreementParams::compute(128, 20);
+    EXPECT_GE(max_rounds_whp(p), 2 * p.phases + 2);
+}
+
+TEST(AgreementParams, MinPicksSmallerTerm) {
+    // Both regimes must be reachable: at t = sqrt(n) the t^2/n term is ~1 so
+    // c1 = alpha*log n; deep in the second regime c2 < c1.
+    const NodeId n = 4096;  // log2 = 12
+    const auto small_t = AgreementParams::compute(n, 64, Tuning{1.0, 1.0, 1.0});
+    // c1 = ceil(4096/4096)*12 = 12, c2 = ceil(3*64/12) = 16 -> min 12.
+    EXPECT_EQ(small_t.phases, 12u);
+    const auto big_t = AgreementParams::compute(n, 1200, Tuning{1.0, 1.0, 1.0});
+    // c1 = ceil(1200^2/4096)*12 = 352*12 = 4224 -> clamped later; c2 = 300.
+    EXPECT_EQ(big_t.phases, 300u);
+}
+
+}  // namespace
+}  // namespace adba::core

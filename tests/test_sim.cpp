@@ -1,0 +1,197 @@
+// Experiment-harness tests: runner reproducibility, aggregation, input
+// patterns, and calibration of the macro-scale simulator against the
+// full-fidelity engine.
+#include <gtest/gtest.h>
+
+#include "sim/inputs.hpp"
+#include "sim/macro.hpp"
+#include "sim/runner.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+namespace {
+
+TEST(Inputs, Patterns) {
+    const SeedTree seeds(1);
+    const auto zero = make_inputs(InputPattern::AllZero, 8, seeds);
+    const auto one = make_inputs(InputPattern::AllOne, 8, seeds);
+    const auto split = make_inputs(InputPattern::Split, 8, seeds);
+    EXPECT_TRUE(unanimous(zero));
+    EXPECT_TRUE(unanimous(one));
+    EXPECT_FALSE(unanimous(split));
+    int ones = 0;
+    for (Bit b : split) ones += b;
+    EXPECT_EQ(ones, 4);  // alternating = perfectly balanced
+}
+
+TEST(Inputs, RandomIsSeedDeterministic) {
+    const SeedTree a(7), b(7), c(8);
+    EXPECT_EQ(make_inputs(InputPattern::Random, 64, a),
+              make_inputs(InputPattern::Random, 64, b));
+    EXPECT_NE(make_inputs(InputPattern::Random, 64, a),
+              make_inputs(InputPattern::Random, 64, c));
+}
+
+TEST(Runner, QDefaultsToTAndIsValidated) {
+    Scenario s;
+    s.n = 16;
+    s.t = 5;
+    s.q = 6;  // q > t is a contract violation
+    s.protocol = ProtocolKind::Ours;
+    s.adversary = AdversaryKind::WorstCase;
+    EXPECT_THROW(run_trial(s, 1), ContractViolation);
+}
+
+TEST(Runner, WorstCaseRequiresCommitteeProtocol) {
+    Scenario s;
+    s.n = 17;
+    s.t = 4;
+    s.protocol = ProtocolKind::PhaseKing;
+    s.adversary = AdversaryKind::WorstCase;
+    EXPECT_THROW(run_trial(s, 1), ContractViolation);
+}
+
+TEST(Runner, KingKillerRequiresPhaseKing) {
+    Scenario s;
+    s.n = 16;
+    s.t = 3;
+    s.protocol = ProtocolKind::Ours;
+    s.adversary = AdversaryKind::KingKiller;
+    EXPECT_THROW(run_trial(s, 1), ContractViolation);
+}
+
+TEST(Runner, AggregateCountsConsistent) {
+    Scenario s;
+    s.n = 32;
+    s.t = 8;
+    s.protocol = ProtocolKind::Ours;
+    s.adversary = AdversaryKind::WorstCase;
+    s.inputs = InputPattern::Split;
+    const Aggregate agg = run_trials(s, 3, 17);
+    EXPECT_EQ(agg.trials, 17u);
+    EXPECT_EQ(agg.rounds.count(), 17u);
+    EXPECT_EQ(agg.messages.count(), 17u);
+    EXPECT_EQ(agg.agreement_failures, 0u);
+}
+
+TEST(Runner, ScheduleOfMatchesProtocol) {
+    Scenario s;
+    s.n = 64;
+    s.t = 10;
+    s.protocol = ProtocolKind::Ours;
+    const auto sched = schedule_of(s);
+    ASSERT_TRUE(sched.has_value());
+    EXPECT_EQ(sched->n, 64u);
+    s.protocol = ProtocolKind::RabinDealer;
+    EXPECT_FALSE(schedule_of(s).has_value());
+}
+
+TEST(Runner, ToStringCoverage) {
+    EXPECT_EQ(to_string(ProtocolKind::Ours), "ours(alg3)");
+    EXPECT_EQ(to_string(ProtocolKind::PhaseKing), "phase-king");
+    EXPECT_EQ(to_string(AdversaryKind::WorstCase), "worst-case");
+    EXPECT_EQ(to_string(AdversaryKind::CrashTargetedCoin), "crash(targeted)");
+    EXPECT_EQ(to_string(InputPattern::Split), "split");
+}
+
+// -------------------------------------------------------------------- macro
+
+TEST(Macro, DeterministicPerSeed) {
+    MacroScenario m;
+    m.n = 1024;
+    m.t = 100;
+    m.q = 100;
+    const auto a = run_macro_trial(m, 5);
+    const auto b = run_macro_trial(m, 5);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.corruptions, b.corruptions);
+}
+
+TEST(Macro, ZeroCorruptionsEndsInThreePhases) {
+    MacroScenario m;
+    m.n = 4096;
+    m.t = 300;
+    m.q = 0;
+    const auto r = run_macro_trial(m, 9);
+    EXPECT_TRUE(r.agreement);
+    EXPECT_EQ(r.rounds, 6u);  // good phase 0 -> decide 1 -> flush 2
+    EXPECT_EQ(r.corruptions, 0u);
+}
+
+TEST(Macro, RoundsGrowWithQ) {
+    MacroScenario m;
+    m.n = 4096;
+    m.t = 1000;
+    double prev = 0.0;
+    for (std::uint64_t q : {0ull, 100ull, 400ull, 1000ull}) {
+        m.q = q;
+        double mean = 0.0;
+        const int trials = 10;
+        for (int i = 0; i < trials; ++i)
+            mean += static_cast<double>(run_macro_trial(m, 100 + static_cast<std::uint64_t>(i)).rounds);
+        mean /= trials;
+        EXPECT_GE(mean, prev) << "q=" << q;
+        prev = mean;
+    }
+}
+
+TEST(Macro, CalibratedAgainstMicroEngine) {
+    // The macro simulator must track the full engine's measured mean rounds
+    // under the same (n, t, worst-case adversary, split inputs) — within a
+    // modest tolerance, since the two draw different randomness.
+    for (const auto& [n, t] : std::vector<std::pair<NodeId, Count>>{
+             {128, 20}, {128, 40}, {256, 40}}) {
+        Scenario micro;
+        micro.n = n;
+        micro.t = t;
+        micro.protocol = ProtocolKind::Ours;
+        micro.adversary = AdversaryKind::WorstCase;
+        micro.inputs = InputPattern::Split;
+        const Aggregate micro_agg = run_trials(micro, 0x5151, 30);
+
+        MacroScenario macro;
+        macro.n = n;
+        macro.t = t;
+        macro.q = t;
+        double macro_mean = 0.0;
+        const int trials = 60;
+        for (int i = 0; i < trials; ++i)
+            macro_mean += static_cast<double>(run_macro_trial(macro, 0x7171 + static_cast<std::uint64_t>(i)).rounds);
+        macro_mean /= trials;
+
+        const double micro_mean = micro_agg.rounds.mean();
+        EXPECT_NEAR(macro_mean / micro_mean, 1.0, 0.25)
+            << "n=" << n << " t=" << t << " micro=" << micro_mean
+            << " macro=" << macro_mean;
+    }
+}
+
+TEST(Macro, SchedulesDiffer) {
+    // Ours vs Chor-Coan rushing at the same scale must use different phase
+    // budgets when the min picks the t^2/n term.
+    MacroScenario ours;
+    ours.n = 1 << 16;
+    ours.t = 256;  // = sqrt(n): firmly in the paper's improvement regime
+    ours.q = ours.t;
+    ours.schedule = MacroScheduleKind::Ours;
+    MacroScenario cc = ours;
+    cc.schedule = MacroScheduleKind::ChorCoanRushing;
+    const auto ro = run_macro_trial(ours, 3);
+    const auto rc = run_macro_trial(cc, 3);
+    EXPECT_LT(ro.phase_budget, rc.phase_budget);
+    EXPECT_GT(ro.committee_size, rc.committee_size);
+}
+
+TEST(Macro, ContractChecks) {
+    MacroScenario m;
+    m.n = 9;
+    m.t = 3;
+    m.q = 3;
+    EXPECT_THROW(run_macro_trial(m, 1), ContractViolation);  // 3t = n
+    m.n = 10;
+    m.q = 4;
+    EXPECT_THROW(run_macro_trial(m, 1), ContractViolation);  // q > t
+}
+
+}  // namespace
+}  // namespace adba::sim

@@ -1,0 +1,239 @@
+// Unit tests for src/support: contracts, math helpers, statistics, table
+// rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/contracts.hpp"
+#include "support/math.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace adba {
+namespace {
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsThrowsContractViolation) {
+    EXPECT_THROW(ADBA_EXPECTS(1 == 2), ContractViolation);
+}
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+    EXPECT_NO_THROW(ADBA_EXPECTS(2 + 2 == 4));
+}
+
+TEST(Contracts, MessageIsPreserved) {
+    try {
+        ADBA_EXPECTS_MSG(false, "the reason");
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("the reason"), std::string::npos);
+    }
+}
+
+TEST(Contracts, EnsuresThrows) { EXPECT_THROW(ADBA_ENSURES(false), ContractViolation); }
+
+// --------------------------------------------------------------------- math
+
+TEST(Math, CeilDiv) {
+    EXPECT_EQ(ceil_div(10, 3), 4u);
+    EXPECT_EQ(ceil_div(9, 3), 3u);
+    EXPECT_EQ(ceil_div(1, 1), 1u);
+    EXPECT_EQ(ceil_div(0, 5), 0u);
+    EXPECT_EQ(ceil_div(1000001, 1000), 1001u);
+}
+
+TEST(Math, CeilLog2) {
+    EXPECT_EQ(ceil_log2(1), 0u);
+    EXPECT_EQ(ceil_log2(2), 1u);
+    EXPECT_EQ(ceil_log2(3), 2u);
+    EXPECT_EQ(ceil_log2(4), 2u);
+    EXPECT_EQ(ceil_log2(5), 3u);
+    EXPECT_EQ(ceil_log2(1024), 10u);
+    EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Math, FloorLog2) {
+    EXPECT_EQ(floor_log2(1), 0u);
+    EXPECT_EQ(floor_log2(2), 1u);
+    EXPECT_EQ(floor_log2(3), 1u);
+    EXPECT_EQ(floor_log2(1024), 10u);
+    EXPECT_EQ(floor_log2(1535), 10u);
+}
+
+TEST(Math, Isqrt) {
+    EXPECT_EQ(isqrt(0), 0u);
+    EXPECT_EQ(isqrt(1), 1u);
+    EXPECT_EQ(isqrt(3), 1u);
+    EXPECT_EQ(isqrt(4), 2u);
+    EXPECT_EQ(isqrt(15), 3u);
+    EXPECT_EQ(isqrt(16), 4u);
+    EXPECT_EQ(isqrt(1ULL << 40), 1ULL << 20);
+    EXPECT_EQ(isqrt((1ULL << 40) - 1), (1ULL << 20) - 1);
+}
+
+TEST(Math, IsqrtIsMonotone) {
+    std::uint64_t prev = 0;
+    for (std::uint64_t x = 0; x < 5000; ++x) {
+        const auto r = isqrt(x);
+        EXPECT_GE(r, prev);
+        EXPECT_LE(r * r, x);
+        EXPECT_GT((r + 1) * (r + 1), x);
+        prev = r;
+    }
+}
+
+TEST(Math, SafeLog2ClampsToOne) {
+    EXPECT_DOUBLE_EQ(safe_log2(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(safe_log2(2.0), 1.0);
+    EXPECT_DOUBLE_EQ(safe_log2(1024.0), 10.0);
+    EXPECT_THROW(safe_log2(0.5), ContractViolation);
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(RunningStats, MeanAndVariance) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, EmptyMinThrows) {
+    RunningStats s;
+    EXPECT_THROW(s.min(), ContractViolation);
+}
+
+TEST(Samples, QuantilesExactOnSmallSet) {
+    Samples s;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Samples, QuantileInterpolates) {
+    Samples s;
+    s.add(0.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.35), 3.5);
+}
+
+TEST(Samples, StatsMatchRunningStats) {
+    RunningStats r;
+    Samples s;
+    for (int i = 0; i < 100; ++i) {
+        const double x = static_cast<double>((i * 37) % 101);
+        r.add(x);
+        s.add(x);
+    }
+    EXPECT_NEAR(r.mean(), s.mean(), 1e-9);
+    EXPECT_NEAR(r.stddev(), s.stddev(), 1e-9);
+    EXPECT_DOUBLE_EQ(r.min(), s.min());
+    EXPECT_DOUBLE_EQ(r.max(), s.max());
+}
+
+TEST(Samples, AddAfterQuantileKeepsConsistency) {
+    Samples s;
+    s.add(5.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    s.add(0.5);  // must re-sort lazily
+    EXPECT_DOUBLE_EQ(s.min(), 0.5);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, MarkdownShape) {
+    Table t("Demo");
+    t.set_header({"a", "long-column"});
+    t.add_row({"1", "x"});
+    t.add_row({"22", "yy"});
+    const std::string md = t.to_markdown();
+    EXPECT_NE(md.find("### Demo"), std::string::npos);
+    EXPECT_NE(md.find("| a "), std::string::npos);
+    EXPECT_NE(md.find("long-column"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(md.find("|--"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+    Table t("x");
+    t.set_header({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, HeaderAfterRowsRejected) {
+    Table t("x");
+    t.set_header({"a"});
+    t.add_row({"1"});
+    EXPECT_THROW(t.set_header({"b"}), ContractViolation);
+}
+
+TEST(Table, CsvEscaping) {
+    Table t("x");
+    t.set_header({"name", "value"});
+    t.add_row({"with,comma", "with\"quote"});
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+// ---------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesEqualsForm) {
+    const char* argv[] = {"prog", "--n=256", "--alpha=2.5", "--verbose"};
+    Cli cli(4, const_cast<char**>(argv));
+    EXPECT_EQ(cli.get_int("n", 0), 256);
+    EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 2.5);
+    EXPECT_TRUE(cli.get_bool("verbose", false));
+    EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+    const char* argv[] = {"prog", "--trials", "50"};
+    Cli cli(3, const_cast<char**>(argv));
+    EXPECT_EQ(cli.get_int("trials", 0), 50);
+}
+
+TEST(Cli, IntList) {
+    const char* argv[] = {"prog", "--t=1,2,30"};
+    Cli cli(2, const_cast<char**>(argv));
+    const auto xs = cli.get_int_list("t", {});
+    ASSERT_EQ(xs.size(), 3u);
+    EXPECT_EQ(xs[0], 1);
+    EXPECT_EQ(xs[1], 2);
+    EXPECT_EQ(xs[2], 30);
+}
+
+TEST(Cli, BenchmarkFlagsPassThrough) {
+    const char* argv[] = {"prog", "--benchmark_filter=all", "--n=4"};
+    Cli cli(3, const_cast<char**>(argv));
+    EXPECT_EQ(cli.get_int("n", 0), 4);
+    ASSERT_EQ(cli.passthrough().size(), 2u);
+    EXPECT_EQ(cli.passthrough()[1], "--benchmark_filter=all");
+}
+
+}  // namespace
+}  // namespace adba
