@@ -6,32 +6,35 @@
 
 #include "bench/common.hpp"
 #include "sim/macro.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace adba;
 
-void experiment(const Cli&) {
+void experiment(const Cli& cli) {
+    const auto trials = static_cast<Count>(cli.get_int("trials", 5));
     std::printf("E10: engine throughput (timing entries below); summary table of\n"
                 "per-trial work at representative sizes.\n");
+
+    sim::SweepGrid grid;
+    grid.base.protocol = sim::ProtocolKind::Ours;
+    grid.base.adversary = sim::AdversaryKind::WorstCase;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.ns = {64, 256, 512};
+    grid.t_of_n = [](NodeId n) { return static_cast<Count>((n - 1) / 3); };
+
     Table tab("E10: full-fidelity trial cost (worst-case adversary, split inputs)");
     tab.set_header({"n", "t", "mean rounds", "mean msgs/trial"});
-    for (NodeId n : {64u, 256u, 512u}) {
-        sim::Scenario s;
-        s.n = n;
-        s.t = (n - 1) / 3;
-        s.protocol = sim::ProtocolKind::Ours;
-        s.adversary = sim::AdversaryKind::WorstCase;
-        s.inputs = sim::InputPattern::Split;
-        const auto agg = sim::run_trials(s, 0xE10, 5);
-        tab.add_row({Table::num(std::uint64_t{n}),
-                     Table::num(std::uint64_t{(n - 1) / 3}),
-                     Table::num(agg.rounds.mean(), 1),
-                     Table::num(agg.messages.mean(), 0)});
+    for (const auto& o : sim::run_sweep(grid, 0xE10, trials)) {
+        tab.add_row({Table::num(std::uint64_t{o.row.scenario.n}),
+                     Table::num(std::uint64_t{o.row.scenario.t}),
+                     Table::num(o.agg.rounds.mean(), 1),
+                     Table::num(o.agg.messages.mean(), 0)});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e10_engine_cost");
 }
 
 void BM_engine_trial(benchmark::State& state) {
@@ -69,6 +72,7 @@ BENCHMARK(BM_macro_vs_micro)->Arg(256)->Arg(1 << 14)->Arg(1 << 20)
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -24,48 +24,55 @@ namespace {
 
 using namespace adba;
 
-struct E11Cell {
-    double agree_rate = 0.0;
-    double mean_first_agree = 0.0;
-    double p90_first_agree = 0.0;
+// Per-cell aggregate for the custom (observer-instrumented) trial loop —
+// runs on the executor via parallel_reduce like every standard runner.
+struct E11Agg {
+    Count trials = 0;
+    Count agreements = 0;
+    Samples first_agree;
+
+    void merge(const E11Agg& other) {
+        trials += other.trials;
+        agreements += other.agreements;
+        first_agree.merge(other.first_agree);
+    }
 };
 
-E11Cell run_cell(NodeId n, Count t, Count trials) {
-    Samples first_agree;
-    Count agreements = 0;
-    for (Count i = 0; i < trials; ++i) {
-        const SeedTree seeds(0xE11 + n * 1009ULL + t * 31ULL + i);
-        const auto params = base::SamplingMajorityParams::compute(n, t, 4.0);
-        auto nodes = base::make_sampling_majority_nodes(
-            params, sim::make_inputs(sim::InputPattern::Split, n, seeds), seeds);
-        adv::MajorityBalancerAdversary adversary({t, 0});
-        net::Engine eng({n, t, params.rounds + 1, false}, std::move(nodes), adversary);
-        Round first = params.rounds;
-        bool found = false;
-        eng.set_round_observer([&](Round r, const auto& live, const auto& honest) {
-            if (found) return;
-            std::optional<Bit> v;
-            for (NodeId u = 0; u < live.size(); ++u) {
-                if (!honest[u]) continue;
-                const Bit b = live[u]->current_value();
-                if (!v) {
-                    v = b;
-                } else if (*v != b) {
-                    return;
+E11Agg run_cell(NodeId n, Count t, Count trials) {
+    return sim::parallel_reduce<E11Agg>(trials, {}, [&](Count begin, Count end) {
+        E11Agg part;
+        part.trials = end - begin;
+        for (Count i = begin; i < end; ++i) {
+            const SeedTree seeds(0xE11 + n * 1009ULL + t * 31ULL + i);
+            const auto params = base::SamplingMajorityParams::compute(n, t, 4.0);
+            auto nodes = base::make_sampling_majority_nodes(
+                params, sim::make_inputs(sim::InputPattern::Split, n, seeds), seeds);
+            adv::MajorityBalancerAdversary adversary({t, 0});
+            net::Engine eng({n, t, params.rounds + 1, false}, std::move(nodes),
+                            adversary);
+            Round first = params.rounds;
+            bool found = false;
+            eng.set_round_observer([&](Round r, const auto& live, const auto& honest) {
+                if (found) return;
+                std::optional<Bit> v;
+                for (NodeId u = 0; u < live.size(); ++u) {
+                    if (!honest[u]) continue;
+                    const Bit b = live[u]->current_value();
+                    if (!v) {
+                        v = b;
+                    } else if (*v != b) {
+                        return;
+                    }
                 }
-            }
-            first = r;
-            found = true;
-        });
-        const auto res = eng.run();
-        if (res.agreement()) ++agreements;
-        first_agree.add(static_cast<double>(first));
-    }
-    E11Cell cell;
-    cell.agree_rate = 100.0 * agreements / trials;
-    cell.mean_first_agree = first_agree.mean();
-    cell.p90_first_agree = first_agree.quantile(0.9);
-    return cell;
+                first = r;
+                found = true;
+            });
+            const auto res = eng.run();
+            if (res.agreement()) ++part.agreements;
+            part.first_agree.add(static_cast<double>(first));
+        }
+        return part;
+    });
 }
 
 void experiment(const Cli& cli) {
@@ -81,14 +88,16 @@ void experiment(const Cli& cli) {
         for (double ratio : {0.0, 0.5, 1.0, 2.0, 4.0}) {
             auto t = static_cast<Count>(std::lround(ratio * sq));
             if (3 * t >= n) t = (n - 1) / 3;
-            const E11Cell cell = run_cell(n, t, trials);
+            const E11Agg cell = run_cell(n, t, trials);
             tab.add_row({Table::num(std::uint64_t{n}), Table::num(std::uint64_t{t}),
-                         Table::num(ratio, 1), Table::num(cell.agree_rate, 1),
-                         Table::num(cell.mean_first_agree, 1),
-                         Table::num(cell.p90_first_agree, 1)});
+                         Table::num(ratio, 1),
+                         Table::num(100.0 * cell.agreements / cell.trials, 1),
+                         Table::num(cell.first_agree.mean(), 1),
+                         Table::num(cell.first_agree.quantile(0.9), 1)});
         }
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e11_sampling_majority");
     std::printf(
         "Shape check vs paper §1.3: below the sqrt(n) scale the balancer only\n"
         "buys a handful of balanced rounds (its per-round bill is the Θ(sqrt n)\n"
@@ -113,6 +122,7 @@ BENCHMARK(BM_sampling_trial);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -7,34 +7,12 @@
 #include <iostream>
 
 #include "bench/common.hpp"
-#include "sim/multivalued_runner.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace adba;
-
-const char* pattern_name(sim::MvInputPattern p) {
-    switch (p) {
-        case sim::MvInputPattern::AllSame: return "all-same";
-        case sim::MvInputPattern::TwoBlocks: return "two-blocks";
-        case sim::MvInputPattern::Distinct: return "all-distinct";
-        case sim::MvInputPattern::RandomTiny: return "random(4)";
-        case sim::MvInputPattern::NearQuorum: return "near-quorum(60%)";
-    }
-    return "?";
-}
-
-const char* adversary_name(sim::MvAdversaryKind a) {
-    switch (a) {
-        case sim::MvAdversaryKind::None: return "none";
-        case sim::MvAdversaryKind::Chaos: return "chaos";
-        case sim::MvAdversaryKind::WorstCaseInner: return "worst-case(inner)";
-        case sim::MvAdversaryKind::PreludePlusWorstCase: return "prelude+worst-case";
-    }
-    return "?";
-}
 
 void experiment(const Cli& cli) {
     const auto n = static_cast<NodeId>(cli.get_int("n", 96));
@@ -43,31 +21,30 @@ void experiment(const Cli& cli) {
     std::printf("E12: multi-valued agreement (Turpin-Coan over Algorithm 3), n=%u, "
                 "t=%u, %u trials/cell.\n", n, t, trials);
 
+    sim::MvSweepGrid grid;
+    grid.base.n = n;
+    grid.base.t = t;
+    grid.inputs = {sim::MvInputPattern::AllSame, sim::MvInputPattern::TwoBlocks,
+                   sim::MvInputPattern::Distinct, sim::MvInputPattern::RandomTiny,
+                   sim::MvInputPattern::NearQuorum};
+    grid.adversaries = {sim::MvAdversaryKind::None, sim::MvAdversaryKind::WorstCaseInner,
+                        sim::MvAdversaryKind::PreludePlusWorstCase};
+
     Table tab("E12: multi-valued agreement across inputs x adversaries");
     tab.set_header({"inputs", "adversary", "agree %", "validity", "real-value %",
                     "mean rounds"});
-    for (auto pattern :
-         {sim::MvInputPattern::AllSame, sim::MvInputPattern::TwoBlocks,
-          sim::MvInputPattern::Distinct, sim::MvInputPattern::RandomTiny,
-          sim::MvInputPattern::NearQuorum}) {
-        for (auto adversary :
-             {sim::MvAdversaryKind::None, sim::MvAdversaryKind::WorstCaseInner,
-              sim::MvAdversaryKind::PreludePlusWorstCase}) {
-            sim::MvScenario s;
-            s.n = n;
-            s.t = t;
-            s.inputs = pattern;
-            s.adversary = adversary;
-            const auto agg = sim::run_mv_trials(s, 0xE12, trials);
-            tab.add_row({pattern_name(pattern), adversary_name(adversary),
-                         Table::num(100.0 * (agg.trials - agg.agreement_failures) /
-                                        agg.trials, 1),
-                         agg.validity_failures == 0 ? "ok" : "VIOLATED",
-                         Table::num(100.0 * agg.decided_real / agg.trials, 1),
-                         Table::num(agg.rounds.mean(), 1)});
-        }
+    for (const auto& o : sim::run_mv_sweep(grid, 0xE12, trials)) {
+        const auto& agg = o.agg;
+        tab.add_row({sim::to_string(o.row.scenario.inputs),
+                     sim::to_string(o.row.scenario.adversary),
+                     Table::num(100.0 * (agg.trials - agg.agreement_failures) /
+                                    agg.trials, 1),
+                     agg.validity_failures == 0 ? "ok" : "VIOLATED",
+                     Table::num(100.0 * agg.decided_real / agg.trials, 1),
+                     Table::num(agg.rounds.mean(), 1)});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e12_multivalued");
 
     // Overhead vs the plain binary protocol on the matching instance: a
     // unanimous binary run locks immediately, as does the unanimous
@@ -110,6 +87,7 @@ BENCHMARK(BM_mv_trial);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -14,7 +14,8 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "support/contracts.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -28,29 +29,41 @@ void experiment(const Cli& cli) {
     std::printf("E13: crash-fault lower-bound witness on Algorithm 3 (n=%u, budget "
                 "t=%u, %u trials).\n", n, t, trials);
 
+    sim::SweepGrid grid;
+    grid.base.n = n;
+    grid.base.t = t;
+    grid.base.protocol = sim::ProtocolKind::Ours;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.qs = {0, 5, 10, 20, 40, t};
+    grid.adversaries = {sim::AdversaryKind::CrashTargetedCoin,
+                        sim::AdversaryKind::WorstCase};
+    grid.filter = [t](const sim::Scenario& s) { return s.q.value_or(t) <= t; };
+    const auto outcomes = sim::run_sweep(grid, 0xE13, trials);
+
+    // Pair each q's crash row with its Byzantine row by scenario identity.
+    auto mean_of = [&](Count q, sim::AdversaryKind kind) {
+        for (const auto& o : outcomes)
+            if (*o.row.scenario.q == q && o.row.scenario.adversary == kind)
+                return o.agg.rounds.mean();
+        ADBA_ENSURES_MSG(false, "missing sweep cell for q=" + std::to_string(q));
+        return 0.0;
+    };
+
     Table tab("E13: rounds under adaptive crash vs Byzantine worst case");
     tab.set_header({"q", "crash rounds", "byzantine rounds", "crash/byz",
                     "BJBO LB t/sqrt(n log n)"});
-    for (Count q : {0u, 5u, 10u, 20u, 40u, t}) {
-        if (q > t) continue;
-        sim::Scenario crash;
-        crash.n = n;
-        crash.t = t;
-        crash.q = q;
-        crash.protocol = sim::ProtocolKind::Ours;
-        crash.adversary = sim::AdversaryKind::CrashTargetedCoin;
-        crash.inputs = sim::InputPattern::Split;
-        sim::Scenario byz = crash;
-        byz.adversary = sim::AdversaryKind::WorstCase;
-        const auto agg_crash = sim::run_trials(crash, 0xE13, trials);
-        const auto agg_byz = sim::run_trials(byz, 0xE13, trials);
-        tab.add_row({Table::num(std::uint64_t{q}), Table::num(agg_crash.rounds.mean(), 1),
-                     Table::num(agg_byz.rounds.mean(), 1),
-                     Table::num(agg_crash.rounds.mean() /
-                                    std::max(1.0, agg_byz.rounds.mean()), 2),
+    for (const auto& o : outcomes) {
+        if (o.row.scenario.adversary != sim::AdversaryKind::CrashTargetedCoin) continue;
+        const Count q = *o.row.scenario.q;
+        const double crash_mean = o.agg.rounds.mean();
+        const double byz_mean = mean_of(q, sim::AdversaryKind::WorstCase);
+        tab.add_row({Table::num(std::uint64_t{q}), Table::num(crash_mean, 1),
+                     Table::num(byz_mean, 1),
+                     Table::num(crash_mean / std::max(1.0, byz_mean), 2),
                      Table::num(an::rounds_lower_bound(double(n), double(q)), 2)});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e13_crash_lower_bound");
     std::printf(
         "Shape check vs paper: crash faults alone produce rounds growing with q\n"
         "(Theorem 1's message: the adaptive lower bound does not need Byzantine\n"
@@ -76,6 +89,7 @@ BENCHMARK(BM_crash_trial)->Arg(10)->Arg(85);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -12,7 +12,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
-#include "sim/coin_runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -25,27 +25,33 @@ void experiment(const Cli& cli) {
     std::printf("Definition 2 asks: P(common) >= delta and P(bit|common) in "
                 "[eps, 1-eps].\nPaper proof floor: delta >= 1/6 at f = sqrt(n)/2.\n");
 
+    const std::vector<NodeId> ns = {64, 256, 1024};
+    const std::vector<double> ratios = {0.0, 0.25, 0.5, 1.0, 1.5, 2.0};
+
+    sim::CoinSweepGrid grid;
+    grid.ns = ns;  // k defaults to n: Algorithm 1, every node flips
+    grid.f_ratios = ratios;
+    const auto outcomes = sim::run_coin_sweep(grid, 0xE1A, trials);
+
     Table t1("E1a: P(common) under the SPLIT attack, by f/sqrt(n)");
     t1.set_header({"n", "f=0", "0.25", "0.5 (thm)", "1.0", "1.5", "2.0",
                    "PZ tail floor @0.5"});
-    for (NodeId n : {64u, 256u, 1024u}) {
-        const double sq = std::sqrt(static_cast<double>(n));
+    auto it = outcomes.begin();
+    for (NodeId n : ns) {
         std::vector<std::string> row{Table::num(std::uint64_t{n})};
-        for (double ratio : {0.0, 0.25, 0.5, 1.0, 1.5, 2.0}) {
-            const auto f = static_cast<Count>(std::lround(ratio * sq));
-            const sim::CoinScenario s{n, n, f, adv::CoinAttack::Split, 0};
-            const auto agg = sim::run_coin_trials(s, 0xE1A + n + f, trials);
-            row.push_back(Table::num(agg.p_common(), 3));
-        }
-        row.push_back(
-            Table::num(an::coin_common_prob_lower(static_cast<double>(n), 0.5 * sq), 3));
+        for (std::size_t r = 0; r < ratios.size(); ++r, ++it)
+            row.push_back(Table::num(it->agg.p_common(), 3));
+        row.push_back(Table::num(
+            an::coin_common_prob_lower(static_cast<double>(n),
+                                       0.5 * std::sqrt(static_cast<double>(n))), 3));
         t1.add_row(std::move(row));
     }
     t1.print(std::cout);
+    benchutil::maybe_write_csv(cli, t1, "e1a_p_common");
 
     Table t2("E1b: P(value=1 | common) under the FORCE-BIT attack at f = sqrt(n)/2");
     t2.set_header({"n", "no attack", "force 1", "force 0", "Def.2(B) band"});
-    for (NodeId n : {64u, 256u, 1024u}) {
+    for (NodeId n : ns) {
         const auto f = static_cast<Count>(std::lround(0.5 * std::sqrt(double(n))));
         std::vector<std::string> row{Table::num(std::uint64_t{n})};
         {
@@ -63,6 +69,7 @@ void experiment(const Cli& cli) {
         t2.add_row(std::move(row));
     }
     t2.print(std::cout);
+    benchutil::maybe_write_csv(cli, t2, "e1b_force_bit");
     std::printf(
         "Shape check vs paper: P(common) at the theorem budget is a constant\n"
         "(~0.32 = 2*Phi(-1), independent of n; proof floor 1/6) and collapses\n"
@@ -92,6 +99,7 @@ BENCHMARK(BM_coin_trial_n1024);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

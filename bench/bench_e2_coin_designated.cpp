@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
-#include "sim/coin_runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -22,22 +22,25 @@ void experiment(const Cli& cli) {
     const auto trials = static_cast<Count>(cli.get_int("trials", 1200));
     std::printf("E2: designated-node common coin (Algorithm 2) at n=%u.\n", n);
 
+    const std::vector<double> ratios = {0.0, 0.25, 0.5, 1.0, 2.0};
+    sim::CoinSweepGrid grid;
+    grid.ns = {n};
+    grid.ks = {16, 64, 256, 1024};  // rows with k > n are skipped by the grid
+    grid.f_ratios = ratios;
+    const auto outcomes = sim::run_coin_sweep(grid, 0xE2, trials);
+
     Table t("E2: P(common) by committee size k and corruption budget f");
     t.set_header({"k", "f=0", "f=0.25*sqrt(k)", "f=0.5*sqrt(k) (cor.1)",
                   "f=sqrt(k)", "f=2*sqrt(k)"});
-    for (NodeId k : {16u, 64u, 256u, 1024u}) {
-        if (k > n) continue;
-        const double sq = std::sqrt(static_cast<double>(k));
-        std::vector<std::string> row{Table::num(std::uint64_t{k})};
-        for (double ratio : {0.0, 0.25, 0.5, 1.0, 2.0}) {
-            const auto f = static_cast<Count>(std::lround(ratio * sq));
-            const sim::CoinScenario s{n, k, f, adv::CoinAttack::Split, 0};
-            const auto agg = sim::run_coin_trials(s, 0xE2 + k * 7 + f, trials);
-            row.push_back(Table::num(agg.p_common(), 3));
-        }
+    for (std::size_t i = 0; i < outcomes.size(); i += ratios.size()) {
+        std::vector<std::string> row{
+            Table::num(std::uint64_t{outcomes[i].row.scenario.designated})};
+        for (std::size_t r = 0; r < ratios.size(); ++r)
+            row.push_back(Table::num(outcomes[i + r].agg.p_common(), 3));
         t.add_row(std::move(row));
     }
     t.print(std::cout);
+    benchutil::maybe_write_csv(cli, t, "e2_designated_coin");
     std::printf(
         "Shape check vs paper: every row shows the same profile — constant\n"
         "commonness through f = 0.5*sqrt(k), collapse by f = 2*sqrt(k) — i.e.\n"
@@ -59,6 +62,7 @@ BENCHMARK(BM_designated_coin)->Arg(16)->Arg(256);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -19,31 +19,13 @@
 #include "analysis/bounds.hpp"
 #include "analysis/related_work.hpp"
 #include "bench/common.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/math.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace adba;
-
-double mean_rounds(sim::ProtocolKind protocol, sim::AdversaryKind adversary, NodeId n,
-                   Count t, Count trials, Count* failures = nullptr,
-                   std::string* ci95 = nullptr) {
-    sim::Scenario s;
-    s.n = n;
-    s.t = t;
-    s.protocol = protocol;
-    s.adversary = adversary;
-    s.inputs = sim::InputPattern::Split;
-    const auto agg = sim::run_trials(s, 0xE3 + n * 131 + t, trials);
-    if (failures) *failures += agg.agreement_failures;
-    if (ci95) {
-        const auto ci = an::bootstrap_mean_ci(agg.rounds.values());
-        *ci95 = benchutil::ci_str(ci.lo, ci.hi);
-    }
-    return agg.rounds.mean();
-}
 
 void experiment(const Cli& cli) {
     const auto n = static_cast<NodeId>(cli.get_int("n", 256));
@@ -52,10 +34,6 @@ void experiment(const Cli& cli) {
     std::printf("E3: rounds vs t at n=%u (split inputs, strongest adversary per "
                 "protocol, %u trials/cell).\n", n, trials);
 
-    Count failures = 0;
-    Table t1("E3: measured mean rounds vs t (n=" + std::to_string(n) + ")");
-    t1.set_header({"t", "ours", "ours 95% CI", "cc-rushing", "cc-classic", "phase-king",
-                   "rabin-dealer", "thy ours", "thy cc", "thy det", "thy LB"});
     const auto sqrt_n = static_cast<Count>(isqrt(n));
     std::vector<Count> ts = {2,
                              sqrt_n / 2,
@@ -66,29 +44,49 @@ void experiment(const Cli& cli) {
                              static_cast<Count>((n - 1) / 3)};
     std::sort(ts.begin(), ts.end());
     ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+    sim::SweepGrid grid;
+    grid.base.n = n;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.ts = ts;
+    grid.protocols = {sim::ProtocolKind::Ours, sim::ProtocolKind::ChorCoanRushing,
+                      sim::ProtocolKind::ChorCoanClassic, sim::ProtocolKind::PhaseKing,
+                      sim::ProtocolKind::RabinDealer};
+    grid.adversary_of = sim::strongest_adversary;
+    grid.filter = [n](const sim::Scenario& s) {
+        return s.protocol != sim::ProtocolKind::PhaseKing || 4 * s.t < n;
+    };
+    const auto outcomes = sim::run_sweep(grid, 0xE3, trials);
+
+    auto cell = [&](Count t, sim::ProtocolKind p) -> const sim::Aggregate* {
+        for (const auto& o : outcomes)
+            if (o.row.scenario.t == t && o.row.scenario.protocol == p) return &o.agg;
+        return nullptr;
+    };
+
+    Count failures = 0;
+    for (const auto& o : outcomes) failures += o.agg.agreement_failures;
+
+    Table t1("E3: measured mean rounds vs t (n=" + std::to_string(n) + ")");
+    t1.set_header({"t", "ours", "ours 95% CI", "cc-rushing", "cc-classic", "phase-king",
+                   "rabin-dealer", "thy ours", "thy cc", "thy det", "thy LB"});
     for (Count t : ts) {
         std::vector<std::string> row{Table::num(std::uint64_t{t})};
-        std::string ours_ci;
+        const auto* ours = cell(t, sim::ProtocolKind::Ours);
+        row.push_back(Table::num(ours->rounds.mean(), 1));
+        const auto ci = an::bootstrap_mean_ci(ours->rounds.values());
+        row.push_back(benchutil::ci_str(ci.lo, ci.hi));
         row.push_back(Table::num(
-            mean_rounds(sim::ProtocolKind::Ours, sim::AdversaryKind::WorstCase, n, t,
-                        trials, &failures, &ours_ci), 1));
-        row.push_back(ours_ci);
+            cell(t, sim::ProtocolKind::ChorCoanRushing)->rounds.mean(), 1));
         row.push_back(Table::num(
-            mean_rounds(sim::ProtocolKind::ChorCoanRushing, sim::AdversaryKind::WorstCase,
-                        n, t, trials, &failures), 1));
-        row.push_back(Table::num(
-            mean_rounds(sim::ProtocolKind::ChorCoanClassic, sim::AdversaryKind::WorstCase,
-                        n, t, trials, &failures), 1));
-        if (4 * t < n) {
-            row.push_back(Table::num(
-                mean_rounds(sim::ProtocolKind::PhaseKing, sim::AdversaryKind::KingKiller,
-                            n, t, trials, &failures), 1));
+            cell(t, sim::ProtocolKind::ChorCoanClassic)->rounds.mean(), 1));
+        if (const auto* pk = cell(t, sim::ProtocolKind::PhaseKing)) {
+            row.push_back(Table::num(pk->rounds.mean(), 1));
         } else {
             row.push_back("n/a(t>=n/4)");
         }
         row.push_back(Table::num(
-            mean_rounds(sim::ProtocolKind::RabinDealer, sim::AdversaryKind::SplitVote, n,
-                        t, trials, &failures), 1));
+            cell(t, sim::ProtocolKind::RabinDealer)->rounds.mean(), 1));
         const auto dn = static_cast<double>(n);
         const auto dt = static_cast<double>(t);
         row.push_back(Table::num(an::rounds_ours(dn, dt), 1));
@@ -127,6 +125,7 @@ BENCHMARK(BM_ours_trial)->Arg(8)->Arg(42);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -29,12 +29,8 @@ double macro_mean(sim::MacroScheduleKind schedule, std::uint64_t n, std::uint64_
     m.t = t;
     m.q = t;
     m.schedule = schedule;
-    double sum = 0.0;
-    for (int i = 0; i < trials; ++i) {
-        const std::uint64_t seed = 0xE4 + n + 31 * static_cast<std::uint64_t>(i);
-        sum += static_cast<double>(sim::run_macro_trial(m, seed).rounds);
-    }
-    return sum / trials;
+    return sim::run_macro_trials(m, 0xE4 + n, static_cast<Count>(trials))
+        .rounds.mean();
 }
 
 template <typename TofN>
@@ -60,8 +56,8 @@ void regime_table(const char* title, TofN t_of_n, int trials, std::ostream& os) 
 
 void experiment(const Cli& cli) {
     const auto trials = static_cast<int>(cli.get_int("trials", 15));
-    std::printf("E4: scaling in n at fixed t-regimes (macro simulator, %d trials).\n\n",
-                trials);
+    std::printf("E4: scaling in n at fixed t-regimes (macro simulator, %d trials, "
+                "%u threads).\n\n", trials, sim::default_threads());
     regime_table("E4a: t = sqrt(n)  — the paper's near-optimal point",
                  [](double n) { return std::pow(n, 0.5); }, trials, std::cout);
     regime_table("E4b: t = n^0.6   — inside the improvement window",
@@ -92,6 +88,7 @@ BENCHMARK(BM_macro_trial);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

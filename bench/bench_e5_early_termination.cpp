@@ -10,7 +10,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -24,19 +24,21 @@ void experiment(const Cli& cli) {
     std::printf("E5: early termination — budget t=%u fixed, actual corruptions q "
                 "sweep (n=%u, %u trials).\n", t, n, trials);
 
+    sim::SweepGrid grid;
+    grid.base.n = n;
+    grid.base.t = t;
+    grid.base.protocol = sim::ProtocolKind::Ours;
+    grid.base.adversary = sim::AdversaryKind::WorstCase;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.qs = {0, 2, 5, 10, 20, 40, t};
+    grid.filter = [t](const sim::Scenario& s) { return s.q.value_or(t) <= t; };
+
     Table tab("E5: rounds vs actual corruptions q (worst-case adversary, split inputs)");
     tab.set_header({"q", "mean rounds", "p90 rounds", "max rounds", "mean corruptions",
                     "thy min(q^2logn/n, q/logn)", "agree %"});
-    for (Count q : {0u, 2u, 5u, 10u, 20u, 40u, t}) {
-        if (q > t) continue;
-        sim::Scenario s;
-        s.n = n;
-        s.t = t;
-        s.q = q;
-        s.protocol = sim::ProtocolKind::Ours;
-        s.adversary = sim::AdversaryKind::WorstCase;
-        s.inputs = sim::InputPattern::Split;
-        const auto agg = sim::run_trials(s, 0xE5 + q, trials);
+    for (const auto& o : sim::run_sweep(grid, 0xE5, trials)) {
+        const auto& agg = o.agg;
+        const Count q = *o.row.scenario.q;
         tab.add_row({Table::num(std::uint64_t{q}), Table::num(agg.rounds.mean(), 1),
                      Table::num(agg.rounds.quantile(0.9), 1),
                      Table::num(agg.rounds.max(), 0),
@@ -46,6 +48,7 @@ void experiment(const Cli& cli) {
                                     agg.trials, 1)});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e5_early_termination");
     std::printf(
         "Shape check vs paper: rounds grow with q, not with the budget t — at\n"
         "q=0 the very first committee coin ends the run (6 rounds flat); the\n"
@@ -70,6 +73,7 @@ BENCHMARK(BM_early_term)->Arg(0)->Arg(20);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

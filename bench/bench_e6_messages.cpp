@@ -11,7 +11,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -23,30 +23,28 @@ void experiment(const Cli& cli) {
     std::printf("E6: communication accounting (worst-case adversary, split inputs, "
                 "%u trials).\n", trials);
 
+    sim::SweepGrid grid;
+    grid.base.adversary = sim::AdversaryKind::WorstCase;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.ns = {64, 128, 256};
+    grid.t_of_n = [](NodeId n) { return static_cast<Count>((n - 1) / 3); };
+    grid.protocols = {sim::ProtocolKind::Ours, sim::ProtocolKind::ChorCoanRushing};
+
     Table tab("E6: measured messages/bits vs theory");
     tab.set_header({"n", "t", "protocol", "mean rounds", "mean msgs", "mean Mbits",
                     "thy msgs n^2*R", "thy LB n*t"});
-    for (NodeId n : {64u, 128u, 256u}) {
-        const Count t = (n - 1) / 3;
-        for (auto protocol :
-             {sim::ProtocolKind::Ours, sim::ProtocolKind::ChorCoanRushing}) {
-            sim::Scenario s;
-            s.n = n;
-            s.t = t;
-            s.protocol = protocol;
-            s.adversary = sim::AdversaryKind::WorstCase;
-            s.inputs = sim::InputPattern::Split;
-            const auto agg = sim::run_trials(s, 0xE6 + n, trials);
-            const double r = agg.rounds.mean();
-            tab.add_row({Table::num(std::uint64_t{n}), Table::num(std::uint64_t{t}),
-                         sim::to_string(protocol), Table::num(r, 1),
-                         Table::num(agg.messages.mean(), 0),
-                         Table::num(agg.bits.mean() / 1e6, 2),
-                         Table::num(double(n) * n * r, 0),
-                         Table::num(double(n) * t, 0)});
-        }
+    for (const auto& o : sim::run_sweep(grid, 0xE6, trials)) {
+        const auto& s = o.row.scenario;
+        const double r = o.agg.rounds.mean();
+        tab.add_row({Table::num(std::uint64_t{s.n}), Table::num(std::uint64_t{s.t}),
+                     sim::to_string(s.protocol), Table::num(r, 1),
+                     Table::num(o.agg.messages.mean(), 0),
+                     Table::num(o.agg.bits.mean() / 1e6, 2),
+                     Table::num(double(s.n) * s.n * r, 0),
+                     Table::num(double(s.n) * s.t, 0)});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e6_messages");
     std::printf(
         "Shape check vs paper: measured messages sit just under n^2 x rounds\n"
         "(halting nodes stop broadcasting), i.e. message complexity is rounds-\n"
@@ -70,6 +68,7 @@ BENCHMARK(BM_message_accounting)->Arg(64)->Arg(256);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -10,7 +10,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -23,17 +23,19 @@ void experiment(const Cli& cli) {
     std::printf("E7: Las Vegas Algorithm 3 (n=%u, worst-case adversary, split inputs, "
                 "%u trials).\n", n, trials);
 
+    sim::SweepGrid grid;
+    grid.base.n = n;
+    grid.base.protocol = sim::ProtocolKind::OursLasVegas;
+    grid.base.adversary = sim::AdversaryKind::WorstCase;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.ts = {5, 10, 20, 30, static_cast<Count>((n - 1) / 3)};
+
     Table tab("E7: termination-round distribution of the Las Vegas variant");
     tab.set_header({"t", "agree %", "halted %", "mean", "p50", "p90", "p99", "max",
                     "thy E[rounds]"});
-    for (Count t : {5u, 10u, 20u, 30u, static_cast<Count>((n - 1) / 3)}) {
-        sim::Scenario s;
-        s.n = n;
-        s.t = t;
-        s.protocol = sim::ProtocolKind::OursLasVegas;
-        s.adversary = sim::AdversaryKind::WorstCase;
-        s.inputs = sim::InputPattern::Split;
-        const auto agg = sim::run_trials(s, 0xE7 + t, trials);
+    for (const auto& o : sim::run_sweep(grid, 0xE7, trials)) {
+        const auto& agg = o.agg;
+        const Count t = o.row.scenario.t;
         tab.add_row({Table::num(std::uint64_t{t}),
                      Table::num(100.0 * (agg.trials - agg.agreement_failures) /
                                     agg.trials, 1),
@@ -46,6 +48,7 @@ void experiment(const Cli& cli) {
                      Table::num(an::rounds_ours(double(n), double(t)), 1)});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e7_las_vegas");
     std::printf(
         "Shape check vs paper: 100%% agreement and termination at every t (the\n"
         "Las Vegas guarantee); the distribution is tight around the budget-bound\n"
@@ -69,6 +72,7 @@ BENCHMARK(BM_las_vegas_trial);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

@@ -11,7 +11,7 @@
 
 #include "bench/common.hpp"
 #include "core/params.hpp"
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -25,21 +25,25 @@ void experiment(const Cli& cli) {
     std::printf("E9: committee-sizing ablation (n=%u, t=%u — the hardest cell — "
                 "%u trials).\n", n, t, trials);
 
-    Table tab("E9a: alpha sweep at maximal t (worst-case adversary, split inputs)");
-    tab.set_header({"alpha", "phases c", "committee s", "agree %", "mean rounds",
-                    "analysis needs"});
+    sim::SweepGrid grid_a;
+    grid_a.base.n = n;
+    grid_a.base.t = t;
+    grid_a.base.protocol = sim::ProtocolKind::Ours;
+    grid_a.base.adversary = sim::AdversaryKind::WorstCase;
+    grid_a.base.inputs = sim::InputPattern::Split;
     for (double alpha : {1.0, 2.0, 4.0, 8.0, 18.0}) {
         core::Tuning tune;
         tune.alpha = alpha;
-        sim::Scenario s;
-        s.n = n;
-        s.t = t;
-        s.protocol = sim::ProtocolKind::Ours;
-        s.adversary = sim::AdversaryKind::WorstCase;
-        s.inputs = sim::InputPattern::Split;
-        s.tuning = tune;
-        const auto params = core::AgreementParams::compute(n, t, tune);
-        const auto agg = sim::run_trials(s, 0xE9A, trials);
+        grid_a.tunings.push_back(tune);
+    }
+
+    Table tab("E9a: alpha sweep at maximal t (worst-case adversary, split inputs)");
+    tab.set_header({"alpha", "phases c", "committee s", "agree %", "mean rounds",
+                    "analysis needs"});
+    for (const auto& o : sim::run_sweep(grid_a, 0xE9A, trials)) {
+        const double alpha = o.row.scenario.tuning.alpha;
+        const auto params = core::AgreementParams::compute(n, t, o.row.scenario.tuning);
+        const auto& agg = o.agg;
         tab.add_row({Table::num(alpha, 1), Table::num(std::uint64_t{params.phases}),
                      Table::num(std::uint64_t{params.schedule.block}),
                      Table::num(100.0 * (agg.trials - agg.agreement_failures) /
@@ -48,46 +52,54 @@ void experiment(const Cli& cli) {
                      alpha >= 18.0 ? "alpha-4*sqrt(alpha)>=1 holds" : "below paper's constant"});
     }
     tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e9a_alpha_sweep");
+
+    sim::SweepGrid grid_b;
+    grid_b.base.n = n;
+    grid_b.base.t = t;
+    grid_b.base.protocol = sim::ProtocolKind::Ours;
+    grid_b.base.inputs = sim::InputPattern::AllOne;
+    grid_b.adversaries = {sim::AdversaryKind::WorstCase, sim::AdversaryKind::SplitVote,
+                          sim::AdversaryKind::CrashTargetedCoin, sim::AdversaryKind::Chaos};
 
     Table tab2("E9b: validity fast path (Lemma 2) — unanimous inputs, any adversary");
     tab2.set_header({"adversary", "agree %", "validity", "mean rounds"});
-    for (auto kind : {sim::AdversaryKind::WorstCase, sim::AdversaryKind::SplitVote,
-                      sim::AdversaryKind::CrashTargetedCoin, sim::AdversaryKind::Chaos}) {
-        sim::Scenario s;
-        s.n = n;
-        s.t = t;
-        s.protocol = sim::ProtocolKind::Ours;
-        s.adversary = kind;
-        s.inputs = sim::InputPattern::AllOne;
-        const auto agg = sim::run_trials(s, 0xE9B, trials / 2);
-        tab2.add_row({sim::to_string(kind),
+    for (const auto& o : sim::run_sweep(grid_b, 0xE9B, trials / 2)) {
+        const auto& agg = o.agg;
+        tab2.add_row({sim::to_string(o.row.scenario.adversary),
                       Table::num(100.0 * (agg.trials - agg.agreement_failures) /
                                      agg.trials, 1),
                       agg.validity_failures == 0 ? "ok" : "VIOLATED",
                       Table::num(agg.rounds.mean(), 1)});
     }
     tab2.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab2, "e9b_validity_fast_path");
 
-    Table tab3("E9c: gamma phase-floor at tiny t (floor = ceil(gamma*log2 n) phases)");
-    tab3.set_header({"gamma", "phases at t=1", "agree %", "mean rounds"});
+    sim::SweepGrid grid_c;
+    grid_c.base.n = n;
+    grid_c.base.t = 1;
+    grid_c.base.protocol = sim::ProtocolKind::Ours;
+    grid_c.base.adversary = sim::AdversaryKind::WorstCase;
+    grid_c.base.inputs = sim::InputPattern::Split;
     for (double gamma : {1.0, 2.0, 4.0}) {
         core::Tuning tune;
         tune.gamma = gamma;
-        sim::Scenario s;
-        s.n = n;
-        s.t = 1;
-        s.protocol = sim::ProtocolKind::Ours;
-        s.adversary = sim::AdversaryKind::WorstCase;
-        s.inputs = sim::InputPattern::Split;
-        s.tuning = tune;
-        const auto params = core::AgreementParams::compute(n, 1, tune);
-        const auto agg = sim::run_trials(s, 0xE9C, trials / 2);
-        tab3.add_row({Table::num(gamma, 1), Table::num(std::uint64_t{params.phases}),
+        grid_c.tunings.push_back(tune);
+    }
+
+    Table tab3("E9c: gamma phase-floor at tiny t (floor = ceil(gamma*log2 n) phases)");
+    tab3.set_header({"gamma", "phases at t=1", "agree %", "mean rounds"});
+    for (const auto& o : sim::run_sweep(grid_c, 0xE9C, trials / 2)) {
+        const auto params = core::AgreementParams::compute(n, 1, o.row.scenario.tuning);
+        const auto& agg = o.agg;
+        tab3.add_row({Table::num(o.row.scenario.tuning.gamma, 1),
+                      Table::num(std::uint64_t{params.phases}),
                       Table::num(100.0 * (agg.trials - agg.agreement_failures) /
                                      agg.trials, 1),
                       Table::num(agg.rounds.mean(), 1)});
     }
     tab3.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab3, "e9c_gamma_floor");
     std::printf(
         "Shape check: E9a shows the measured w.h.p. boundary — small alpha gives\n"
         "the adversary enough budget-per-phase to ruin everything at this scale;\n"
@@ -108,6 +120,7 @@ BENCHMARK(BM_params_compute);
 
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
+    adba::benchutil::init_threads(cli);
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

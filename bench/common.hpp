@@ -3,18 +3,31 @@
 // Every bench prints its reproduction table(s) first (the deliverable that
 // EXPERIMENTS.md records) and then runs its google-benchmark timing entries
 // so `for b in build/bench/*; do $b; done` produces both.
+//
+// Common CLI contract (on top of each bench's own flags):
+//   --threads=N   worker threads for the Monte-Carlo executor
+//                 (default: hardware concurrency; results are bit-identical
+//                 at any thread count)
+//   --trials=N    trials per scenario cell
+//   --csv_dir=DIR also dump each table as DIR/<slug>.csv
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <fstream>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "sim/executor.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace adba::benchutil {
+
+/// Applies `--threads` (default: hardware concurrency) as the process-wide
+/// executor default and returns the resolved count. Call once at the top of
+/// main(), before any experiment runs.
+inline unsigned init_threads(const Cli& cli) { return sim::init_threads(cli); }
 
 /// Hands the non-experiment arguments (argv[0] + --benchmark_* flags) to
 /// google-benchmark and runs the registered entries.
@@ -30,12 +43,14 @@ inline void run_benchmark_tail(const Cli& cli) {
 }
 
 /// With `--csv_dir=DIR`, also dumps the table as DIR/<slug>.csv so plots
-/// and EXPERIMENTS.md extraction stay mechanical.
+/// and EXPERIMENTS.md extraction stay mechanical. Creates DIR if absent and
+/// throws (loudly) when the file cannot be written — a silently dropped
+/// reproduction table is worse than a crash.
 inline void maybe_write_csv(const Cli& cli, const Table& table, const std::string& slug) {
     const std::string dir = cli.get("csv_dir", "");
     if (dir.empty()) return;
-    std::ofstream out(dir + "/" + slug + ".csv");
-    out << table.to_csv();
+    const std::string path = write_csv(table, dir, slug);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 /// Formats a bootstrap CI as "lo..hi".

@@ -3,11 +3,11 @@
 // robustness claim ("works under the powerful adaptive rushing adversary"):
 // agreement must hold against all of them; only the measured rounds differ.
 //
-// Usage: adversary_gauntlet [--n=128] [--t=40] [--trials=20]
+// Usage: adversary_gauntlet [--n=128] [--t=40] [--trials=20] [--threads=N]
 #include <cstdio>
 #include <iostream>
 
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -18,30 +18,31 @@ int main(int argc, char** argv) {
     const auto n = static_cast<NodeId>(cli.get_int("n", 128));
     const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
+    sim::init_threads(cli);
 
     std::printf("Algorithm 3 on n=%u, t=%u, split inputs, %u trials per adversary.\n", n,
                 t, trials);
 
-    Table table("Adversary gauntlet (ours, split inputs)");
-    table.set_header({"adversary", "agree %", "validity", "mean rounds", "p90 rounds",
-                      "mean corruptions"});
-    const AdversaryKind kinds[] = {
+    sim::SweepGrid grid;
+    grid.base.n = n;
+    grid.base.t = t;
+    grid.base.protocol = sim::ProtocolKind::Ours;
+    grid.base.inputs = sim::InputPattern::Split;
+    grid.adversaries = {
         AdversaryKind::None,        AdversaryKind::Static,
         AdversaryKind::SplitVote,   AdversaryKind::Chaos,
         AdversaryKind::CrashRandom, AdversaryKind::CrashTargetedCoin,
         AdversaryKind::WorstCase,
     };
-    for (AdversaryKind kind : kinds) {
-        sim::Scenario s;
-        s.n = n;
-        s.t = t;
-        s.protocol = sim::ProtocolKind::Ours;
-        s.adversary = kind;
-        s.inputs = sim::InputPattern::Split;
-        const auto agg = sim::run_trials(s, 0x6A0, trials);
+
+    Table table("Adversary gauntlet (ours, split inputs)");
+    table.set_header({"adversary", "agree %", "validity", "mean rounds", "p90 rounds",
+                      "mean corruptions"});
+    for (const auto& o : sim::run_sweep(grid, 0x6A0, trials)) {
+        const auto& agg = o.agg;
         const double agree =
             100.0 * (agg.trials - agg.agreement_failures) / agg.trials;
-        table.add_row({sim::to_string(kind), Table::num(agree, 1),
+        table.add_row({sim::to_string(o.row.scenario.adversary), Table::num(agree, 1),
                        agg.validity_failures == 0 ? "ok" : "VIOLATED",
                        Table::num(agg.rounds.mean(), 1),
                        Table::num(agg.rounds.quantile(0.9), 1),

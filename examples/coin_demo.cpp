@@ -4,13 +4,13 @@
 // adaptive rushing adversary's budget grows past the ½·sqrt(n) threshold of
 // Theorem 3 — the "defense perimeter" of the whole agreement protocol.
 //
-// Usage: coin_demo [--n=256] [--trials=2000]
+// Usage: coin_demo [--n=256] [--trials=2000] [--threads=N]
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
 #include "analysis/bounds.hpp"
-#include "sim/coin_runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/math.hpp"
 #include "support/table.hpp"
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
     const Cli cli(argc, argv);
     const auto n = static_cast<NodeId>(cli.get_int("n", 256));
     const auto trials = static_cast<Count>(cli.get_int("trials", 2000));
+    sim::init_threads(cli);
     const double sqrt_n = std::sqrt(static_cast<double>(n));
 
     std::printf("Algorithm 1: every node flips ±1, broadcasts, outputs sign of sum.\n");
@@ -27,18 +28,21 @@ int main(int argc, char** argv) {
     std::printf("Theorem 3: with f <= 0.5*sqrt(n) = %.1f this is a common coin.\n\n",
                 0.5 * sqrt_n);
 
+    sim::CoinSweepGrid grid;
+    grid.ns = {n};
+    grid.f_ratios = {0.0, 0.25, 0.5, 1.0, 1.5, 2.0};
+
     Table table("Common coin vs adaptive corruption budget (n=" + std::to_string(n) +
                 ", " + std::to_string(trials) + " trials)");
     table.set_header({"f", "f/sqrt(n)", "P(common)", "P(1|common)",
                       "paper floor (1/6)", "attack feasible %"});
-    for (double ratio : {0.0, 0.25, 0.5, 1.0, 1.5, 2.0}) {
-        const auto f = static_cast<Count>(std::lround(ratio * sqrt_n));
-        const sim::CoinScenario s{n, n, f, adv::CoinAttack::Split, 0};
-        const auto agg = sim::run_coin_trials(s, 0xC01 + f, trials);
-        table.add_row({Table::num(std::uint64_t{f}), Table::num(ratio, 2),
+    for (const auto& o : sim::run_coin_sweep(grid, 0xC01, trials)) {
+        const auto& agg = o.agg;
+        table.add_row({Table::num(std::uint64_t{o.row.scenario.f}),
+                       Table::num(o.row.f_ratio, 2),
                        Table::num(agg.p_common(), 3),
                        Table::num(agg.p_one_given_common(), 3),
-                       ratio <= 0.5 ? "holds" : "n/a",
+                       o.row.f_ratio <= 0.5 ? "holds" : "n/a",
                        Table::num(100.0 * agg.attack_feasible / agg.trials, 1)});
     }
     table.print(std::cout);
@@ -47,19 +51,21 @@ int main(int argc, char** argv) {
                 "collapses soon after — the anti-concentration margin |S| ~ sqrt(n) is\n"
                 "exactly what the adversary must out-spend.\n");
 
+    sim::CoinSweepGrid dgrid;
+    dgrid.ns = {n};
+    dgrid.ks = {16, 64, 256};  // rows with k > n are skipped by the grid
+    const std::vector<double> dratios = {0.0, 0.5, 1.0, 2.0};
+    dgrid.f_ratios = dratios;
+    const auto doutcomes = sim::run_coin_sweep(dgrid, 0xC02, trials / 2);
+
     Table dtable("Designated-node variant (Algorithm 2, k flippers of n=" +
                  std::to_string(n) + ")");
     dtable.set_header({"k", "f=0", "f=sqrt(k)/2", "f=sqrt(k)", "f=2*sqrt(k)"});
-    for (NodeId k : {16u, 64u, 256u}) {
-        if (k > n) continue;
-        std::vector<std::string> row{Table::num(std::uint64_t{k})};
-        for (double ratio : {0.0, 0.5, 1.0, 2.0}) {
-            const auto f =
-                static_cast<Count>(std::lround(ratio * std::sqrt(static_cast<double>(k))));
-            const sim::CoinScenario s{n, k, f, adv::CoinAttack::Split, 0};
-            const auto agg = sim::run_coin_trials(s, 0xC02 + k + f, trials / 2);
-            row.push_back(Table::num(agg.p_common(), 3));
-        }
+    for (std::size_t i = 0; i < doutcomes.size(); i += dratios.size()) {
+        std::vector<std::string> row{
+            Table::num(std::uint64_t{doutcomes[i].row.scenario.designated})};
+        for (std::size_t r = 0; r < dratios.size(); ++r)
+            row.push_back(Table::num(doutcomes[i + r].agg.p_common(), 3));
         dtable.add_row(std::move(row));
     }
     dtable.print(std::cout);

@@ -2,7 +2,7 @@
 // (say, a leader id or an epoch hash) under an adaptive rushing adversary,
 // using the Turpin-Coan reduction over Algorithm 3.
 //
-// Usage: multivalued_demo [--n=96] [--t=31] [--trials=12]
+// Usage: multivalued_demo [--n=96] [--t=31] [--trials=12] [--threads=N]
 #include <cstdio>
 #include <iostream>
 
@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
     const auto n = static_cast<NodeId>(cli.get_int("n", 96));
     const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
     const auto trials = static_cast<Count>(cli.get_int("trials", 12));
+    sim::init_threads(cli);
 
     std::printf("Multi-valued BA (Turpin-Coan 1984 over Algorithm 3), n=%u, t=%u.\n", n,
                 t);

@@ -3,71 +3,74 @@
 // start. A miniature of experiment E3 — run bench_e3_rounds_vs_t for the
 // full sweep that regenerates the paper's comparison.
 //
-// Usage: protocol_race [--n=128] [--t=30] [--trials=20]
+// Usage: protocol_race [--n=128] [--t=30] [--trials=20] [--threads=N]
 #include <cstdio>
 #include <iostream>
 
-#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace adba;
-    using sim::AdversaryKind;
     using sim::ProtocolKind;
     const Cli cli(argc, argv);
     const auto n = static_cast<NodeId>(cli.get_int("n", 128));
     const auto t = static_cast<Count>(cli.get_int("t", 30));
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
+    sim::init_threads(cli);
 
     struct Entry {
         ProtocolKind protocol;
-        AdversaryKind adversary;
         const char* note;
     };
     const Entry entries[] = {
-        {ProtocolKind::Ours, AdversaryKind::WorstCase, "the paper (Theorem 2)"},
-        {ProtocolKind::OursLasVegas, AdversaryKind::WorstCase, "Las Vegas variant"},
-        {ProtocolKind::ChorCoanRushing, AdversaryKind::WorstCase,
-         "Chor-Coan, rushing-hardened"},
-        {ProtocolKind::ChorCoanClassic, AdversaryKind::WorstCase,
-         "Chor-Coan 1985 (log-size groups)"},
-        {ProtocolKind::RabinDealer, AdversaryKind::SplitVote,
-         "Rabin 1983, trusted dealer coin"},
-        {ProtocolKind::PhaseKing, AdversaryKind::KingKiller,
-         "deterministic O(t) baseline"},
-        {ProtocolKind::BenOr, AdversaryKind::SplitVote,
-         "Ben-Or 1983, private coins (t<n/5)"},
-        {ProtocolKind::SamplingMajority, AdversaryKind::Balancer,
-         "APR 2013 sampling-majority (paper §1.3)"},
+        {ProtocolKind::Ours, "the paper (Theorem 2)"},
+        {ProtocolKind::OursLasVegas, "Las Vegas variant"},
+        {ProtocolKind::ChorCoanRushing, "Chor-Coan, rushing-hardened"},
+        {ProtocolKind::ChorCoanClassic, "Chor-Coan 1985 (log-size groups)"},
+        {ProtocolKind::RabinDealer, "Rabin 1983, trusted dealer coin"},
+        {ProtocolKind::PhaseKing, "deterministic O(t) baseline"},
+        {ProtocolKind::BenOr, "Ben-Or 1983, private coins (t<n/5)"},
+        {ProtocolKind::SamplingMajority, "APR 2013 sampling-majority (paper §1.3)"},
     };
 
-    std::printf("n=%u, t=%u, split inputs, %u trials per protocol.\n", n, t, trials);
+    sim::SweepGrid grid;
+    grid.base.n = n;
+    grid.base.t = t;
+    grid.base.inputs = sim::InputPattern::Split;
+    for (const auto& e : entries) grid.protocols.push_back(e.protocol);
+    grid.adversary_of = sim::strongest_adversary;
+    grid.filter = [n](const sim::Scenario& s) {
+        if (s.protocol == ProtocolKind::PhaseKing) return 4 * s.t < s.n;
+        if (s.protocol == ProtocolKind::BenOr) return 5 * s.t < s.n;
+        (void)n;
+        return true;
+    };
+    const auto outcomes = sim::run_sweep(grid, 0xACE, trials);
+
+    std::printf("n=%u, t=%u, split inputs, %u trials per protocol, %u threads.\n", n, t,
+                trials, sim::default_threads());
     Table table("Protocol race at (n=" + std::to_string(n) + ", t=" + std::to_string(t) +
                 ")");
     table.set_header({"protocol", "adversary", "agree %", "mean rounds", "max rounds",
                       "note"});
     for (const auto& e : entries) {
-        sim::Scenario s;
-        s.n = n;
-        s.t = t;
-        s.protocol = e.protocol;
-        s.adversary = e.adversary;
-        s.inputs = sim::InputPattern::Split;
-        if (e.protocol == ProtocolKind::PhaseKing && 4 * t >= n) {
-            table.add_row({sim::to_string(e.protocol), sim::to_string(e.adversary),
-                           "-", "-", "-", "skipped: needs t < n/4"});
+        const sim::SweepOutcome* o = nullptr;
+        for (const auto& candidate : outcomes)
+            if (candidate.row.scenario.protocol == e.protocol) o = &candidate;
+        const std::string adversary = sim::to_string(sim::strongest_adversary(e.protocol));
+        if (!o) {
+            const char* why = e.protocol == ProtocolKind::PhaseKing
+                                  ? "skipped: needs t < n/4"
+                                  : "skipped: needs t < n/5";
+            table.add_row({sim::to_string(e.protocol), adversary, "-", "-", "-", why});
             continue;
         }
-        if (e.protocol == ProtocolKind::BenOr && 5 * t >= n) {
-            table.add_row({sim::to_string(e.protocol), sim::to_string(e.adversary),
-                           "-", "-", "-", "skipped: needs t < n/5"});
-            continue;
-        }
-        const auto agg = sim::run_trials(s, 0xACE, trials);
+        const auto& agg = o->agg;
         const double agree =
             100.0 * (agg.trials - agg.agreement_failures) / agg.trials;
-        table.add_row({sim::to_string(e.protocol), sim::to_string(e.adversary),
+        table.add_row({sim::to_string(e.protocol), adversary,
                        Table::num(agree, 1), Table::num(agg.rounds.mean(), 1),
                        Table::num(agg.rounds.max(), 0), e.note});
     }

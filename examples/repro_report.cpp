@@ -4,7 +4,7 @@
 // For the full-fidelity tables run the bench binaries; this exists so a
 // reviewer can sanity-check the reproduction in one command.
 //
-// Usage: repro_report [--trials=12]
+// Usage: repro_report [--trials=12] [--threads=N]
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -82,19 +82,16 @@ void asymptotic_section(int trials) {
     for (std::uint64_t lg : {14ull, 20ull}) {
         const std::uint64_t n = 1ull << lg;
         const auto tt = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(n)));
-        double ours = 0, cc = 0;
-        for (int i = 0; i < trials; ++i) {
-            sim::MacroScenario m;
-            m.n = n;
-            m.t = tt;
-            m.q = tt;
-            m.schedule = sim::MacroScheduleKind::Ours;
-            ours += static_cast<double>(
-                sim::run_macro_trial(m, 0xA57 + static_cast<std::uint64_t>(i)).rounds);
-            m.schedule = sim::MacroScheduleKind::ChorCoanRushing;
-            cc += static_cast<double>(
-                sim::run_macro_trial(m, 0xA57 + static_cast<std::uint64_t>(i)).rounds);
-        }
+        sim::MacroScenario m;
+        m.n = n;
+        m.t = tt;
+        m.q = tt;
+        m.schedule = sim::MacroScheduleKind::Ours;
+        const double ours =
+            sim::run_macro_trials(m, 0xA57, static_cast<Count>(trials)).rounds.sum();
+        m.schedule = sim::MacroScheduleKind::ChorCoanRushing;
+        const double cc =
+            sim::run_macro_trials(m, 0xA57, static_cast<Count>(trials)).rounds.sum();
         t.add_row({Table::num(n), Table::num(ours / cc, 2)});
     }
     t.print(std::cout);
@@ -105,6 +102,7 @@ void asymptotic_section(int trials) {
 int main(int argc, char** argv) {
     const Cli cli(argc, argv);
     const auto trials = static_cast<Count>(cli.get_int("trials", 12));
+    sim::init_threads(cli);
     std::printf("# adba quick reproduction report\n\n"
                 "Reduced-scale pass over the headline claims of\n"
                 "Dufoulon-Pandurangan PODC 2025; see EXPERIMENTS.md for the "

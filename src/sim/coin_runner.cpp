@@ -32,19 +32,28 @@ CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed) {
     return out;
 }
 
+void CoinAggregate::merge(const CoinAggregate& other) {
+    trials += other.trials;
+    common += other.common;
+    common_ones += other.common_ones;
+    attack_feasible += other.attack_feasible;
+}
+
 CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
-                              Count trials) {
-    CoinAggregate agg;
-    agg.trials = trials;
-    for (Count i = 0; i < trials; ++i) {
-        const CoinTrial t = run_coin_trial(s, mix64(base_seed + 0x9e3779b1ULL * i));
-        if (t.common) {
-            ++agg.common;
-            if (t.value == 1) ++agg.common_ones;
+                              Count trials, const ExecutorConfig& exec) {
+    return parallel_reduce<CoinAggregate>(trials, exec, [&](Count begin, Count end) {
+        CoinAggregate part;
+        part.trials = end - begin;
+        for (Count i = begin; i < end; ++i) {
+            const CoinTrial t = run_coin_trial(s, mix64(base_seed + 0x9e3779b1ULL * i));
+            if (t.common) {
+                ++part.common;
+                if (t.value == 1) ++part.common_ones;
+            }
+            if (t.attack_feasible) ++part.attack_feasible;
         }
-        if (t.attack_feasible) ++agg.attack_feasible;
-    }
-    return agg;
+        return part;
+    });
 }
 
 double CoinAggregate::p_common() const {

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "adversary/coin_ruin.hpp"
+#include "sim/executor.hpp"
 #include "support/types.hpp"
 
 namespace adba::sim {
@@ -35,9 +36,14 @@ struct CoinAggregate {
     double p_common() const;
     /// P(bit = 1 | common); Definition 2(B) wants this in [ε, 1-ε].
     double p_one_given_common() const;
+
+    /// Order-independent (pure counters), kept symmetric with Aggregate.
+    void merge(const CoinAggregate& other);
 };
 
+/// Parallel over the executor; bit-identical at any thread count (per-trial
+/// seeds are an index-only function of base_seed).
 CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
-                              Count trials);
+                              Count trials, const ExecutorConfig& exec = {});
 
 }  // namespace adba::sim

@@ -1,0 +1,86 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace adba::sim {
+
+namespace {
+std::atomic<unsigned> g_default_threads{0};  // 0 = follow the hardware
+}  // namespace
+
+unsigned hardware_threads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned default_threads() {
+    const unsigned v = g_default_threads.load(std::memory_order_relaxed);
+    return v ? v : hardware_threads();
+}
+
+void set_default_threads(unsigned threads) {
+    g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+unsigned init_threads(const Cli& cli) {
+    auto threads = static_cast<unsigned>(
+        cli.get_int("threads", static_cast<std::int64_t>(hardware_threads())));
+    if (threads == 0) threads = 1;
+    set_default_threads(threads);
+    return threads;
+}
+
+namespace detail {
+
+Count auto_chunk(Count trials) {
+    // ~64 work units total keeps the pool balanced even when per-trial cost
+    // varies (early termination vs budget-bound runs) without measurable
+    // dispatch overhead; engine trials cost milliseconds each.
+    return std::clamp<Count>(trials / 64, 1, 1024);
+}
+
+void for_each_chunk(Count trials, Count chunk, unsigned threads,
+                    const std::function<void(std::size_t, Count, Count)>& body) {
+    const std::size_t num_chunks =
+        (static_cast<std::size_t>(trials) + chunk - 1) / chunk;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t ci = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (ci >= num_chunks) return;
+            const Count begin = static_cast<Count>(ci) * chunk;
+            const Count end = std::min<Count>(trials, begin + chunk);
+            try {
+                body(ci, begin, end);
+            } catch (...) {
+                {
+                    const std::lock_guard<std::mutex> lock(error_mu);
+                    if (!first_error) first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    const unsigned pool = static_cast<unsigned>(
+        std::min<std::size_t>(threads, num_chunks));
+    std::vector<std::thread> workers;
+    workers.reserve(pool > 0 ? pool - 1 : 0);
+    for (unsigned i = 1; i < pool; ++i) workers.emplace_back(worker);
+    worker();  // the calling thread participates
+    for (auto& w : workers) w.join();
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+}  // namespace adba::sim

@@ -1,0 +1,83 @@
+// Parallel Monte-Carlo executor: chunked work distribution over a pool of
+// worker threads, with deterministic, thread-count-invariant aggregation.
+//
+// Design rules that make parallel aggregates BIT-IDENTICAL to a serial run:
+//  * per-trial seeds are derived from (base_seed, trial index) exactly as the
+//    serial runners always did — never from the executing thread;
+//  * the trial range [0, trials) is split into fixed chunks whose boundaries
+//    depend only on (trials, chunk) — never on the thread count;
+//  * each chunk produces a partial aggregate by running its trials in index
+//    order, and partials are merged in chunk-index order, so every Samples
+//    buffer ends up in exactly the serial observation order.
+// Any thread count (including 1) therefore yields the same aggregate, which
+// the executor tests enforce.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/types.hpp"
+
+namespace adba::sim {
+
+/// Per-call executor knobs. The zero defaults resolve to the process-wide
+/// thread default (settable from `--threads`) and an automatic chunk size.
+struct ExecutorConfig {
+    unsigned threads = 0;  ///< 0 = default_threads()
+    Count chunk = 0;       ///< trials per work unit; 0 = auto_chunk(trials)
+};
+
+/// std::thread::hardware_concurrency(), clamped to at least 1.
+unsigned hardware_threads();
+
+/// Process-wide default thread count used when ExecutorConfig::threads is 0.
+/// Starts at hardware_threads(); bench binaries override it from --threads.
+unsigned default_threads();
+void set_default_threads(unsigned threads);
+
+/// Applies `--threads` (default: hardware concurrency, explicit 0 clamped to
+/// serial) as the process-wide default and returns the resolved count. The
+/// one entry point bench binaries and examples share for the flag.
+unsigned init_threads(const Cli& cli);
+
+namespace detail {
+
+/// Chunk size heuristic: small enough to load-balance a pool, large enough
+/// to amortize dispatch. Depends only on the trial count (determinism rule).
+Count auto_chunk(Count trials);
+
+/// Runs body(chunk_index, begin, end) for the consecutive chunks covering
+/// [0, trials). Worker threads claim chunks off a shared atomic cursor; the
+/// first exception thrown by any chunk is rethrown on the calling thread
+/// after all workers join.
+void for_each_chunk(Count trials, Count chunk, unsigned threads,
+                    const std::function<void(std::size_t, Count, Count)>& body);
+
+}  // namespace detail
+
+/// Runs `per_chunk(begin, end)` over [0, trials) and merges the partial
+/// aggregates in chunk-index order via `Agg::merge`. `per_chunk` must be a
+/// pure function of its index range (thread-safe by construction).
+template <typename Agg, typename PerChunk>
+Agg parallel_reduce(Count trials, const ExecutorConfig& cfg, PerChunk&& per_chunk) {
+    if (trials == 0) return Agg{};
+    const unsigned threads = cfg.threads ? cfg.threads : default_threads();
+    const Count chunk = cfg.chunk ? cfg.chunk : detail::auto_chunk(trials);
+    if (threads <= 1 || trials <= chunk) return per_chunk(Count{0}, trials);
+
+    const std::size_t num_chunks = (trials + chunk - 1) / chunk;
+    std::vector<std::optional<Agg>> partials(num_chunks);
+    detail::for_each_chunk(trials, chunk, threads,
+                           [&](std::size_t ci, Count begin, Count end) {
+                               partials[ci].emplace(per_chunk(begin, end));
+                           });
+    Agg out = std::move(*partials.front());
+    for (std::size_t ci = 1; ci < num_chunks; ++ci) out.merge(*partials[ci]);
+    return out;
+}
+
+}  // namespace adba::sim

@@ -113,4 +113,39 @@ MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
     return out;
 }
 
+void MacroAggregate::merge(const MacroAggregate& other) {
+    trials += other.trials;
+    agreement_failures += other.agreement_failures;
+    rounds.merge(other.rounds);
+    phases.merge(other.phases);
+    corruptions.merge(other.corruptions);
+}
+
+MacroAggregate run_macro_trials(const MacroScenario& s, std::uint64_t base_seed,
+                                Count trials, const ExecutorConfig& exec) {
+    return parallel_reduce<MacroAggregate>(trials, exec, [&](Count begin, Count end) {
+        MacroAggregate part;
+        part.trials = end - begin;
+        part.rounds.reserve(end - begin);
+        for (Count i = begin; i < end; ++i) {
+            const MacroResult r =
+                run_macro_trial(s, mix64(base_seed + 0x9e3779b97f4a7c15ULL * i));
+            part.rounds.add(static_cast<double>(r.rounds));
+            part.phases.add(static_cast<double>(r.phases_run));
+            part.corruptions.add(static_cast<double>(r.corruptions));
+            if (!r.agreement) ++part.agreement_failures;
+        }
+        return part;
+    });
+}
+
+std::string to_string(MacroScheduleKind k) {
+    switch (k) {
+        case MacroScheduleKind::Ours: return "ours(macro)";
+        case MacroScheduleKind::ChorCoanRushing: return "cc-rushing(macro)";
+        case MacroScheduleKind::ChorCoanClassic: return "cc-classic(macro)";
+    }
+    return "?";
+}
+
 }  // namespace adba::sim

@@ -22,8 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/params.hpp"
+#include "sim/executor.hpp"
+#include "support/stats.hpp"
 #include "support/types.hpp"
 
 namespace adba::sim {
@@ -48,5 +51,25 @@ struct MacroResult {
 };
 
 MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed);
+
+/// Aggregate over macro trials — the macro analogue of sim::Aggregate, so
+/// the asymptotic benches go through the same executor as the engine ones.
+struct MacroAggregate {
+    Count trials = 0;
+    Count agreement_failures = 0;
+    Samples rounds;
+    Samples phases;
+    Samples corruptions;
+
+    /// Merge in chunk-index order (see Aggregate::merge).
+    void merge(const MacroAggregate& other);
+};
+
+/// Parallel over the executor; per-trial seeds depend only on
+/// (base_seed, index), so results are bit-identical at any thread count.
+MacroAggregate run_macro_trials(const MacroScenario& s, std::uint64_t base_seed,
+                                Count trials, const ExecutorConfig& exec = {});
+
+std::string to_string(MacroScheduleKind k);
 
 }  // namespace adba::sim

@@ -120,18 +120,52 @@ MvTrialResult run_mv_trial(const MvScenario& s, std::uint64_t seed) {
     return res;
 }
 
-MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials) {
-    MvAggregate agg;
-    agg.trials = trials;
-    for (Count i = 0; i < trials; ++i) {
-        const auto r = run_mv_trial(s, mix64(base_seed + 0x9e37ULL * i));
-        if (!r.agreement) ++agg.agreement_failures;
-        if (!r.validity_ok) ++agg.validity_failures;
-        if (!r.all_halted) ++agg.not_halted;
-        if (r.decided_real) ++agg.decided_real;
-        agg.rounds.add(static_cast<double>(r.rounds));
+void MvAggregate::merge(const MvAggregate& other) {
+    trials += other.trials;
+    agreement_failures += other.agreement_failures;
+    validity_failures += other.validity_failures;
+    not_halted += other.not_halted;
+    decided_real += other.decided_real;
+    rounds.merge(other.rounds);
+}
+
+MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials,
+                          const ExecutorConfig& exec) {
+    return parallel_reduce<MvAggregate>(trials, exec, [&](Count begin, Count end) {
+        MvAggregate part;
+        part.trials = end - begin;
+        part.rounds.reserve(end - begin);
+        for (Count i = begin; i < end; ++i) {
+            const auto r = run_mv_trial(s, mix64(base_seed + 0x9e37ULL * i));
+            if (!r.agreement) ++part.agreement_failures;
+            if (!r.validity_ok) ++part.validity_failures;
+            if (!r.all_halted) ++part.not_halted;
+            if (r.decided_real) ++part.decided_real;
+            part.rounds.add(static_cast<double>(r.rounds));
+        }
+        return part;
+    });
+}
+
+std::string to_string(MvInputPattern p) {
+    switch (p) {
+        case MvInputPattern::AllSame: return "all-same";
+        case MvInputPattern::TwoBlocks: return "two-blocks";
+        case MvInputPattern::Distinct: return "all-distinct";
+        case MvInputPattern::RandomTiny: return "random(4)";
+        case MvInputPattern::NearQuorum: return "near-quorum(60%)";
     }
-    return agg;
+    return "?";
+}
+
+std::string to_string(MvAdversaryKind a) {
+    switch (a) {
+        case MvAdversaryKind::None: return "none";
+        case MvAdversaryKind::Chaos: return "chaos";
+        case MvAdversaryKind::WorstCaseInner: return "worst-case(inner)";
+        case MvAdversaryKind::PreludePlusWorstCase: return "prelude+worst-case";
+    }
+    return "?";
 }
 
 }  // namespace adba::sim

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/multivalued.hpp"
+#include "sim/executor.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
 
@@ -58,8 +60,16 @@ struct MvAggregate {
     Count not_halted = 0;
     Count decided_real = 0;
     Samples rounds;
+
+    /// Merge in chunk-index order (see Aggregate::merge).
+    void merge(const MvAggregate& other);
 };
 
-MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials);
+/// Parallel over the executor; bit-identical at any thread count.
+MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials,
+                          const ExecutorConfig& exec = {});
+
+std::string to_string(MvInputPattern p);
+std::string to_string(MvAdversaryKind a);
 
 }  // namespace adba::sim

@@ -197,21 +197,35 @@ TrialResult run_trial(const Scenario& s, std::uint64_t seed) {
     return res;
 }
 
-Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials) {
-    Aggregate agg;
-    agg.trials = trials;
-    agg.rounds.reserve(trials);
-    for (Count i = 0; i < trials; ++i) {
-        const TrialResult r = run_trial(s, mix64(base_seed + 0x100000001b3ULL * i));
-        agg.rounds.add(static_cast<double>(r.rounds));
-        agg.messages.add(static_cast<double>(r.metrics.honest_messages));
-        agg.bits.add(static_cast<double>(r.metrics.honest_bits));
-        agg.corruptions.add(static_cast<double>(r.metrics.corruptions));
-        if (!r.agreement) ++agg.agreement_failures;
-        if (!r.validity_ok) ++agg.validity_failures;
-        if (!r.all_halted) ++agg.not_halted;
-    }
-    return agg;
+void Aggregate::merge(const Aggregate& other) {
+    rounds.merge(other.rounds);
+    messages.merge(other.messages);
+    bits.merge(other.bits);
+    corruptions.merge(other.corruptions);
+    trials += other.trials;
+    agreement_failures += other.agreement_failures;
+    validity_failures += other.validity_failures;
+    not_halted += other.not_halted;
+}
+
+Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
+                     const ExecutorConfig& exec) {
+    return parallel_reduce<Aggregate>(trials, exec, [&](Count begin, Count end) {
+        Aggregate part;
+        part.trials = end - begin;
+        part.rounds.reserve(end - begin);
+        for (Count i = begin; i < end; ++i) {
+            const TrialResult r = run_trial(s, mix64(base_seed + 0x100000001b3ULL * i));
+            part.rounds.add(static_cast<double>(r.rounds));
+            part.messages.add(static_cast<double>(r.metrics.honest_messages));
+            part.bits.add(static_cast<double>(r.metrics.honest_bits));
+            part.corruptions.add(static_cast<double>(r.metrics.corruptions));
+            if (!r.agreement) ++part.agreement_failures;
+            if (!r.validity_ok) ++part.validity_failures;
+            if (!r.all_halted) ++part.not_halted;
+        }
+        return part;
+    });
 }
 
 std::string to_string(ProtocolKind k) {

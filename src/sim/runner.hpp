@@ -10,6 +10,7 @@
 
 #include "core/params.hpp"
 #include "net/engine.hpp"
+#include "sim/executor.hpp"
 #include "sim/inputs.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
@@ -79,9 +80,17 @@ struct Aggregate {
     Count agreement_failures = 0;
     Count validity_failures = 0;
     Count not_halted = 0;
+
+    /// Folds a later index range's partial in (order matters: merge partials
+    /// in chunk-index order for serial-identical Samples buffers).
+    void merge(const Aggregate& other);
 };
 
-Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials);
+/// Runs on the parallel executor; per-trial seeds depend only on
+/// (base_seed, trial index), so the aggregate is bit-identical at any
+/// thread count, including the serial `exec.threads = 1`.
+Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
+                     const ExecutorConfig& exec = {});
 
 std::string to_string(ProtocolKind k);
 std::string to_string(AdversaryKind k);

@@ -1,0 +1,222 @@
+#include "sim/sweep.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "support/contracts.hpp"
+#include "support/table.hpp"
+
+namespace adba::sim {
+
+namespace {
+
+// Axis values with their "was this axis actually swept?" flag, so labels
+// only mention what varies (or what a bench explicitly pinned per-grid).
+template <typename T>
+struct Axis {
+    std::vector<T> values;
+    bool swept;
+};
+
+template <typename T>
+Axis<T> resolve(const std::vector<T>& axis, T base_value) {
+    if (axis.empty()) return {{base_value}, false};
+    return {axis, true};
+}
+
+}  // namespace
+
+std::uint64_t row_seed(std::uint64_t base_seed, std::size_t row_index) {
+    return mix64(base_seed ^ mix64(0x5157454550ULL + row_index));  // "SWEEP"
+}
+
+AdversaryKind strongest_adversary(ProtocolKind protocol) {
+    switch (protocol) {
+        case ProtocolKind::Ours:
+        case ProtocolKind::OursLasVegas:
+        case ProtocolKind::ChorCoanRushing:
+        case ProtocolKind::ChorCoanClassic:
+            return AdversaryKind::WorstCase;  // needs a committee schedule
+        case ProtocolKind::PhaseKing:
+            return AdversaryKind::KingKiller;
+        case ProtocolKind::SamplingMajority:
+            return AdversaryKind::Balancer;
+        case ProtocolKind::RabinDealer:
+        case ProtocolKind::LocalCoin:
+        case ProtocolKind::BenOr:
+            return AdversaryKind::SplitVote;  // no schedule to rush
+    }
+    ADBA_ENSURES_MSG(false, "unreachable protocol kind");
+    return AdversaryKind::None;
+}
+
+std::vector<SweepRow> SweepGrid::rows() const {
+    const Axis<NodeId> axis_n = resolve(ns, base.n);
+    Axis<Count> axis_t = resolve(ts, base.t);
+    if (t_of_n) axis_t = {{}, true};  // derived per n below
+    const Axis<ProtocolKind> axis_p = resolve(protocols, base.protocol);
+    Axis<AdversaryKind> axis_a = resolve(adversaries, base.adversary);
+    if (adversary_of) axis_a = {{}, true};  // derived per protocol below
+    const Axis<InputPattern> axis_i = resolve(inputs, base.inputs);
+    const Axis<core::Tuning> axis_u = resolve(tunings, base.tuning);
+
+    // q axis: empty = inherit base.q once.
+    std::vector<std::optional<Count>> q_values;
+    const bool q_swept = !qs.empty();
+    if (q_swept) {
+        for (const Count q : qs) q_values.emplace_back(q);
+    } else {
+        q_values.emplace_back(base.q);
+    }
+
+    std::vector<SweepRow> out;
+    std::size_t index = 0;
+    for (const NodeId n : axis_n.values) {
+        std::vector<Count> t_values = axis_t.values;
+        if (t_of_n) t_values = {t_of_n(n)};
+        for (const Count t : t_values) {
+            for (const auto& q : q_values) {
+                for (const ProtocolKind protocol : axis_p.values) {
+                    std::vector<AdversaryKind> a_values = axis_a.values;
+                    if (adversary_of) a_values = {adversary_of(protocol)};
+                    for (const AdversaryKind adversary : a_values) {
+                        for (const InputPattern input : axis_i.values) {
+                            for (const core::Tuning& tuning : axis_u.values) {
+                                SweepRow row;
+                                row.scenario = base;
+                                row.scenario.n = n;
+                                row.scenario.t = t;
+                                row.scenario.q = q;
+                                row.scenario.protocol = protocol;
+                                row.scenario.adversary = adversary;
+                                row.scenario.inputs = input;
+                                row.scenario.tuning = tuning;
+                                row.index = index++;
+
+                                std::string label;
+                                auto append = [&label](const std::string& part) {
+                                    if (!label.empty()) label += ' ';
+                                    label += part;
+                                };
+                                if (axis_n.swept) append("n=" + std::to_string(n));
+                                if (axis_t.swept) append("t=" + std::to_string(t));
+                                if (q_swept && q) append("q=" + std::to_string(*q));
+                                if (axis_p.swept) append(to_string(protocol));
+                                if (axis_a.swept) append(to_string(adversary));
+                                if (axis_i.swept) append(to_string(input));
+                                if (axis_u.swept)
+                                    append("alpha=" + Table::num(tuning.alpha, 1) +
+                                           ",gamma=" + Table::num(tuning.gamma, 1));
+                                row.label = label;
+
+                                if (filter && !filter(row.scenario)) continue;
+                                out.push_back(std::move(row));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<SweepOutcome> run_sweep(const SweepGrid& grid, std::uint64_t base_seed,
+                                    Count trials, const ExecutorConfig& exec) {
+    std::vector<SweepOutcome> out;
+    for (const SweepRow& row : grid.rows()) {
+        Aggregate agg = run_trials(row.scenario, row_seed(base_seed, row.index),
+                                   trials, exec);
+        out.push_back(SweepOutcome{row, std::move(agg)});
+    }
+    return out;
+}
+
+std::vector<CoinSweepRow> CoinSweepGrid::rows() const {
+    ADBA_EXPECTS_MSG(!ns.empty(), "coin sweep needs at least one network size");
+    ADBA_EXPECTS_MSG(f_ratios.empty() || fs.empty(),
+                     "give the budget either as ratios or explicit values, not both");
+    std::vector<CoinSweepRow> out;
+    std::size_t index = 0;
+    for (const NodeId n : ns) {
+        const std::vector<NodeId> k_values = ks.empty() ? std::vector<NodeId>{n} : ks;
+        for (const NodeId k : k_values) {
+            const double sqrt_k = std::sqrt(static_cast<double>(k));
+            const std::size_t budgets = f_ratios.empty() ? fs.size() : f_ratios.size();
+            for (std::size_t b = 0; b < budgets; ++b) {
+                const std::size_t row_index = index++;
+                if (k > n) continue;  // skipped, but the index slot is consumed
+                CoinSweepRow row;
+                if (f_ratios.empty()) {
+                    row.scenario.f = fs[b];
+                    row.f_ratio = sqrt_k > 0.0 ? fs[b] / sqrt_k : 0.0;
+                } else {
+                    row.f_ratio = f_ratios[b];
+                    row.scenario.f =
+                        static_cast<Count>(std::lround(f_ratios[b] * sqrt_k));
+                }
+                row.scenario.n = n;
+                row.scenario.designated = k;
+                row.scenario.attack = attack;
+                row.scenario.forced_bit = forced_bit;
+                row.index = row_index;
+                row.label = "n=" + std::to_string(n) + " k=" + std::to_string(k) +
+                            " f=" + std::to_string(row.scenario.f);
+                out.push_back(std::move(row));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<CoinSweepOutcome> run_coin_sweep(const CoinSweepGrid& grid,
+                                             std::uint64_t base_seed, Count trials,
+                                             const ExecutorConfig& exec) {
+    std::vector<CoinSweepOutcome> out;
+    for (const CoinSweepRow& row : grid.rows()) {
+        CoinAggregate agg = run_coin_trials(row.scenario,
+                                            row_seed(base_seed, row.index), trials,
+                                            exec);
+        out.push_back(CoinSweepOutcome{row, agg});
+    }
+    return out;
+}
+
+std::vector<MvSweepRow> MvSweepGrid::rows() const {
+    const Axis<MvInputPattern> axis_i = resolve(inputs, base.inputs);
+    const Axis<MvAdversaryKind> axis_a = resolve(adversaries, base.adversary);
+    std::vector<MvSweepRow> out;
+    std::size_t index = 0;
+    for (const MvInputPattern input : axis_i.values) {
+        for (const MvAdversaryKind adversary : axis_a.values) {
+            MvSweepRow row;
+            row.scenario = base;
+            row.scenario.inputs = input;
+            row.scenario.adversary = adversary;
+            row.index = index++;
+            std::string label;
+            if (axis_i.swept) label += to_string(input);
+            if (axis_a.swept) {
+                if (!label.empty()) label += ' ';
+                label += to_string(adversary);
+            }
+            row.label = std::move(label);
+            out.push_back(std::move(row));
+        }
+    }
+    return out;
+}
+
+std::vector<MvSweepOutcome> run_mv_sweep(const MvSweepGrid& grid,
+                                         std::uint64_t base_seed, Count trials,
+                                         const ExecutorConfig& exec) {
+    std::vector<MvSweepOutcome> out;
+    for (const MvSweepRow& row : grid.rows()) {
+        MvAggregate agg = run_mv_trials(row.scenario, row_seed(base_seed, row.index),
+                                        trials, exec);
+        out.push_back(MvSweepOutcome{row, std::move(agg)});
+    }
+    return out;
+}
+
+}  // namespace adba::sim

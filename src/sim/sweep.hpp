@@ -1,0 +1,134 @@
+// Declarative scenario sweeps: a grid over Scenario axes (and the coin /
+// multi-valued analogues) that yields labeled scenario rows in a fixed
+// enumeration order and feeds them through the parallel executor.
+//
+// This replaces the copy-pasted nested loops of the bench binaries: a bench
+// states WHICH axes it sweeps; enumeration order, labeling, per-row seeding,
+// and parallel trial execution live here. Row seeds are derived from
+// (base_seed, row index in the FULL cross product), so adding a filter or
+// reading only part of the outcomes never shifts another row's randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/coin_runner.hpp"
+#include "sim/executor.hpp"
+#include "sim/multivalued_runner.hpp"
+#include "sim/runner.hpp"
+
+namespace adba::sim {
+
+/// Deterministic per-row seed: avalanche of the base seed and the row's
+/// position in the unfiltered cross product.
+std::uint64_t row_seed(std::uint64_t base_seed, std::size_t row_index);
+
+// ------------------------------------------------------------ engine sweeps
+
+struct SweepRow {
+    Scenario scenario;
+    std::string label;      ///< swept-axis values, e.g. "n=256 t=16 ours(alg3)"
+    std::size_t index = 0;  ///< position in the full (unfiltered) enumeration
+};
+
+/// Cross product over Scenario axes. Empty axes pin the base scenario's
+/// value; `t_of_n` / `adversary_of` derive one axis from another (e.g. each
+/// protocol against its strongest adversary). Enumeration order is fixed:
+/// n (outermost) -> t -> q -> protocol -> adversary -> inputs -> tuning.
+struct SweepGrid {
+    Scenario base;
+
+    std::vector<NodeId> ns;
+    std::vector<Count> ts;
+    std::function<Count(NodeId)> t_of_n;  ///< overrides ts when set
+    std::vector<Count> qs;                ///< actual-corruption axis
+    std::vector<ProtocolKind> protocols;
+    std::vector<AdversaryKind> adversaries;
+    std::function<AdversaryKind(ProtocolKind)> adversary_of;  ///< overrides adversaries
+    std::vector<InputPattern> inputs;
+    std::vector<core::Tuning> tunings;
+
+    /// Rows for which this returns false are dropped (their index — and thus
+    /// every other row's seed — is unaffected).
+    std::function<bool(const Scenario&)> filter;
+
+    std::vector<SweepRow> rows() const;
+};
+
+struct SweepOutcome {
+    SweepRow row;
+    Aggregate agg;
+};
+
+/// Runs `trials` per row on the executor; rows execute in enumeration order.
+std::vector<SweepOutcome> run_sweep(const SweepGrid& grid, std::uint64_t base_seed,
+                                    Count trials, const ExecutorConfig& exec = {});
+
+/// The strongest implemented adversary for each protocol (the pairing every
+/// comparison bench and example used to hand-maintain).
+AdversaryKind strongest_adversary(ProtocolKind protocol);
+
+// -------------------------------------------------------------- coin sweeps
+
+struct CoinSweepRow {
+    CoinScenario scenario;
+    std::string label;
+    double f_ratio = 0.0;   ///< f / sqrt(k) when the ratio axis produced f
+    std::size_t index = 0;  ///< position in the full enumeration
+};
+
+/// Grid over the common-coin experiments: network size n, committee size k
+/// (empty = all n nodes flip), and the corruption budget, given either as
+/// f = round(ratio * sqrt(k)) — the paper's natural parameterization — or as
+/// explicit budgets. Rows with k > n are skipped. Enumeration order:
+/// n -> k -> budget.
+struct CoinSweepGrid {
+    std::vector<NodeId> ns;
+    std::vector<NodeId> ks;        ///< empty = {n} (Algorithm 1)
+    std::vector<double> f_ratios;  ///< f = lround(ratio * sqrt(k))
+    std::vector<Count> fs;         ///< explicit budgets; used when f_ratios empty
+    adv::CoinAttack attack = adv::CoinAttack::Split;
+    Bit forced_bit = 0;
+
+    std::vector<CoinSweepRow> rows() const;
+};
+
+struct CoinSweepOutcome {
+    CoinSweepRow row;
+    CoinAggregate agg;
+};
+
+std::vector<CoinSweepOutcome> run_coin_sweep(const CoinSweepGrid& grid,
+                                             std::uint64_t base_seed, Count trials,
+                                             const ExecutorConfig& exec = {});
+
+// ------------------------------------------------------- multi-valued sweeps
+
+struct MvSweepRow {
+    MvScenario scenario;
+    std::string label;
+    std::size_t index = 0;
+};
+
+/// Grid over the multi-valued runner's axes: input pattern (outer) x
+/// adversary (inner); empty axes pin the base scenario's value.
+struct MvSweepGrid {
+    MvScenario base;
+    std::vector<MvInputPattern> inputs;
+    std::vector<MvAdversaryKind> adversaries;
+
+    std::vector<MvSweepRow> rows() const;
+};
+
+struct MvSweepOutcome {
+    MvSweepRow row;
+    MvAggregate agg;
+};
+
+std::vector<MvSweepOutcome> run_mv_sweep(const MvSweepGrid& grid,
+                                         std::uint64_t base_seed, Count trials,
+                                         const ExecutorConfig& exec = {});
+
+}  // namespace adba::sim

@@ -21,6 +21,23 @@ void RunningStats::add(double x) {
     m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n = static_cast<double>(n_ + other.n_);
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / n;
+    mean_ += delta * static_cast<double>(other.n_) / n;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const {
     if (n_ < 2) return 0.0;
     return m2_ / static_cast<double>(n_ - 1);
@@ -40,6 +57,12 @@ double RunningStats::max() const {
 
 void Samples::add(double x) {
     xs_.push_back(x);
+    sorted_ = xs_.size() <= 1;
+}
+
+void Samples::merge(const Samples& other) {
+    if (other.xs_.empty()) return;
+    xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
     sorted_ = xs_.size() <= 1;
 }
 

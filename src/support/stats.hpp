@@ -17,6 +17,13 @@ class RunningStats {
 public:
     void add(double x);
 
+    /// Folds another accumulator in (Chan et al. pairwise combine). The
+    /// result summarizes the union of both observation streams. Note: only
+    /// numerically close to a single serial stream, not bit-identical — the
+    /// executor's exactness guarantee covers Samples-based aggregates; route
+    /// any RunningStats through Samples first if bit-exactness matters.
+    void merge(const RunningStats& other);
+
     std::size_t count() const { return n_; }
     double mean() const { return mean_; }
     /// Unbiased sample variance; 0 for fewer than two observations.
@@ -40,6 +47,15 @@ class Samples {
 public:
     void add(double x);
     void reserve(std::size_t n) { xs_.reserve(n); }
+
+    /// Appends another sample set, preserving its current storage order.
+    /// Merging per-chunk partials in chunk-index order therefore rebuilds
+    /// exactly the observation sequence a single serial pass would have
+    /// produced — the keystone of the executor's bit-identical aggregates.
+    /// Caveat: quantile()/min()/max() lazily SORT the buffer, so querying a
+    /// partial before merging it silently replaces insertion order with
+    /// sorted order; inside executor chunk functions, only add() to partials.
+    void merge(const Samples& other);
 
     std::size_t count() const { return xs_.size(); }
     bool empty() const { return xs_.empty(); }

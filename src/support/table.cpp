@@ -1,6 +1,8 @@
 #include "support/table.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -76,5 +78,21 @@ std::string Table::to_csv() const {
 }
 
 void Table::print(std::ostream& os) const { os << "\n" << to_markdown() << "\n"; }
+
+std::string write_csv(const Table& table, const std::string& dir,
+                      const std::string& slug) {
+    ADBA_EXPECTS(!dir.empty());
+    ADBA_EXPECTS(!slug.empty());
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    ADBA_ENSURES_MSG(!ec, "cannot create csv directory '" + dir + "': " + ec.message());
+    const std::string path = (std::filesystem::path(dir) / (slug + ".csv")).string();
+    std::ofstream out(path);
+    ADBA_ENSURES_MSG(out.is_open(), "cannot open csv file '" + path + "' for writing");
+    out << table.to_csv();
+    out.flush();
+    ADBA_ENSURES_MSG(out.good(), "write failed for csv file '" + path + "'");
+    return path;
+}
 
 }  // namespace adba

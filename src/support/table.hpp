@@ -44,4 +44,11 @@ private:
     std::vector<std::vector<std::string>> rows_;
 };
 
+/// Writes `table.to_csv()` to `<dir>/<slug>.csv`, creating `dir` (including
+/// parents) when absent. Returns the written path. Throws ContractViolation
+/// when the directory or the file cannot be created — a reproduction table
+/// must never be dropped silently.
+std::string write_csv(const Table& table, const std::string& dir,
+                      const std::string& slug);
+
 }  // namespace adba

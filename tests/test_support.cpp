@@ -2,6 +2,8 @@
 // rendering, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "support/cli.hpp"
@@ -157,6 +159,70 @@ TEST(Samples, AddAfterQuantileKeepsConsistency) {
     EXPECT_DOUBLE_EQ(s.max(), 5.0);
 }
 
+TEST(Samples, MergeMatchesSingleStream) {
+    // Splitting one observation stream into consecutive chunks and merging
+    // the chunk Samples in order must reproduce the single-stream statistics
+    // EXACTLY (same buffer, same summation order) — the executor relies on it.
+    const std::vector<double> xs = {3.0, 1.5, 4.25, 1.0, 5.5, 9.0, 2.75, 6.0, 5.0};
+    Samples single;
+    for (double x : xs) single.add(x);
+
+    Samples merged, chunk_a, chunk_b, chunk_c;
+    for (std::size_t i = 0; i < 3; ++i) chunk_a.add(xs[i]);
+    for (std::size_t i = 3; i < 7; ++i) chunk_b.add(xs[i]);
+    for (std::size_t i = 7; i < xs.size(); ++i) chunk_c.add(xs[i]);
+    merged.merge(chunk_a);
+    merged.merge(chunk_b);
+    merged.merge(chunk_c);
+
+    ASSERT_EQ(merged.count(), single.count());
+    EXPECT_EQ(merged.values(), single.values());
+    EXPECT_EQ(merged.mean(), single.mean());
+    EXPECT_EQ(merged.stddev(), single.stddev());
+    EXPECT_EQ(merged.min(), single.min());
+    EXPECT_EQ(merged.max(), single.max());
+    EXPECT_EQ(merged.quantile(0.9), single.quantile(0.9));
+    EXPECT_EQ(merged.median(), single.median());
+}
+
+TEST(Samples, MergeWithEmptySidesIsIdentity) {
+    Samples a;
+    a.add(2.0);
+    a.add(7.0);
+    Samples empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 4.5);
+}
+
+TEST(RunningStats, MergeMatchesSingleStream) {
+    RunningStats single, left, right;
+    for (int i = 0; i < 40; ++i) {
+        const double x = static_cast<double>((i * 53) % 97) / 3.0;
+        single.add(x);
+        (i < 17 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), single.count());
+    EXPECT_NEAR(left.mean(), single.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), single.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), single.min());
+    EXPECT_DOUBLE_EQ(left.max(), single.max());
+    EXPECT_NEAR(left.sum(), single.sum(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+    RunningStats a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
 // -------------------------------------------------------------------- table
 
 TEST(Table, MarkdownShape) {
@@ -198,6 +264,34 @@ TEST(Table, NumFormatting) {
     EXPECT_EQ(Table::num(3.14159, 2), "3.14");
     EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
     EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, WriteCsvCreatesMissingDirectories) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "adba_csv_test" / "nested";
+    std::filesystem::remove_all(dir.parent_path());
+    Table t("x");
+    t.set_header({"a", "b"});
+    t.add_row({"1", "2"});
+    const std::string path = write_csv(t, dir.string(), "demo");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "a,b");
+    std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(Table, WriteCsvFailsLoudlyWhenDirectoryIsAFile) {
+    const auto blocker = std::filesystem::temp_directory_path() / "adba_csv_blocker";
+    std::ofstream(blocker.string()) << "not a directory";
+    Table t("x");
+    t.set_header({"a"});
+    t.add_row({"1"});
+    // The target "directory" is a regular file: creation must throw, not
+    // silently drop the table.
+    EXPECT_THROW(write_csv(t, (blocker / "sub").string(), "demo"), ContractViolation);
+    std::filesystem::remove(blocker);
 }
 
 // ---------------------------------------------------------------------- cli
