@@ -19,6 +19,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/related_work.hpp"
 #include "bench/common.hpp"
+#include "sim/registry.hpp"
 #include "sim/sweep.hpp"
 #include "support/math.hpp"
 #include "support/table.hpp"
@@ -53,9 +54,9 @@ void experiment(const Cli& cli) {
                       sim::ProtocolKind::ChorCoanClassic, sim::ProtocolKind::PhaseKing,
                       sim::ProtocolKind::RabinDealer};
     grid.adversary_of = sim::strongest_adversary;
-    grid.filter = [n](const sim::Scenario& s) {
-        return s.protocol != sim::ProtocolKind::PhaseKing || 4 * s.t < n;
-    };
+    // Registry resilience metadata drops the cells a protocol cannot run
+    // (phase-king at t >= n/4 here) instead of a hand-rolled predicate.
+    grid.filter = sim::compatible;
     const auto outcomes = sim::run_sweep(grid, 0xE3, trials);
 
     auto cell = [&](Count t, sim::ProtocolKind p) -> const sim::Aggregate* {
@@ -70,23 +71,26 @@ void experiment(const Cli& cli) {
     Table t1("E3: measured mean rounds vs t (n=" + std::to_string(n) + ")");
     t1.set_header({"t", "ours", "ours 95% CI", "cc-rushing", "cc-classic", "phase-king",
                    "rabin-dealer", "thy ours", "thy cc", "thy det", "thy LB"});
+    // Any cell can be missing: the registry-driven filter drops every
+    // (protocol, t) the resilience metadata rules out (e.g. tiny --n).
+    auto mean_str = [&](Count t, sim::ProtocolKind p) -> std::string {
+        const auto* agg = cell(t, p);
+        return agg ? Table::num(agg->rounds.mean(), 1) : "n/a(infeasible)";
+    };
     for (Count t : ts) {
         std::vector<std::string> row{Table::num(std::uint64_t{t})};
-        const auto* ours = cell(t, sim::ProtocolKind::Ours);
-        row.push_back(Table::num(ours->rounds.mean(), 1));
-        const auto ci = an::bootstrap_mean_ci(ours->rounds.values());
-        row.push_back(benchutil::ci_str(ci.lo, ci.hi));
-        row.push_back(Table::num(
-            cell(t, sim::ProtocolKind::ChorCoanRushing)->rounds.mean(), 1));
-        row.push_back(Table::num(
-            cell(t, sim::ProtocolKind::ChorCoanClassic)->rounds.mean(), 1));
-        if (const auto* pk = cell(t, sim::ProtocolKind::PhaseKing)) {
-            row.push_back(Table::num(pk->rounds.mean(), 1));
+        if (const auto* ours = cell(t, sim::ProtocolKind::Ours)) {
+            row.push_back(Table::num(ours->rounds.mean(), 1));
+            const auto ci = an::bootstrap_mean_ci(ours->rounds.values());
+            row.push_back(benchutil::ci_str(ci.lo, ci.hi));
         } else {
-            row.push_back("n/a(t>=n/4)");
+            row.push_back("n/a(infeasible)");
+            row.push_back("-");
         }
-        row.push_back(Table::num(
-            cell(t, sim::ProtocolKind::RabinDealer)->rounds.mean(), 1));
+        row.push_back(mean_str(t, sim::ProtocolKind::ChorCoanRushing));
+        row.push_back(mean_str(t, sim::ProtocolKind::ChorCoanClassic));
+        row.push_back(mean_str(t, sim::ProtocolKind::PhaseKing));
+        row.push_back(mean_str(t, sim::ProtocolKind::RabinDealer));
         const auto dn = static_cast<double>(n);
         const auto dt = static_cast<double>(t);
         row.push_back(Table::num(an::rounds_ours(dn, dt), 1));

@@ -34,7 +34,8 @@ double macro_mean(sim::MacroScheduleKind schedule, std::uint64_t n, std::uint64_
 }
 
 template <typename TofN>
-void regime_table(const char* title, TofN t_of_n, int trials, std::ostream& os) {
+void regime_table(const Cli& cli, const char* title, const char* slug, TofN t_of_n,
+                  int trials, std::ostream& os) {
     Table t(title);
     t.set_header({"n", "t", "ours (macro)", "cc-rushing (macro)", "ratio",
                   "thy ours", "thy cc", "thy LB"});
@@ -52,20 +53,24 @@ void regime_table(const char* title, TofN t_of_n, int trials, std::ostream& os) 
                    Table::num(an::rounds_lower_bound(double(n), double(tt)), 2)});
     }
     t.print(os);
+    benchutil::maybe_write_csv(cli, t, slug);
 }
 
 void experiment(const Cli& cli) {
     const auto trials = static_cast<int>(cli.get_int("trials", 15));
     std::printf("E4: scaling in n at fixed t-regimes (macro simulator, %d trials, "
                 "%u threads).\n\n", trials, sim::default_threads());
-    regime_table("E4a: t = sqrt(n)  — the paper's near-optimal point",
-                 [](double n) { return std::pow(n, 0.5); }, trials, std::cout);
-    regime_table("E4b: t = n^0.6   — inside the improvement window",
-                 [](double n) { return std::pow(n, 0.6); }, trials, std::cout);
-    regime_table("E4c: t = n^0.75  — the paper's headline example",
-                 [](double n) { return std::pow(n, 0.75); }, trials, std::cout);
-    regime_table("E4d: t = n/4     — near maximal resilience",
-                 [](double n) { return n / 4.0; }, trials, std::cout);
+    regime_table(cli, "E4a: t = sqrt(n)  — the paper's near-optimal point",
+                 "e4a_sqrt_n", [](double n) { return std::pow(n, 0.5); }, trials,
+                 std::cout);
+    regime_table(cli, "E4b: t = n^0.6   — inside the improvement window",
+                 "e4b_n_0p6", [](double n) { return std::pow(n, 0.6); }, trials,
+                 std::cout);
+    regime_table(cli, "E4c: t = n^0.75  — the paper's headline example",
+                 "e4c_n_0p75", [](double n) { return std::pow(n, 0.75); }, trials,
+                 std::cout);
+    regime_table(cli, "E4d: t = n/4     — near maximal resilience",
+                 "e4d_n_over_4", [](double n) { return n / 4.0; }, trials, std::cout);
     std::printf(
         "Shape check vs paper: at t = sqrt(n) (E4a) ours stays ~flat in rounds\n"
         "(Õ(log n) phases) while cc-rushing grows ~t/log n — the ratio falls\n"

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "sim/registry.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -22,39 +23,26 @@ void experiment(const Cli& cli) {
     std::printf("E8: adversary ablation for Algorithm 3 (n=%u, t=%u, split inputs, "
                 "%u trials).\n", n, t, trials);
 
-    struct Traits {
-        sim::AdversaryKind kind;
-        const char* adaptive;
-        const char* rushing;
-    };
-    const Traits traits[] = {
-        {sim::AdversaryKind::None, "-", "-"},
-        {sim::AdversaryKind::Static, "no", "no"},
-        {sim::AdversaryKind::SplitVote, "no", "no"},
-        {sim::AdversaryKind::Chaos, "yes", "no"},
-        {sim::AdversaryKind::CrashRandom, "yes", "yes"},
-        {sim::AdversaryKind::CrashTargetedCoin, "yes", "yes"},
-        {sim::AdversaryKind::WorstCase, "yes", "yes"},
-    };
-
+    // Every adversary in the registry that can face Algorithm 3, with the
+    // adaptive/rushing columns taken from its capability metadata.
     sim::SweepGrid grid;
     grid.base.n = n;
     grid.base.t = t;
     grid.base.protocol = sim::ProtocolKind::Ours;
     grid.base.inputs = sim::InputPattern::Split;
-    for (const auto& r : traits) grid.adversaries.push_back(r.kind);
+    for (const auto* e : sim::AdversaryRegistry::instance().list())
+        grid.adversaries.push_back(e->kind);
+    grid.filter = sim::compatible;
     const auto outcomes = sim::run_sweep(grid, 0xE8, trials);
 
     Table tab("E8a: Algorithm 3 under every adversary class");
     tab.set_header({"adversary", "adaptive?", "rushing?", "agree %", "mean rounds",
                     "p90", "mean corruptions"});
     for (const auto& o : outcomes) {
-        const Traits* trait = nullptr;
-        for (const auto& r : traits)
-            if (r.kind == o.row.scenario.adversary) trait = &r;
+        const auto& entry =
+            sim::AdversaryRegistry::instance().at(o.row.scenario.adversary);
         const auto& agg = o.agg;
-        tab.add_row({sim::to_string(trait->kind), trait->adaptive,
-                     trait->rushing,
+        tab.add_row({entry.display, entry.adaptive, entry.rushing,
                      Table::num(100.0 * (agg.trials - agg.agreement_failures) /
                                     agg.trials, 1),
                      Table::num(agg.rounds.mean(), 1),
@@ -64,35 +52,27 @@ void experiment(const Cli& cli) {
     tab.print(std::cout);
     benchutil::maybe_write_csv(cli, tab, "e8a_adversary_ablation");
 
-    struct P {
-        sim::ProtocolKind kind;
-        const char* note;
-    };
-    const P ps[] = {
-        {sim::ProtocolKind::Ours, "Theorem 2"},
-        {sim::ProtocolKind::ChorCoanRushing, "footnote-3 comparator"},
-        {sim::ProtocolKind::ChorCoanClassic, "1985 shape under rushing"},
-        {sim::ProtocolKind::RabinDealer, "ideal dealer coin floor"},
-    };
+    // The comparison family, selected from the registry BY NAME — adding a
+    // comparator here is a string, not an enum edit.
     sim::SweepGrid grid2;
     grid2.base.n = n;
     grid2.base.t = t;
     grid2.base.inputs = sim::InputPattern::Split;
-    for (const auto& p : ps) grid2.protocols.push_back(p.kind);
+    for (const char* name :
+         {"ours", "chor-coan-rushing", "chor-coan-classic", "rabin-dealer"})
+        grid2.protocols.push_back(sim::ProtocolRegistry::instance().at(name).kind);
     grid2.adversary_of = sim::strongest_adversary;
     const auto outcomes2 = sim::run_sweep(grid2, 0xE8B, trials);
 
     Table tab2("E8b: protocol family under the worst-case rushing adversary");
     tab2.set_header({"protocol", "agree %", "mean rounds", "note"});
     for (const auto& o : outcomes2) {
-        const P* p = nullptr;
-        for (const auto& candidate : ps)
-            if (candidate.kind == o.row.scenario.protocol) p = &candidate;
+        const auto& entry = sim::ProtocolRegistry::instance().at(o.row.scenario.protocol);
         const auto& agg = o.agg;
-        tab2.add_row({sim::to_string(p->kind),
+        tab2.add_row({entry.display,
                       Table::num(100.0 * (agg.trials - agg.agreement_failures) /
                                      agg.trials, 1),
-                      Table::num(agg.rounds.mean(), 1), p->note});
+                      Table::num(agg.rounds.mean(), 1), entry.summary});
     }
     tab2.print(std::cout);
     benchutil::maybe_write_csv(cli, tab2, "e8b_protocol_family");

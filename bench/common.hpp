@@ -30,8 +30,12 @@ namespace adba::benchutil {
 inline unsigned init_threads(const Cli& cli) { return sim::init_threads(cli); }
 
 /// Hands the non-experiment arguments (argv[0] + --benchmark_* flags) to
-/// google-benchmark and runs the registered entries.
+/// google-benchmark and runs the registered entries. Also the point where
+/// strict flag checking fires: every experiment flag has been read by now,
+/// so anything left over is a typo (e.g. `--trails=50`) and aborts loudly
+/// instead of silently running with defaults.
 inline void run_benchmark_tail(const Cli& cli) {
+    cli.check_unused();
     std::vector<std::string> args = cli.passthrough();
     std::vector<char*> argv;
     argv.reserve(args.size());

@@ -1,24 +1,30 @@
 // Adversary gauntlet: one protocol, every adversary strategy in the
-// repository. Demonstrates the adversary framework and the protocol's
+// registry. Demonstrates the adversary framework and the protocol's
 // robustness claim ("works under the powerful adaptive rushing adversary"):
 // agreement must hold against all of them; only the measured rounds differ.
+//
+// The gauntlet is enumerated from AdversaryRegistry::list() and filtered by
+// the registry's compatibility metadata (e.g. king-killer only targets
+// phase-king, so it drops out here) — a newly registered adversary joins the
+// gauntlet with no edit to this file.
 //
 // Usage: adversary_gauntlet [--n=128] [--t=40] [--trials=20] [--threads=N]
 #include <cstdio>
 #include <iostream>
 
+#include "sim/registry.hpp"
 #include "sim/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace adba;
-    using sim::AdversaryKind;
     const Cli cli(argc, argv);
     const auto n = static_cast<NodeId>(cli.get_int("n", 128));
     const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     sim::init_threads(cli);
+    cli.check_unused();
 
     std::printf("Algorithm 3 on n=%u, t=%u, split inputs, %u trials per adversary.\n", n,
                 t, trials);
@@ -28,12 +34,9 @@ int main(int argc, char** argv) {
     grid.base.t = t;
     grid.base.protocol = sim::ProtocolKind::Ours;
     grid.base.inputs = sim::InputPattern::Split;
-    grid.adversaries = {
-        AdversaryKind::None,        AdversaryKind::Static,
-        AdversaryKind::SplitVote,   AdversaryKind::Chaos,
-        AdversaryKind::CrashRandom, AdversaryKind::CrashTargetedCoin,
-        AdversaryKind::WorstCase,
-    };
+    for (const auto* e : sim::AdversaryRegistry::instance().list())
+        grid.adversaries.push_back(e->kind);
+    grid.filter = sim::compatible;  // drops protocol-specific attackers
 
     Table table("Adversary gauntlet (ours, split inputs)");
     table.set_header({"adversary", "agree %", "validity", "mean rounds", "p90 rounds",

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
     const auto n = static_cast<NodeId>(cli.get_int("n", 256));
     const auto trials = static_cast<Count>(cli.get_int("trials", 2000));
     sim::init_threads(cli);
+    cli.check_unused();
     const double sqrt_n = std::sqrt(static_cast<double>(n));
 
     std::printf("Algorithm 1: every node flips ±1, broadcasts, outputs sign of sum.\n");

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
     const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
     const auto trials = static_cast<Count>(cli.get_int("trials", 12));
     sim::init_threads(cli);
+    cli.check_unused();
 
     std::printf("Multi-valued BA (Turpin-Coan 1984 over Algorithm 3), n=%u, t=%u.\n", n,
                 t);

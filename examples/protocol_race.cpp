@@ -1,52 +1,40 @@
-// Protocol race: every agreement protocol in the repository at the same
+// Protocol race: every agreement protocol in the registry at the same
 // (n, t), each against its strongest implemented adversary, from a split
 // start. A miniature of experiment E3 — run bench_e3_rounds_vs_t for the
 // full sweep that regenerates the paper's comparison.
+//
+// The field is enumerated from ProtocolRegistry::list(), so a protocol
+// registered by a future plug-in shows up here with no edit to this file;
+// infeasible (n, t) combinations are skipped via the registry's resilience
+// metadata rather than hand-rolled predicates.
 //
 // Usage: protocol_race [--n=128] [--t=30] [--trials=20] [--threads=N]
 #include <cstdio>
 #include <iostream>
 
+#include "sim/registry.hpp"
 #include "sim/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace adba;
-    using sim::ProtocolKind;
     const Cli cli(argc, argv);
     const auto n = static_cast<NodeId>(cli.get_int("n", 128));
     const auto t = static_cast<Count>(cli.get_int("t", 30));
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     sim::init_threads(cli);
+    cli.check_unused();
 
-    struct Entry {
-        ProtocolKind protocol;
-        const char* note;
-    };
-    const Entry entries[] = {
-        {ProtocolKind::Ours, "the paper (Theorem 2)"},
-        {ProtocolKind::OursLasVegas, "Las Vegas variant"},
-        {ProtocolKind::ChorCoanRushing, "Chor-Coan, rushing-hardened"},
-        {ProtocolKind::ChorCoanClassic, "Chor-Coan 1985 (log-size groups)"},
-        {ProtocolKind::RabinDealer, "Rabin 1983, trusted dealer coin"},
-        {ProtocolKind::PhaseKing, "deterministic O(t) baseline"},
-        {ProtocolKind::BenOr, "Ben-Or 1983, private coins (t<n/5)"},
-        {ProtocolKind::SamplingMajority, "APR 2013 sampling-majority (paper §1.3)"},
-    };
+    const auto entries = sim::ProtocolRegistry::instance().list();
 
     sim::SweepGrid grid;
     grid.base.n = n;
     grid.base.t = t;
     grid.base.inputs = sim::InputPattern::Split;
-    for (const auto& e : entries) grid.protocols.push_back(e.protocol);
+    for (const auto* e : entries) grid.protocols.push_back(e->kind);
     grid.adversary_of = sim::strongest_adversary;
-    grid.filter = [n](const sim::Scenario& s) {
-        if (s.protocol == ProtocolKind::PhaseKing) return 4 * s.t < s.n;
-        if (s.protocol == ProtocolKind::BenOr) return 5 * s.t < s.n;
-        (void)n;
-        return true;
-    };
+    grid.filter = sim::compatible;  // registry resilience + pairing rules
     const auto outcomes = sim::run_sweep(grid, 0xACE, trials);
 
     std::printf("n=%u, t=%u, split inputs, %u trials per protocol, %u threads.\n", n, t,
@@ -55,24 +43,22 @@ int main(int argc, char** argv) {
                 ")");
     table.set_header({"protocol", "adversary", "agree %", "mean rounds", "max rounds",
                       "note"});
-    for (const auto& e : entries) {
+    for (const auto* e : entries) {
         const sim::SweepOutcome* o = nullptr;
         for (const auto& candidate : outcomes)
-            if (candidate.row.scenario.protocol == e.protocol) o = &candidate;
-        const std::string adversary = sim::to_string(sim::strongest_adversary(e.protocol));
+            if (candidate.row.scenario.protocol == e->kind) o = &candidate;
+        const std::string adversary = sim::to_string(e->strongest);
         if (!o) {
-            const char* why = e.protocol == ProtocolKind::PhaseKing
-                                  ? "skipped: needs t < n/4"
-                                  : "skipped: needs t < n/5";
-            table.add_row({sim::to_string(e.protocol), adversary, "-", "-", "-", why});
+            table.add_row({e->display, adversary, "-", "-", "-",
+                           "skipped: needs " + e->resilience});
             continue;
         }
         const auto& agg = o->agg;
         const double agree =
             100.0 * (agg.trials - agg.agreement_failures) / agg.trials;
-        table.add_row({sim::to_string(e.protocol), adversary,
-                       Table::num(agree, 1), Table::num(agg.rounds.mean(), 1),
-                       Table::num(agg.rounds.max(), 0), e.note});
+        table.add_row({e->display, adversary, Table::num(agree, 1),
+                       Table::num(agg.rounds.mean(), 1),
+                       Table::num(agg.rounds.max(), 0), e->summary});
     }
     table.print(std::cout);
     return 0;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     const auto n = static_cast<NodeId>(cli.get_int("n", 64));
     const auto t = static_cast<Count>(cli.get_int("t", (n - 1) / 3));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    cli.check_unused();
 
     std::printf("== Byzantine agreement under an adaptive rushing adversary ==\n");
     std::printf("n=%u nodes, t=%u tolerated Byzantine (t < n/3), seed=%llu\n\n", n, t,
@@ -67,13 +68,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.metrics.honest_bits));
 
     // ---- Level 2: the experiment runner --------------------------------
-    std::printf("\n== same trial via the one-call runner ==\n");
-    sim::Scenario s;
-    s.n = n;
-    s.t = t;
-    s.protocol = sim::ProtocolKind::Ours;
-    s.adversary = sim::AdversaryKind::WorstCase;
-    s.inputs = sim::InputPattern::Split;
+    // A scenario is a value; here it is parsed from the same string spec the
+    // `adba_sim` driver and the sweep layer use (names resolved through the
+    // protocol/adversary registries).
+    const sim::Scenario s = sim::Scenario::parse(
+        "protocol=ours adversary=worst-case inputs=split n=" + std::to_string(n) +
+        " t=" + std::to_string(t));
+    std::printf("\n== same trial via the one-call runner ==\nscenario: %s\n",
+                s.describe().c_str());
     const sim::TrialResult r = sim::run_trial(s, seed);
     std::printf("agreement=%s rounds=%u corruptions=%llu\n",
                 r.agreement ? "yes" : "NO", r.rounds,

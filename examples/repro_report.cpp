@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
     const Cli cli(argc, argv);
     const auto trials = static_cast<Count>(cli.get_int("trials", 12));
     sim::init_threads(cli);
+    cli.check_unused();
     std::printf("# adba quick reproduction report\n\n"
                 "Reduced-scale pass over the headline claims of\n"
                 "Dufoulon-Pandurangan PODC 2025; see EXPERIMENTS.md for the "

@@ -57,6 +57,8 @@ struct Tuning {
     double alpha = 4.0;  ///< paper's α (committee count multiplier)
     double gamma = 2.0;  ///< w.h.p. phase floor multiplier (finite-n)
     double beta = 1.0;   ///< Chor-Coan classic group size multiplier (β·log2 n)
+
+    friend bool operator==(const Tuning&, const Tuning&) = default;
 };
 
 /// Fully resolved parameters for one Algorithm 3 instance.

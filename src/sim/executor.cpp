@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "support/contracts.hpp"
+
 namespace adba::sim {
 
 namespace {
@@ -27,8 +29,11 @@ void set_default_threads(unsigned threads) {
 }
 
 unsigned init_threads(const Cli& cli) {
-    auto threads = static_cast<unsigned>(
-        cli.get_int("threads", static_cast<std::int64_t>(hardware_threads())));
+    const std::int64_t raw =
+        cli.get_int("threads", static_cast<std::int64_t>(hardware_threads()));
+    ADBA_EXPECTS_MSG(raw >= 0, "--threads must be non-negative, got " +
+                                   std::to_string(raw));
+    auto threads = static_cast<unsigned>(raw);
     if (threads == 0) threads = 1;
     set_default_threads(threads);
     return threads;

@@ -3,12 +3,9 @@
 #include <memory>
 #include <vector>
 
-#include "adversary/chaos.hpp"
-#include "adversary/composite.hpp"
-#include "adversary/tc_prelude.hpp"
-#include "adversary/worst_case.hpp"
 #include "net/engine.hpp"
 #include "rand/seed_tree.hpp"
+#include "sim/registry.hpp"
 #include "support/contracts.hpp"
 
 namespace adba::sim {
@@ -47,27 +44,8 @@ std::vector<net::Word> make_mv_inputs(MvInputPattern pattern, NodeId n,
 std::unique_ptr<net::Adversary> make_mv_adversary(const MvScenario& s,
                                                   const core::MultiValuedParams& params,
                                                   const SeedTree& seeds) {
-    switch (s.adversary) {
-        case MvAdversaryKind::None:
-            return std::make_unique<net::NullAdversary>();
-        case MvAdversaryKind::Chaos:
-            return std::make_unique<adv::ChaosAdversary>(
-                adv::ChaosConfig{s.t, 0.3, 0.7}, seeds.stream(StreamPurpose::Adversary));
-        case MvAdversaryKind::WorstCaseInner:
-            return std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
-                s.t, s.t, params.binary.schedule, true, /*round_offset=*/2});
-        case MvAdversaryKind::PreludePlusWorstCase: {
-            const Count half = s.t / 2;
-            auto prelude = std::make_unique<adv::TcPreludeAdversary>(
-                half, seeds.stream(StreamPurpose::Adversary));
-            auto inner = std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
-                s.t, s.t - half, params.binary.schedule, true, /*round_offset=*/2});
-            return std::make_unique<adv::SwitchAdversary>(std::move(prelude),
-                                                          std::move(inner), 2);
-        }
-    }
-    ADBA_ENSURES_MSG(false, "unreachable adversary kind");
-    return nullptr;
+    return MvAdversaryRegistry::instance().at(s.adversary).make_adversary(s, params,
+                                                                          seeds);
 }
 
 }  // namespace
@@ -159,13 +137,7 @@ std::string to_string(MvInputPattern p) {
 }
 
 std::string to_string(MvAdversaryKind a) {
-    switch (a) {
-        case MvAdversaryKind::None: return "none";
-        case MvAdversaryKind::Chaos: return "chaos";
-        case MvAdversaryKind::WorstCaseInner: return "worst-case(inner)";
-        case MvAdversaryKind::PreludePlusWorstCase: return "prelude+worst-case";
-    }
-    return "?";
+    return MvAdversaryRegistry::instance().at(a).display;
 }
 
 }  // namespace adba::sim

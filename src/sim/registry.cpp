@@ -1,0 +1,720 @@
+#include "sim/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "adversary/balancer.hpp"
+#include "adversary/chaos.hpp"
+#include "adversary/composite.hpp"
+#include "adversary/crash.hpp"
+#include "adversary/king_killer.hpp"
+#include "adversary/split_vote.hpp"
+#include "adversary/static_adversary.hpp"
+#include "adversary/tc_prelude.hpp"
+#include "adversary/worst_case.hpp"
+#include "baselines/ben_or.hpp"
+#include "baselines/chor_coan.hpp"
+#include "baselines/local_coin.hpp"
+#include "baselines/phase_king.hpp"
+#include "baselines/rabin_dealer.hpp"
+#include "baselines/sampling_majority.hpp"
+#include "core/agreement.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+
+namespace {
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+std::string fmt_double(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);  // exact round trip via parse
+    return buf;
+}
+
+bool third_resilient(NodeId n, Count t) { return 3 * static_cast<std::uint64_t>(t) < n; }
+
+}  // namespace
+
+// --------------------------------------------------------- registry machinery
+
+namespace detail {
+
+template <typename Entry, typename Kind>
+const Entry& RegistryBase<Entry, Kind>::add(Entry entry) {
+    // Validate every key BEFORE mutating, so a rejected plug-in leaves the
+    // registry exactly as it was.
+    auto check = [&](const std::string& key) {
+        const auto it = by_name_.find(lower(key));
+        if (it != by_name_.end())
+            throw ContractViolation("duplicate " + what_ + " name '" + key +
+                                    "' (already registered as '" + it->second->name +
+                                    "')");
+    };
+    check(entry.name);
+    for (const auto& alias : entry.aliases) check(alias);
+
+    entries_.push_back(std::move(entry));
+    const Entry& stored = entries_.back();
+    by_name_[lower(stored.name)] = &stored;
+    for (const auto& alias : stored.aliases) by_name_[lower(alias)] = &stored;
+    return stored;
+}
+
+template <typename Entry, typename Kind>
+const Entry& RegistryBase<Entry, Kind>::at(Kind kind) const {
+    for (const Entry& e : entries_)
+        if (e.kind == kind) return e;
+    throw ContractViolation("unregistered " + what_ + " kind #" +
+                            std::to_string(static_cast<int>(kind)) +
+                            "; known: " + known_names());
+}
+
+template <typename Entry, typename Kind>
+const Entry* RegistryBase<Entry, Kind>::find(const std::string& name_or_alias) const {
+    const auto it = by_name_.find(lower(name_or_alias));
+    return it == by_name_.end() ? nullptr : it->second;
+}
+
+template <typename Entry, typename Kind>
+const Entry& RegistryBase<Entry, Kind>::at(const std::string& name_or_alias) const {
+    if (const Entry* e = find(name_or_alias)) return *e;
+    throw ContractViolation("unknown " + what_ + " '" + name_or_alias +
+                            "'; known " + what_ + "s: " + known_names() +
+                            " (aliases accepted; see `adba_sim --list`)");
+}
+
+template <typename Entry, typename Kind>
+std::vector<const Entry*> RegistryBase<Entry, Kind>::list() const {
+    std::vector<const Entry*> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(&e);
+    return out;
+}
+
+template <typename Entry, typename Kind>
+std::string RegistryBase<Entry, Kind>::known_names() const {
+    std::string out;
+    for (const Entry& e : entries_) {
+        if (!out.empty()) out += ", ";
+        out += e.name;
+    }
+    return out;
+}
+
+template class RegistryBase<ProtocolEntry, ProtocolKind>;
+template class RegistryBase<AdversaryEntry, AdversaryKind>;
+template class RegistryBase<MvAdversaryEntry, MvAdversaryKind>;
+
+}  // namespace detail
+
+// ---------------------------------------------------------- built-in protocols
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+    static ProtocolRegistry reg;
+    return reg;
+}
+
+ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
+    // Algorithm 3 (the paper), w.h.p. fixed-phase and Las Vegas modes.
+    const auto alg3_nodes = [](const Scenario& s, const std::vector<Bit>& inputs,
+                               const SeedTree& seeds, core::AgreementMode mode) {
+        ProtocolBundle b;
+        const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
+        b.nodes = core::make_algorithm3_nodes(params, mode, inputs, seeds);
+        b.phases = params.phases;
+        b.schedule = params.schedule;
+        b.default_max_rounds = mode == core::AgreementMode::LasVegas
+                                   ? 32 * core::max_rounds_whp(params) + 256
+                                   : core::max_rounds_whp(params);
+        return b;
+    };
+    const auto alg3_schedule = [](const Scenario& s) {
+        return core::AgreementParams::compute(s.n, s.t, s.tuning).schedule;
+    };
+
+    add({ProtocolKind::Ours,
+         "ours",
+         "ours(alg3)",
+         {"alg3", "ours(alg3)", "dufoulon-pandurangan"},
+         "Algorithm 3, w.h.p. fixed phases (Theorem 2)",
+         "t < n/3",
+         third_resilient,
+         AdversaryKind::WorstCase,
+         [alg3_nodes](const Scenario& s, const std::vector<Bit>& in, const SeedTree& sd) {
+             return alg3_nodes(s, in, sd, core::AgreementMode::WhpFixedPhases);
+         },
+         alg3_schedule,
+         [](const Scenario& s) {
+             const auto p = core::AgreementParams::compute(s.n, s.t, s.tuning);
+             return BudgetHint{p.phases, core::max_rounds_whp(p)};
+         }});
+
+    add({ProtocolKind::OursLasVegas,
+         "ours-las-vegas",
+         "ours(las-vegas)",
+         {"ours(las-vegas)", "las-vegas", "alg3-lv"},
+         "Algorithm 3, Las Vegas variant (paper §3.2)",
+         "t < n/3",
+         third_resilient,
+         AdversaryKind::WorstCase,
+         [alg3_nodes](const Scenario& s, const std::vector<Bit>& in, const SeedTree& sd) {
+             return alg3_nodes(s, in, sd, core::AgreementMode::LasVegas);
+         },
+         alg3_schedule,
+         [](const Scenario& s) {
+             const auto p = core::AgreementParams::compute(s.n, s.t, s.tuning);
+             return BudgetHint{p.phases, 32 * core::max_rounds_whp(p) + 256};
+         }});
+
+    const auto chor_coan_nodes = [](const Scenario& s, const std::vector<Bit>& inputs,
+                                    const SeedTree& seeds, bool rushing) {
+        ProtocolBundle b;
+        const auto params = rushing
+                                ? base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning)
+                                : base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
+        b.nodes = base::make_chor_coan_nodes(params, core::AgreementMode::WhpFixedPhases,
+                                             inputs, seeds);
+        b.phases = params.phases;
+        b.schedule = params.schedule;
+        b.default_max_rounds = base::max_rounds_whp(params);
+        return b;
+    };
+
+    add({ProtocolKind::ChorCoanRushing,
+         "chor-coan-rushing",
+         "chor-coan(rushing)",
+         {"chor-coan(rushing)", "cc-rushing"},
+         "rushing-hardened Chor-Coan (footnote-3 comparator)",
+         "t < n/3",
+         third_resilient,
+         AdversaryKind::WorstCase,
+         [chor_coan_nodes](const Scenario& s, const std::vector<Bit>& in,
+                           const SeedTree& sd) { return chor_coan_nodes(s, in, sd, true); },
+         [](const Scenario& s) {
+             return base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning).schedule;
+         },
+         [](const Scenario& s) {
+             const auto p = base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning);
+             return BudgetHint{p.phases, base::max_rounds_whp(p)};
+         }});
+
+    add({ProtocolKind::ChorCoanClassic,
+         "chor-coan-classic",
+         "chor-coan(classic)",
+         {"chor-coan(classic)", "cc-classic", "chor-coan"},
+         "historic Chor-Coan 1985, Θ(log n)-size groups",
+         "t < n/3",
+         third_resilient,
+         AdversaryKind::WorstCase,
+         [chor_coan_nodes](const Scenario& s, const std::vector<Bit>& in,
+                           const SeedTree& sd) { return chor_coan_nodes(s, in, sd, false); },
+         [](const Scenario& s) {
+             return base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning).schedule;
+         },
+         [](const Scenario& s) {
+             const auto p = base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
+             return BudgetHint{p.phases, base::max_rounds_whp(p)};
+         }});
+
+    add({ProtocolKind::RabinDealer,
+         "rabin-dealer",
+         "rabin(dealer)",
+         {"rabin(dealer)", "rabin"},
+         "Rabin 1983, trusted-dealer shared coin (ideal reference)",
+         "t < n/3",
+         third_resilient,
+         AdversaryKind::SplitVote,
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const auto params = base::RabinDealerParams::compute(
+                 s.n, s.t, seeds.seed(StreamPurpose::DealerCoin), s.tuning.gamma);
+             b.nodes = base::make_rabin_dealer_nodes(
+                 params, core::AgreementMode::WhpFixedPhases, inputs, seeds);
+             b.phases = params.phases;
+             b.default_max_rounds = base::max_rounds_whp(params);
+             return b;
+         },
+         nullptr,
+         [](const Scenario& s) {
+             const auto p = base::RabinDealerParams::compute(s.n, s.t, 0, s.tuning.gamma);
+             return BudgetHint{p.phases, base::max_rounds_whp(p)};
+         }});
+
+    add({ProtocolKind::LocalCoin,
+         "local-coin",
+         "local-coin",
+         {},
+         "skeleton with private coins (ablation; exponential rounds)",
+         "t < n/3",
+         third_resilient,
+         AdversaryKind::SplitVote,
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const base::LocalCoinParams params{s.n, s.t, s.local_coin_phases};
+             b.nodes = base::make_local_coin_nodes(
+                 params, core::AgreementMode::WhpFixedPhases, inputs, seeds);
+             b.phases = params.phases;
+             b.default_max_rounds = 2 * (params.phases + 2);
+             return b;
+         },
+         nullptr,
+         [](const Scenario& s) {
+             return BudgetHint{s.local_coin_phases,
+                               static_cast<Round>(2 * (s.local_coin_phases + 2))};
+         }});
+
+    add({ProtocolKind::BenOr,
+         "ben-or",
+         "ben-or(1983)",
+         {"ben-or(1983)", "benor"},
+         "Ben-Or 1983 proper, private coins",
+         "t < n/5",
+         [](NodeId n, Count t) { return 5 * static_cast<std::uint64_t>(t) < n; },
+         AdversaryKind::SplitVote,
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
+             b.nodes = base::make_ben_or_nodes(params, inputs, seeds);
+             b.phases = params.phases;
+             b.default_max_rounds = 2 * (params.phases + 2);
+             return b;
+         },
+         nullptr,
+         [](const Scenario& s) {
+             return BudgetHint{s.local_coin_phases,
+                               static_cast<Round>(2 * (s.local_coin_phases + 2))};
+         }});
+
+    add({ProtocolKind::PhaseKing,
+         "phase-king",
+         "phase-king",
+         {"phaseking", "king"},
+         "deterministic 2(t+1)-round baseline",
+         "t < n/4",
+         [](NodeId n, Count t) { return 4 * static_cast<std::uint64_t>(t) < n; },
+         AdversaryKind::KingKiller,
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree&) {
+             ProtocolBundle b;
+             const base::PhaseKingParams params{s.n, s.t};
+             b.nodes = base::make_phase_king_nodes(params, inputs);
+             b.phases = params.phases();
+             b.default_max_rounds = params.total_rounds() + 2;
+             return b;
+         },
+         nullptr,
+         [](const Scenario& s) {
+             const base::PhaseKingParams p{s.n, s.t};
+             return BudgetHint{p.phases(), static_cast<Round>(p.total_rounds() + 2)};
+         }});
+
+    add({ProtocolKind::SamplingMajority,
+         "sampling-majority",
+         "sampling-majority",
+         {"sampling", "apr"},
+         "APR 2013 sampling-majority drift protocol (paper §1.3)",
+         "t < n/3, n >= 2",
+         [](NodeId n, Count t) { return n >= 2 && third_resilient(n, t); },
+         AdversaryKind::Balancer,
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const auto params =
+                 base::SamplingMajorityParams::compute(s.n, s.t, s.sampling_kappa);
+             b.nodes = base::make_sampling_majority_nodes(params, inputs, seeds);
+             b.phases = params.rounds;
+             b.default_max_rounds = params.rounds + 1;
+             return b;
+         },
+         nullptr,
+         [](const Scenario& s) {
+             const auto p = base::SamplingMajorityParams::compute(s.n, s.t, s.sampling_kappa);
+             return BudgetHint{p.rounds, static_cast<Round>(p.rounds + 1)};
+         }});
+}
+
+// --------------------------------------------------------- built-in adversaries
+
+AdversaryRegistry& AdversaryRegistry::instance() {
+    static AdversaryRegistry reg;
+    return reg;
+}
+
+AdversaryRegistry::AdversaryRegistry() : RegistryBase("adversary") {
+    const auto q_of = [](const Scenario& s) { return s.q.value_or(s.t); };
+
+    add({AdversaryKind::None,
+         "none",
+         "none",
+         {"null"},
+         "no corruptions (honest baseline)",
+         "-",
+         "-",
+         false,
+         std::nullopt,
+         [](const Scenario&, const ProtocolBundle&, const SeedTree&) {
+             return std::make_unique<net::NullAdversary>();
+         }});
+
+    add({AdversaryKind::Static,
+         "static",
+         "static",
+         {},
+         "static random corrupt set, split-vote behaviour",
+         "no",
+         "no",
+         false,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle&, const SeedTree& seeds)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::StaticAdversary>(
+                 q_of(s), adv::StaticBehavior::SplitVotes,
+                 seeds.stream(StreamPurpose::Adversary));
+         }});
+
+    add({AdversaryKind::SplitVote,
+         "split-vote",
+         "split-vote",
+         {"splitvote"},
+         "static set, threshold-straddling equivocation",
+         "no",
+         "no",
+         false,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle&, const SeedTree& seeds)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::SplitVoteAdversary>(
+                 q_of(s), seeds.stream(StreamPurpose::Adversary));
+         }});
+
+    add({AdversaryKind::Chaos,
+         "chaos",
+         "chaos",
+         {},
+         "random adaptive corruptions, fuzzed messages",
+         "yes",
+         "no",
+         false,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle&, const SeedTree& seeds)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::ChaosAdversary>(
+                 adv::ChaosConfig{q_of(s), 0.25, 0.7},
+                 seeds.stream(StreamPurpose::Adversary));
+         }});
+
+    add({AdversaryKind::CrashRandom,
+         "crash-random",
+         "crash(random)",
+         {"crash(random)", "crash"},
+         "adaptive random crash faults",
+         "yes",
+         "yes",
+         false,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle&, const SeedTree& seeds)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::CrashAdversary>(
+                 adv::CrashConfig{q_of(s), adv::CrashMode::Random, 0.15, std::nullopt},
+                 seeds.stream(StreamPurpose::Adversary));
+         }});
+
+    add({AdversaryKind::CrashTargetedCoin,
+         "crash-targeted-coin",
+         "crash(targeted)",
+         {"crash(targeted)", "crash-targeted"},
+         "BJBO-style adaptive crash attack on the committee coin",
+         "yes",
+         "yes",
+         true,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle& bundle, const SeedTree& seeds)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::CrashAdversary>(
+                 adv::CrashConfig{q_of(s), adv::CrashMode::TargetedCoin, 0.0,
+                                  bundle.schedule},
+                 seeds.stream(StreamPurpose::Adversary));
+         }});
+
+    add({AdversaryKind::WorstCase,
+         "worst-case",
+         "worst-case",
+         {"worstcase", "rushing"},
+         "schedule-aware rushing attack (the paper's model)",
+         "yes",
+         "yes",
+         true,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle& bundle, const SeedTree&)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::WorstCaseAdversary>(
+                 adv::WorstCaseConfig{s.t, q_of(s), *bundle.schedule, true});
+         }});
+
+    add({AdversaryKind::KingKiller,
+         "king-killer",
+         "king-killer",
+         {"kingkiller"},
+         "adaptive king corruption (Phase-King only)",
+         "yes",
+         "no",
+         false,
+         ProtocolKind::PhaseKing,
+         [q_of](const Scenario& s, const ProtocolBundle&, const SeedTree&)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::KingKillerAdversary>(
+                 base::PhaseKingParams{s.n, s.t}, q_of(s));
+         }});
+
+    add({AdversaryKind::Balancer,
+         "balancer",
+         "balancer",
+         {"majority-balancer"},
+         "drift-cancelling attack on sampling/majority protocols (E11)",
+         "yes",
+         "yes",
+         false,
+         std::nullopt,
+         [q_of](const Scenario& s, const ProtocolBundle&, const SeedTree&)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::MajorityBalancerAdversary>(
+                 adv::BalancerConfig{q_of(s), 0});
+         }});
+}
+
+// ------------------------------------------------- built-in mv adversaries
+
+MvAdversaryRegistry& MvAdversaryRegistry::instance() {
+    static MvAdversaryRegistry reg;
+    return reg;
+}
+
+MvAdversaryRegistry::MvAdversaryRegistry() : RegistryBase("mv-adversary") {
+    add({MvAdversaryKind::None,
+         "none",
+         "none",
+         {"null"},
+         "no corruptions",
+         [](const MvScenario&, const core::MultiValuedParams&, const SeedTree&) {
+             return std::make_unique<net::NullAdversary>();
+         }});
+
+    add({MvAdversaryKind::Chaos,
+         "chaos",
+         "chaos",
+         {},
+         "fuzzed garbage incl. Turpin-Coan message kinds",
+         [](const MvScenario& s, const core::MultiValuedParams&, const SeedTree& seeds)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::ChaosAdversary>(
+                 adv::ChaosConfig{s.t, 0.3, 0.7}, seeds.stream(StreamPurpose::Adversary));
+         }});
+
+    add({MvAdversaryKind::WorstCaseInner,
+         "worst-case-inner",
+         "worst-case(inner)",
+         {"worst-case(inner)", "inner"},
+         "full budget on the embedded Algorithm 3",
+         [](const MvScenario& s, const core::MultiValuedParams& params, const SeedTree&)
+             -> std::unique_ptr<net::Adversary> {
+             return std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
+                 s.t, s.t, params.binary.schedule, true, /*round_offset=*/2});
+         }});
+
+    add({MvAdversaryKind::PreludePlusWorstCase,
+         "prelude+worst-case",
+         "prelude+worst-case",
+         {"prelude-plus-worst-case", "prelude"},
+         "half budget equivocating the prelude, half on the inner protocol",
+         [](const MvScenario& s, const core::MultiValuedParams& params,
+            const SeedTree& seeds) -> std::unique_ptr<net::Adversary> {
+             const Count half = s.t / 2;
+             auto prelude = std::make_unique<adv::TcPreludeAdversary>(
+                 half, seeds.stream(StreamPurpose::Adversary));
+             auto inner = std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
+                 s.t, s.t - half, params.binary.schedule, true, /*round_offset=*/2});
+             return std::make_unique<adv::SwitchAdversary>(std::move(prelude),
+                                                           std::move(inner), 2);
+         }});
+}
+
+// ------------------------------------------------------ compatibility checks
+
+std::optional<std::string> why_incompatible(const Scenario& s) {
+    const ProtocolEntry& p = ProtocolRegistry::instance().at(s.protocol);
+    const AdversaryEntry& a = AdversaryRegistry::instance().at(s.adversary);
+
+    if (!p.supports(s.n, s.t))
+        return "protocol '" + p.name + "' requires " + p.resilience + " (got n=" +
+               std::to_string(s.n) + ", t=" + std::to_string(s.t) +
+               "); lower t or pick another protocol (see `adba_sim --list`)";
+
+    const Count q = s.q.value_or(s.t);
+    if (q > s.t)
+        return "actual corruptions q must not exceed the budget t (q=" +
+               std::to_string(q) + ", t=" + std::to_string(s.t) + ")";
+
+    if (a.needs_schedule && !p.schedule_of) {
+        std::string with;
+        for (const ProtocolEntry* e : ProtocolRegistry::instance().list())
+            if (e->schedule_of) with += (with.empty() ? "" : ", ") + e->name;
+        return "adversary '" + a.name + "' needs a committee-schedule protocol; '" +
+               p.name + "' has none (compatible protocols: " + with + ")";
+    }
+
+    if (a.requires_protocol && *a.requires_protocol != p.kind) {
+        const std::string target =
+            ProtocolRegistry::instance().at(*a.requires_protocol).name;
+        return "adversary '" + a.name + "' targets protocol '" + target +
+               "' only (scenario has '" + p.name + "')";
+    }
+
+    return std::nullopt;
+}
+
+bool compatible(const Scenario& s) { return !why_incompatible(s).has_value(); }
+
+ScenarioPlan validate(const Scenario& s) {
+    if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
+    return {&ProtocolRegistry::instance().at(s.protocol),
+            &AdversaryRegistry::instance().at(s.adversary)};
+}
+
+// -------------------------------------------------------- input-name tables
+
+InputPattern parse_input_pattern(const std::string& name) {
+    const std::string k = lower(name);
+    if (k == "all-zero" || k == "zeros") return InputPattern::AllZero;
+    if (k == "all-one" || k == "ones") return InputPattern::AllOne;
+    if (k == "split") return InputPattern::Split;
+    if (k == "random") return InputPattern::Random;
+    throw ContractViolation("unknown input pattern '" + name +
+                            "'; known: all-zero, all-one, split, random");
+}
+
+MvInputPattern parse_mv_input_pattern(const std::string& name) {
+    const std::string k = lower(name);
+    if (k == "all-same") return MvInputPattern::AllSame;
+    if (k == "two-blocks") return MvInputPattern::TwoBlocks;
+    if (k == "all-distinct" || k == "distinct") return MvInputPattern::Distinct;
+    if (k == "random" || k == "random(4)" || k == "random-tiny")
+        return MvInputPattern::RandomTiny;
+    if (k == "near-quorum" || k == "near-quorum(60%)") return MvInputPattern::NearQuorum;
+    throw ContractViolation(
+        "unknown multi-valued input pattern '" + name +
+        "'; known: all-same, two-blocks, all-distinct, random, near-quorum");
+}
+
+// ------------------------------------------------- Scenario parse / describe
+
+std::string Scenario::describe() const {
+    static const Scenario defaults;
+    std::string out = "protocol=" + ProtocolRegistry::instance().at(protocol).name +
+                      " adversary=" + AdversaryRegistry::instance().at(adversary).name +
+                      " inputs=" + to_string(inputs) + " n=" + std::to_string(n) +
+                      " t=" + std::to_string(t);
+    if (q) out += " q=" + std::to_string(*q);
+    if (tuning.alpha != defaults.tuning.alpha)
+        out += " alpha=" + fmt_double(tuning.alpha);
+    if (tuning.gamma != defaults.tuning.gamma)
+        out += " gamma=" + fmt_double(tuning.gamma);
+    if (tuning.beta != defaults.tuning.beta) out += " beta=" + fmt_double(tuning.beta);
+    if (local_coin_phases != defaults.local_coin_phases)
+        out += " phases=" + std::to_string(local_coin_phases);
+    if (sampling_kappa != defaults.sampling_kappa)
+        out += " kappa=" + fmt_double(sampling_kappa);
+    if (max_rounds_override != defaults.max_rounds_override)
+        out += " max_rounds=" + std::to_string(max_rounds_override);
+    if (record_transcript) out += " transcript=true";
+    return out;
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+    try {
+        std::size_t pos = 0;
+        const unsigned long long v = std::stoull(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return v;
+    } catch (const ContractViolation&) {
+        throw;
+    } catch (...) {
+        throw ContractViolation("scenario key '" + key +
+                                "' expects a non-negative integer, got '" + value + "'");
+    }
+}
+
+double parse_f64(const std::string& key, const std::string& value) {
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+        return v;
+    } catch (const ContractViolation&) {
+        throw;
+    } catch (...) {
+        throw ContractViolation("scenario key '" + key + "' expects a number, got '" +
+                                value + "'");
+    }
+}
+
+}  // namespace
+
+Scenario Scenario::parse(const std::string& spec) {
+    Scenario s;
+    std::istringstream in(spec);
+    std::string token;
+    while (in >> token) {
+        while (!token.empty() && (token.back() == ',' || token.back() == ';'))
+            token.pop_back();
+        if (token.empty()) continue;
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            throw ContractViolation("scenario token '" + token +
+                                    "' is not of the form key=value");
+        const std::string key = lower(token.substr(0, eq));
+        const std::string value = token.substr(eq + 1);
+        if (key == "protocol") {
+            s.protocol = ProtocolRegistry::instance().at(value).kind;
+        } else if (key == "adversary") {
+            s.adversary = AdversaryRegistry::instance().at(value).kind;
+        } else if (key == "inputs") {
+            s.inputs = parse_input_pattern(value);
+        } else if (key == "n") {
+            s.n = static_cast<NodeId>(parse_u64(key, value));
+        } else if (key == "t") {
+            s.t = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "q") {
+            s.q = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "alpha") {
+            s.tuning.alpha = parse_f64(key, value);
+        } else if (key == "gamma") {
+            s.tuning.gamma = parse_f64(key, value);
+        } else if (key == "beta") {
+            s.tuning.beta = parse_f64(key, value);
+        } else if (key == "phases") {
+            s.local_coin_phases = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "kappa") {
+            s.sampling_kappa = parse_f64(key, value);
+        } else if (key == "max_rounds") {
+            s.max_rounds_override = static_cast<Round>(parse_u64(key, value));
+        } else if (key == "transcript") {
+            s.record_transcript = value == "true" || value == "1" || value == "yes";
+        } else {
+            throw ContractViolation(
+                "unknown scenario key '" + key +
+                "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
+                "beta, phases, kappa, max_rounds, transcript");
+        }
+    }
+    return s;
+}
+
+}  // namespace adba::sim

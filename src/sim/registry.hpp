@@ -1,0 +1,199 @@
+// Open protocol/adversary registries: the scenario layer's extension point.
+//
+// Every agreement protocol and every adversary strategy self-describes here
+// with a capability descriptor — canonical name + aliases, resilience
+// predicate `supports(n, t)`, strongest known adversary, schedule hook,
+// default phase/round budgets, compatibility constraints — plus the factory
+// that builds it for a trial. Runners, sweeps, benches, and the `adba_sim`
+// driver select entries by string key, so adding a (protocol x adversary)
+// combination is ONE registration call in one translation unit instead of a
+// new enum value threaded through four switch statements.
+//
+// The built-in entries are registered by the registry constructors in
+// registry.cpp (linker-safe for a static library). A plug-in translation
+// unit extends the system with
+//
+//     static const auto& my_proto = adba::sim::ProtocolRegistry::instance().add({...});
+//
+// provided the object file is linked into the binary.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/multivalued_runner.hpp"
+#include "sim/runner.hpp"
+
+namespace adba::sim {
+
+/// What a protocol factory hands the engine: the node set plus the budgets
+/// and (optional) committee schedule the adversary factories consume.
+struct ProtocolBundle {
+    std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    Round default_max_rounds = 0;
+    Count phases = 0;
+    std::optional<core::BlockSchedule> schedule;
+};
+
+/// Phase/round budgets a scenario would run with, computable without
+/// building the node set (for `adba_sim` and capability listings).
+struct BudgetHint {
+    Count phases = 0;
+    Round max_rounds = 0;
+};
+
+/// Capability descriptor + factory for one agreement protocol.
+struct ProtocolEntry {
+    ProtocolKind kind{};
+    std::string name;     ///< canonical CLI key, e.g. "chor-coan-rushing"
+    std::string display;  ///< table label, e.g. "chor-coan(rushing)"
+    std::vector<std::string> aliases;
+    std::string summary;     ///< one-line note for capability tables
+    std::string resilience;  ///< human-readable bound, e.g. "t < n/4"
+
+    /// Resilience predicate: can this protocol be instantiated at (n, t)?
+    std::function<bool(NodeId, Count)> supports;
+
+    /// The strongest implemented attack against this protocol.
+    AdversaryKind strongest = AdversaryKind::None;
+
+    /// Builds the node set for one trial.
+    std::function<ProtocolBundle(const Scenario&, const std::vector<Bit>&,
+                                 const SeedTree&)>
+        make_nodes;
+
+    /// Committee schedule hook; null for protocols without one (their
+    /// scenarios are incompatible with schedule-aware adversaries).
+    std::function<core::BlockSchedule(const Scenario&)> schedule_of;
+
+    /// Default phase/round budgets at the scenario's parameters.
+    std::function<BudgetHint(const Scenario&)> budgets;
+};
+
+/// Capability descriptor + factory for one adversary strategy.
+struct AdversaryEntry {
+    AdversaryKind kind{};
+    std::string name;
+    std::string display;
+    std::vector<std::string> aliases;
+    std::string summary;
+
+    std::string adaptive = "no";  ///< "yes"/"no"/"-": corrupts based on the run
+    std::string rushing = "no";   ///< "yes"/"no"/"-": acts after seeing a round
+
+    /// Needs the protocol to expose a committee schedule (schedule-aware).
+    bool needs_schedule = false;
+    /// Only meaningful against one specific protocol (e.g. KingKiller).
+    std::optional<ProtocolKind> requires_protocol;
+
+    std::function<std::unique_ptr<net::Adversary>(const Scenario&,
+                                                  const ProtocolBundle&,
+                                                  const SeedTree&)>
+        make_adversary;
+};
+
+/// Adversary strategies for the multi-valued (Turpin-Coan) stack.
+struct MvAdversaryEntry {
+    MvAdversaryKind kind{};
+    std::string name;
+    std::string display;
+    std::vector<std::string> aliases;
+    std::string summary;
+
+    std::function<std::unique_ptr<net::Adversary>(const MvScenario&,
+                                                  const core::MultiValuedParams&,
+                                                  const SeedTree&)>
+        make_adversary;
+};
+
+namespace detail {
+
+/// Shared registry machinery: entries in registration order with stable
+/// addresses, looked up by enum kind or by (case-insensitive) name/alias.
+template <typename Entry, typename Kind>
+class RegistryBase {
+public:
+    /// Registers an entry; throws ContractViolation on a name/alias clash.
+    const Entry& add(Entry entry);
+
+    /// Lookup by enum kind; throws when the kind was never registered.
+    const Entry& at(Kind kind) const;
+    /// Lookup by canonical name or alias; throws with the known-name list.
+    const Entry& at(const std::string& name_or_alias) const;
+    /// Like at(name) but returns nullptr instead of throwing.
+    const Entry* find(const std::string& name_or_alias) const;
+
+    /// All entries, in registration order (built-ins follow enum order).
+    std::vector<const Entry*> list() const;
+
+    /// Comma-separated canonical names, for error messages and usage text.
+    std::string known_names() const;
+
+protected:
+    RegistryBase(std::string what) : what_(std::move(what)) {}
+
+private:
+    std::string what_;  ///< "protocol" / "adversary" — for error messages
+    std::deque<Entry> entries_;
+    std::map<std::string, const Entry*> by_name_;
+};
+
+}  // namespace detail
+
+class ProtocolRegistry : public detail::RegistryBase<ProtocolEntry, ProtocolKind> {
+public:
+    static ProtocolRegistry& instance();
+
+private:
+    ProtocolRegistry();  ///< registers the built-in protocols
+};
+
+class AdversaryRegistry : public detail::RegistryBase<AdversaryEntry, AdversaryKind> {
+public:
+    static AdversaryRegistry& instance();
+
+private:
+    AdversaryRegistry();  ///< registers the built-in adversaries
+};
+
+class MvAdversaryRegistry
+    : public detail::RegistryBase<MvAdversaryEntry, MvAdversaryKind> {
+public:
+    static MvAdversaryRegistry& instance();
+
+private:
+    MvAdversaryRegistry();
+};
+
+/// The registry entries a scenario resolves to once validated.
+struct ScenarioPlan {
+    const ProtocolEntry* protocol = nullptr;
+    const AdversaryEntry* adversary = nullptr;
+};
+
+/// THE feasibility/compatibility rule set — the one place the repository
+/// states them. Returns an actionable message when the scenario cannot run:
+/// protocol resilience violated (`supports(n, t)` false), q > t, adversary
+/// needs a committee schedule the protocol lacks, or the adversary targets a
+/// different protocol.
+std::optional<std::string> why_incompatible(const Scenario& s);
+
+/// True iff validate(s) would succeed. Sweep filters use this.
+bool compatible(const Scenario& s);
+
+/// Resolves and checks the scenario; throws ContractViolation with the
+/// why_incompatible message on failure.
+ScenarioPlan validate(const Scenario& s);
+
+/// Name <-> enum helpers for the remaining scenario axes (throw with the
+/// accepted-name list on unknown input).
+InputPattern parse_input_pattern(const std::string& name);
+MvInputPattern parse_mv_input_pattern(const std::string& name);
+
+}  // namespace adba::sim

@@ -3,175 +3,29 @@
 #include <memory>
 #include <vector>
 
-#include "adversary/balancer.hpp"
-#include "adversary/chaos.hpp"
-#include "adversary/crash.hpp"
-#include "adversary/king_killer.hpp"
-#include "adversary/split_vote.hpp"
-#include "adversary/static_adversary.hpp"
-#include "adversary/worst_case.hpp"
-#include "baselines/ben_or.hpp"
-#include "baselines/chor_coan.hpp"
-#include "baselines/local_coin.hpp"
-#include "baselines/phase_king.hpp"
-#include "baselines/rabin_dealer.hpp"
-#include "baselines/sampling_majority.hpp"
-#include "core/agreement.hpp"
+#include "sim/registry.hpp"
 #include "support/contracts.hpp"
+
+// All protocol/adversary construction goes through the registries in
+// registry.cpp — this file only wires a validated scenario into the engine.
+// Adding a protocol or adversary is a registry entry, not a switch edit here.
 
 namespace adba::sim {
 
-namespace {
-
-struct ProtocolBundle {
-    std::vector<std::unique_ptr<net::HonestNode>> nodes;
-    Round default_max_rounds = 0;
-    Count phases = 0;
-    std::optional<core::BlockSchedule> schedule;
-};
-
-ProtocolBundle build_protocol(const Scenario& s, const std::vector<Bit>& inputs,
-                              const SeedTree& seeds) {
-    ProtocolBundle b;
-    switch (s.protocol) {
-        case ProtocolKind::Ours:
-        case ProtocolKind::OursLasVegas: {
-            const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
-            const auto mode = s.protocol == ProtocolKind::Ours
-                                  ? core::AgreementMode::WhpFixedPhases
-                                  : core::AgreementMode::LasVegas;
-            b.nodes = core::make_algorithm3_nodes(params, mode, inputs, seeds);
-            b.phases = params.phases;
-            b.schedule = params.schedule;
-            b.default_max_rounds = mode == core::AgreementMode::LasVegas
-                                       ? 32 * core::max_rounds_whp(params) + 256
-                                       : core::max_rounds_whp(params);
-            break;
-        }
-        case ProtocolKind::ChorCoanRushing:
-        case ProtocolKind::ChorCoanClassic: {
-            const auto params = s.protocol == ProtocolKind::ChorCoanRushing
-                                    ? base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning)
-                                    : base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
-            b.nodes = base::make_chor_coan_nodes(params, core::AgreementMode::WhpFixedPhases,
-                                                 inputs, seeds);
-            b.phases = params.phases;
-            b.schedule = params.schedule;
-            b.default_max_rounds = base::max_rounds_whp(params);
-            break;
-        }
-        case ProtocolKind::RabinDealer: {
-            const auto params = base::RabinDealerParams::compute(
-                s.n, s.t, seeds.seed(StreamPurpose::DealerCoin), s.tuning.gamma);
-            b.nodes = base::make_rabin_dealer_nodes(params, core::AgreementMode::WhpFixedPhases,
-                                                    inputs, seeds);
-            b.phases = params.phases;
-            b.default_max_rounds = base::max_rounds_whp(params);
-            break;
-        }
-        case ProtocolKind::LocalCoin: {
-            const base::LocalCoinParams params{s.n, s.t, s.local_coin_phases};
-            b.nodes = base::make_local_coin_nodes(params, core::AgreementMode::WhpFixedPhases,
-                                                  inputs, seeds);
-            b.phases = params.phases;
-            b.default_max_rounds = 2 * (params.phases + 2);
-            break;
-        }
-        case ProtocolKind::BenOr: {
-            const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
-            b.nodes = base::make_ben_or_nodes(params, inputs, seeds);
-            b.phases = params.phases;
-            b.default_max_rounds = 2 * (params.phases + 2);
-            break;
-        }
-        case ProtocolKind::PhaseKing: {
-            const base::PhaseKingParams params{s.n, s.t};
-            b.nodes = base::make_phase_king_nodes(params, inputs);
-            b.phases = params.phases();
-            b.default_max_rounds = params.total_rounds() + 2;
-            break;
-        }
-        case ProtocolKind::SamplingMajority: {
-            const auto params =
-                base::SamplingMajorityParams::compute(s.n, s.t, s.sampling_kappa);
-            b.nodes = base::make_sampling_majority_nodes(params, inputs, seeds);
-            b.phases = params.rounds;
-            b.default_max_rounds = params.rounds + 1;
-            break;
-        }
-    }
-    return b;
-}
-
-std::unique_ptr<net::Adversary> build_adversary(const Scenario& s,
-                                                const ProtocolBundle& bundle,
-                                                const SeedTree& seeds) {
-    const Count q = s.q.value_or(s.t);
-    ADBA_EXPECTS_MSG(q <= s.t, "actual corruptions q must not exceed the budget t");
-    auto rng = seeds.stream(StreamPurpose::Adversary);
-    switch (s.adversary) {
-        case AdversaryKind::None:
-            return std::make_unique<net::NullAdversary>();
-        case AdversaryKind::Static:
-            return std::make_unique<adv::StaticAdversary>(q, adv::StaticBehavior::SplitVotes,
-                                                          rng);
-        case AdversaryKind::SplitVote:
-            return std::make_unique<adv::SplitVoteAdversary>(q, rng);
-        case AdversaryKind::Chaos:
-            return std::make_unique<adv::ChaosAdversary>(adv::ChaosConfig{q, 0.25, 0.7}, rng);
-        case AdversaryKind::CrashRandom:
-            return std::make_unique<adv::CrashAdversary>(
-                adv::CrashConfig{q, adv::CrashMode::Random, 0.15, std::nullopt}, rng);
-        case AdversaryKind::CrashTargetedCoin: {
-            ADBA_EXPECTS_MSG(bundle.schedule.has_value(),
-                             "targeted-coin crash needs a committee protocol");
-            return std::make_unique<adv::CrashAdversary>(
-                adv::CrashConfig{q, adv::CrashMode::TargetedCoin, 0.0, bundle.schedule},
-                rng);
-        }
-        case AdversaryKind::WorstCase: {
-            ADBA_EXPECTS_MSG(bundle.schedule.has_value(),
-                             "worst-case adversary needs a committee protocol");
-            return std::make_unique<adv::WorstCaseAdversary>(
-                adv::WorstCaseConfig{s.t, q, *bundle.schedule, true});
-        }
-        case AdversaryKind::KingKiller: {
-            ADBA_EXPECTS_MSG(s.protocol == ProtocolKind::PhaseKing,
-                             "king-killer targets Phase-King");
-            return std::make_unique<adv::KingKillerAdversary>(
-                base::PhaseKingParams{s.n, s.t}, q);
-        }
-        case AdversaryKind::Balancer:
-            return std::make_unique<adv::MajorityBalancerAdversary>(
-                adv::BalancerConfig{q, 0});
-    }
-    ADBA_ENSURES_MSG(false, "unreachable adversary kind");
-    return nullptr;
-}
-
-}  // namespace
-
 std::optional<core::BlockSchedule> schedule_of(const Scenario& s) {
-    switch (s.protocol) {
-        case ProtocolKind::Ours:
-        case ProtocolKind::OursLasVegas:
-            return core::AgreementParams::compute(s.n, s.t, s.tuning).schedule;
-        case ProtocolKind::ChorCoanRushing:
-            return base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning).schedule;
-        case ProtocolKind::ChorCoanClassic:
-            return base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning).schedule;
-        default:
-            return std::nullopt;
-    }
+    const ProtocolEntry& e = ProtocolRegistry::instance().at(s.protocol);
+    if (!e.schedule_of) return std::nullopt;
+    return e.schedule_of(s);
 }
 
 TrialResult run_trial(const Scenario& s, std::uint64_t seed) {
     ADBA_EXPECTS(s.n > 0);
+    const ScenarioPlan plan = validate(s);
     const SeedTree seeds(seed);
     const std::vector<Bit> inputs = make_inputs(s.inputs, s.n, seeds);
 
-    ProtocolBundle bundle = build_protocol(s, inputs, seeds);
-    auto adversary = build_adversary(s, bundle, seeds);
+    ProtocolBundle bundle = plan.protocol->make_nodes(s, inputs, seeds);
+    auto adversary = plan.adversary->make_adversary(s, bundle, seeds);
 
     net::EngineConfig cfg;
     cfg.n = s.n;
@@ -228,34 +82,10 @@ Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
     });
 }
 
-std::string to_string(ProtocolKind k) {
-    switch (k) {
-        case ProtocolKind::Ours: return "ours(alg3)";
-        case ProtocolKind::OursLasVegas: return "ours(las-vegas)";
-        case ProtocolKind::ChorCoanRushing: return "chor-coan(rushing)";
-        case ProtocolKind::ChorCoanClassic: return "chor-coan(classic)";
-        case ProtocolKind::RabinDealer: return "rabin(dealer)";
-        case ProtocolKind::LocalCoin: return "local-coin";
-        case ProtocolKind::BenOr: return "ben-or(1983)";
-        case ProtocolKind::PhaseKing: return "phase-king";
-        case ProtocolKind::SamplingMajority: return "sampling-majority";
-    }
-    return "?";
-}
+std::string to_string(ProtocolKind k) { return ProtocolRegistry::instance().at(k).display; }
 
 std::string to_string(AdversaryKind k) {
-    switch (k) {
-        case AdversaryKind::None: return "none";
-        case AdversaryKind::Static: return "static";
-        case AdversaryKind::SplitVote: return "split-vote";
-        case AdversaryKind::Chaos: return "chaos";
-        case AdversaryKind::CrashRandom: return "crash(random)";
-        case AdversaryKind::CrashTargetedCoin: return "crash(targeted)";
-        case AdversaryKind::WorstCase: return "worst-case";
-        case AdversaryKind::KingKiller: return "king-killer";
-        case AdversaryKind::Balancer: return "balancer";
-    }
-    return "?";
+    return AdversaryRegistry::instance().at(k).display;
 }
 
 }  // namespace adba::sim

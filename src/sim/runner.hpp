@@ -53,6 +53,18 @@ struct Scenario {
     double sampling_kappa = 4.0;       ///< SamplingMajority round budget knob
     Round max_rounds_override = 0;     ///< 0 = protocol-derived default
     bool record_transcript = false;
+
+    /// Builds a scenario from a `key=value ...` spec string, resolving
+    /// protocol/adversary/input names through the registries (registry.hpp).
+    /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
+    /// phases, kappa, max_rounds, transcript. Unknown keys or names throw
+    /// ContractViolation with the accepted alternatives.
+    static Scenario parse(const std::string& spec);
+
+    /// Canonical spec string; `Scenario::parse(s.describe()) == s`.
+    std::string describe() const;
+
+    friend bool operator==(const Scenario&, const Scenario&) = default;
 };
 
 struct TrialResult {

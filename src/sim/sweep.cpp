@@ -3,6 +3,7 @@
 #include <cmath>
 #include <optional>
 
+#include "sim/registry.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
 
@@ -31,23 +32,7 @@ std::uint64_t row_seed(std::uint64_t base_seed, std::size_t row_index) {
 }
 
 AdversaryKind strongest_adversary(ProtocolKind protocol) {
-    switch (protocol) {
-        case ProtocolKind::Ours:
-        case ProtocolKind::OursLasVegas:
-        case ProtocolKind::ChorCoanRushing:
-        case ProtocolKind::ChorCoanClassic:
-            return AdversaryKind::WorstCase;  // needs a committee schedule
-        case ProtocolKind::PhaseKing:
-            return AdversaryKind::KingKiller;
-        case ProtocolKind::SamplingMajority:
-            return AdversaryKind::Balancer;
-        case ProtocolKind::RabinDealer:
-        case ProtocolKind::LocalCoin:
-        case ProtocolKind::BenOr:
-            return AdversaryKind::SplitVote;  // no schedule to rush
-    }
-    ADBA_ENSURES_MSG(false, "unreachable protocol kind");
-    return AdversaryKind::None;
+    return ProtocolRegistry::instance().at(protocol).strongest;
 }
 
 std::vector<SweepRow> SweepGrid::rows() const {
@@ -134,6 +119,8 @@ std::vector<SweepOutcome> run_sweep(const SweepGrid& grid, std::uint64_t base_se
 
 std::vector<CoinSweepRow> CoinSweepGrid::rows() const {
     ADBA_EXPECTS_MSG(!ns.empty(), "coin sweep needs at least one network size");
+    ADBA_EXPECTS_MSG(!f_ratios.empty() || !fs.empty(),
+                     "coin sweep needs a budget axis (f_ratios or fs)");
     ADBA_EXPECTS_MSG(f_ratios.empty() || fs.empty(),
                      "give the budget either as ratios or explicit values, not both");
     std::vector<CoinSweepRow> out;

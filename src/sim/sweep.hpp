@@ -66,8 +66,8 @@ struct SweepOutcome {
 std::vector<SweepOutcome> run_sweep(const SweepGrid& grid, std::uint64_t base_seed,
                                     Count trials, const ExecutorConfig& exec = {});
 
-/// The strongest implemented adversary for each protocol (the pairing every
-/// comparison bench and example used to hand-maintain).
+/// The strongest implemented adversary for each protocol, read from the
+/// protocol registry's capability metadata (registry.hpp).
 AdversaryKind strongest_adversary(ProtocolKind protocol);
 
 // -------------------------------------------------------------- coin sweeps

@@ -1,11 +1,31 @@
 #include "support/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "support/contracts.hpp"
 
 namespace adba {
+
+namespace {
+
+// Edit distance for "--trails -> did you mean --trials?" suggestions.
+std::size_t levenshtein(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
     if (argc > 0) passthrough_.emplace_back(argv[0]);
@@ -27,26 +47,33 @@ Cli::Cli(int argc, char** argv) {
     }
 }
 
-bool Cli::has(const std::string& key) const { return kv_.count(key) > 0; }
+bool Cli::has(const std::string& key) const {
+    queried_.insert(key);
+    return kv_.count(key) > 0;
+}
 
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
+    queried_.insert(key);
     const auto it = kv_.find(key);
     return it == kv_.end() ? fallback : it->second;
 }
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+    queried_.insert(key);
     const auto it = kv_.find(key);
     if (it == kv_.end()) return fallback;
     return std::stoll(it->second);
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
+    queried_.insert(key);
     const auto it = kv_.find(key);
     if (it == kv_.end()) return fallback;
     return std::stod(it->second);
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {
+    queried_.insert(key);
     const auto it = kv_.find(key);
     if (it == kv_.end()) return fallback;
     return it->second == "true" || it->second == "1" || it->second == "yes";
@@ -54,6 +81,7 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
 
 std::vector<std::int64_t> Cli::get_int_list(const std::string& key,
                                             std::vector<std::int64_t> fallback) const {
+    queried_.insert(key);
     const auto it = kv_.find(key);
     if (it == kv_.end()) return fallback;
     std::vector<std::int64_t> out;
@@ -67,6 +95,30 @@ std::vector<std::int64_t> Cli::get_int_list(const std::string& key,
     }
     ADBA_ENSURES_MSG(!out.empty(), "empty list for --" + key);
     return out;
+}
+
+void Cli::check_unused() const {
+    std::string msg;
+    for (const auto& [key, value] : kv_) {
+        if (queried_.count(key)) continue;
+        if (!msg.empty()) msg += "; ";
+        msg += "unrecognized flag --" + key;
+        std::string best;
+        std::size_t best_dist = 3;  // only suggest close matches
+        for (const auto& known : queried_) {
+            const std::size_t d = levenshtein(key, known);
+            if (d < best_dist) {
+                best_dist = d;
+                best = known;
+            }
+        }
+        if (!best.empty()) msg += " (did you mean --" + best + "?)";
+    }
+    if (msg.empty()) return;
+    std::string known;
+    for (const auto& key : queried_) known += (known.empty() ? "--" : ", --") + key;
+    throw ContractViolation(msg + ". Recognized flags: " +
+                            (known.empty() ? "(none)" : known));
 }
 
 }  // namespace adba

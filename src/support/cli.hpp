@@ -3,10 +3,16 @@
 // Supports `--name=value` and `--name value` forms plus `--flag` booleans.
 // Unrecognized google-benchmark flags (--benchmark_*) are passed through
 // untouched so bench binaries can share argv with benchmark::Initialize.
+//
+// Strict mode: every accessor records which key it was asked for; a binary
+// calls `check_unused()` after its last read and gets a loud failure for any
+// flag nothing ever queried — so a typo like `--trails=50` aborts the run
+// instead of silently proceeding with defaults.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,9 +38,16 @@ public:
     /// Remaining untouched arguments (argv[0] + benchmark flags + positionals).
     const std::vector<std::string>& passthrough() const { return passthrough_; }
 
+    /// Throws ContractViolation when any parsed `--flag` was never queried by
+    /// an accessor, naming the offenders and suggesting the closest known
+    /// key. Call after the last flag read (benches do this inside
+    /// benchutil::run_benchmark_tail).
+    void check_unused() const;
+
 private:
     std::map<std::string, std::string> kv_;
     std::vector<std::string> passthrough_;
+    mutable std::set<std::string> queried_;
 };
 
 }  // namespace adba

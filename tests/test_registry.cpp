@@ -1,0 +1,271 @@
+// Registry tests: every name and alias resolves to the right entry,
+// Scenario::parse/describe round-trips through the registries, and unknown
+// or incompatible selections fail with actionable messages.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/registry.hpp"
+#include "sim/sweep.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::sim {
+namespace {
+
+std::string thrown_message(const std::function<void()>& f) {
+    try {
+        f();
+    } catch (const ContractViolation& e) {
+        return e.what();
+    }
+    return "";
+}
+
+// --------------------------------------------------------------- resolution
+
+TEST(Registry, EveryProtocolKindRegistered) {
+    const auto& reg = ProtocolRegistry::instance();
+    EXPECT_EQ(reg.list().size(), 9u);
+    for (const auto kind :
+         {ProtocolKind::Ours, ProtocolKind::OursLasVegas, ProtocolKind::ChorCoanRushing,
+          ProtocolKind::ChorCoanClassic, ProtocolKind::RabinDealer,
+          ProtocolKind::LocalCoin, ProtocolKind::BenOr, ProtocolKind::PhaseKing,
+          ProtocolKind::SamplingMajority}) {
+        const ProtocolEntry& e = reg.at(kind);
+        EXPECT_EQ(e.kind, kind);
+        EXPECT_TRUE(e.supports) << e.name;
+        EXPECT_TRUE(e.make_nodes) << e.name;
+        EXPECT_TRUE(e.budgets) << e.name;
+        EXPECT_FALSE(e.resilience.empty()) << e.name;
+    }
+}
+
+TEST(Registry, EveryAdversaryKindRegistered) {
+    const auto& reg = AdversaryRegistry::instance();
+    EXPECT_EQ(reg.list().size(), 9u);
+    for (const auto kind :
+         {AdversaryKind::None, AdversaryKind::Static, AdversaryKind::SplitVote,
+          AdversaryKind::Chaos, AdversaryKind::CrashRandom,
+          AdversaryKind::CrashTargetedCoin, AdversaryKind::WorstCase,
+          AdversaryKind::KingKiller, AdversaryKind::Balancer}) {
+        const AdversaryEntry& e = reg.at(kind);
+        EXPECT_EQ(e.kind, kind);
+        EXPECT_TRUE(e.make_adversary) << e.name;
+    }
+}
+
+TEST(Registry, NamesAndAliasesResolveToSameEntry) {
+    const auto& reg = ProtocolRegistry::instance();
+    for (const ProtocolEntry* e : reg.list()) {
+        EXPECT_EQ(&reg.at(e->name), e);
+        for (const auto& alias : e->aliases)
+            EXPECT_EQ(&reg.at(alias), e) << alias;
+    }
+    const auto& areg = AdversaryRegistry::instance();
+    for (const AdversaryEntry* e : areg.list()) {
+        EXPECT_EQ(&areg.at(e->name), e);
+        for (const auto& alias : e->aliases)
+            EXPECT_EQ(&areg.at(alias), e) << alias;
+    }
+    const auto& mreg = MvAdversaryRegistry::instance();
+    for (const MvAdversaryEntry* e : mreg.list()) {
+        EXPECT_EQ(&mreg.at(e->name), e);
+        for (const auto& alias : e->aliases)
+            EXPECT_EQ(&mreg.at(alias), e) << alias;
+    }
+}
+
+TEST(Registry, LookupIsCaseInsensitive) {
+    EXPECT_EQ(ProtocolRegistry::instance().at("OURS").kind, ProtocolKind::Ours);
+    EXPECT_EQ(AdversaryRegistry::instance().at("Worst-Case").kind,
+              AdversaryKind::WorstCase);
+}
+
+TEST(Registry, DisplayNamesMatchToString) {
+    for (const ProtocolEntry* e : ProtocolRegistry::instance().list())
+        EXPECT_EQ(to_string(e->kind), e->display);
+    for (const AdversaryEntry* e : AdversaryRegistry::instance().list())
+        EXPECT_EQ(to_string(e->kind), e->display);
+    for (const MvAdversaryEntry* e : MvAdversaryRegistry::instance().list())
+        EXPECT_EQ(to_string(e->kind), e->display);
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownList) {
+    const std::string msg = thrown_message(
+        [] { ProtocolRegistry::instance().at("paxos"); });
+    EXPECT_NE(msg.find("unknown protocol 'paxos'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ours"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("phase-king"), std::string::npos) << msg;
+    EXPECT_EQ(AdversaryRegistry::instance().find("paxos"), nullptr);
+}
+
+TEST(Registry, StrongestAdversaryComesFromMetadata) {
+    for (const ProtocolEntry* e : ProtocolRegistry::instance().list())
+        EXPECT_EQ(strongest_adversary(e->kind), e->strongest) << e->name;
+    // The pairing itself must be compatible at a feasible (n, t).
+    for (const ProtocolEntry* e : ProtocolRegistry::instance().list()) {
+        Scenario s;
+        s.n = 64;
+        s.t = 12;  // feasible for every registered resilience class
+        s.protocol = e->kind;
+        s.adversary = e->strongest;
+        EXPECT_TRUE(compatible(s)) << e->name;
+    }
+}
+
+// ------------------------------------------------------------- feasibility
+
+TEST(Registry, SupportsMatchesResilienceBounds) {
+    const auto& reg = ProtocolRegistry::instance();
+    EXPECT_TRUE(reg.at("phase-king").supports(17, 4));
+    EXPECT_FALSE(reg.at("phase-king").supports(16, 4));
+    EXPECT_TRUE(reg.at("ben-or").supports(16, 3));
+    EXPECT_FALSE(reg.at("ben-or").supports(15, 3));
+    EXPECT_TRUE(reg.at("ours").supports(10, 3));
+    EXPECT_FALSE(reg.at("ours").supports(9, 3));
+}
+
+TEST(Registry, IncompatiblePairsThrowActionably) {
+    Scenario s;
+    s.n = 64;
+    s.t = 12;
+    s.protocol = ProtocolKind::Ours;
+    s.adversary = AdversaryKind::KingKiller;
+    const std::string msg = thrown_message([&] { validate(s); });
+    EXPECT_NE(msg.find("king-killer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("phase-king"), std::string::npos) << msg;
+    EXPECT_FALSE(compatible(s));
+
+    s.protocol = ProtocolKind::PhaseKing;
+    s.adversary = AdversaryKind::WorstCase;
+    const std::string msg2 = thrown_message([&] { validate(s); });
+    EXPECT_NE(msg2.find("committee-schedule"), std::string::npos) << msg2;
+    EXPECT_NE(msg2.find("ours"), std::string::npos) << msg2;  // names the fix
+    EXPECT_FALSE(compatible(s));
+}
+
+TEST(Registry, ResilienceViolationThrowsActionably) {
+    Scenario s;
+    s.n = 20;
+    s.t = 5;  // 4t = n: outside phase-king's bound
+    s.protocol = ProtocolKind::PhaseKing;
+    s.adversary = AdversaryKind::KingKiller;
+    const std::string msg = thrown_message([&] { validate(s); });
+    EXPECT_NE(msg.find("t < n/4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n=20"), std::string::npos) << msg;
+    s.t = 4;
+    EXPECT_TRUE(compatible(s));
+}
+
+TEST(Registry, QExceedingTIsIncompatible) {
+    Scenario s;
+    s.n = 16;
+    s.t = 5;
+    s.q = 6;
+    EXPECT_FALSE(compatible(s));
+    EXPECT_THROW(validate(s), ContractViolation);
+}
+
+// ------------------------------------------------------- parse / describe
+
+TEST(ScenarioSpec, ParseDescribeRoundTripsEveryCompatiblePair) {
+    for (const ProtocolEntry* p : ProtocolRegistry::instance().list()) {
+        for (const AdversaryEntry* a : AdversaryRegistry::instance().list()) {
+            Scenario s;
+            s.n = 64;
+            s.t = 12;
+            s.protocol = p->kind;
+            s.adversary = a->kind;
+            if (!compatible(s)) continue;
+            EXPECT_EQ(Scenario::parse(s.describe()), s)
+                << p->name << " vs " << a->name << ": " << s.describe();
+        }
+    }
+}
+
+TEST(ScenarioSpec, ParseDescribeRoundTripsNonDefaultFields) {
+    Scenario s;
+    s.n = 96;
+    s.t = 21;
+    s.q = 7;
+    s.protocol = ProtocolKind::BenOr;
+    s.adversary = AdversaryKind::SplitVote;
+    s.inputs = InputPattern::Random;
+    s.tuning.alpha = 2.5;
+    s.tuning.gamma = 1.25;
+    s.tuning.beta = 0.5;
+    s.local_coin_phases = 17;
+    s.sampling_kappa = 3.75;
+    s.max_rounds_override = 99;
+    s.record_transcript = true;
+    const Scenario back = Scenario::parse(s.describe());
+    EXPECT_EQ(back, s) << s.describe();
+}
+
+TEST(ScenarioSpec, ParseResolvesAliasesAndSeparators) {
+    const Scenario s =
+        Scenario::parse("protocol=alg3, adversary=rushing; inputs=all-one n=32 t=5");
+    EXPECT_EQ(s.protocol, ProtocolKind::Ours);
+    EXPECT_EQ(s.adversary, AdversaryKind::WorstCase);
+    EXPECT_EQ(s.inputs, InputPattern::AllOne);
+    EXPECT_EQ(s.n, 32u);
+    EXPECT_EQ(s.t, 5u);
+}
+
+TEST(ScenarioSpec, UnknownKeysAndValuesThrowActionably) {
+    const std::string msg =
+        thrown_message([] { Scenario::parse("protcol=ours n=8"); });
+    EXPECT_NE(msg.find("unknown scenario key 'protcol'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("protocol"), std::string::npos) << msg;
+
+    EXPECT_THROW(Scenario::parse("protocol=raft n=8"), ContractViolation);
+    EXPECT_THROW(Scenario::parse("n=eight"), ContractViolation);
+    EXPECT_THROW(Scenario::parse("inputs=zebra"), ContractViolation);
+    EXPECT_THROW(Scenario::parse("just-a-token"), ContractViolation);
+}
+
+TEST(ScenarioSpec, ParsedScenarioRunsByName) {
+    const Scenario s = Scenario::parse(
+        "protocol=phase-king adversary=king-killer n=17 t=4 inputs=split");
+    const TrialResult r = run_trial(s, 7);
+    EXPECT_TRUE(r.agreement);
+    EXPECT_TRUE(r.validity_ok);
+}
+
+TEST(ScenarioSpec, MvInputPatternsParse) {
+    EXPECT_EQ(parse_mv_input_pattern("near-quorum"), MvInputPattern::NearQuorum);
+    EXPECT_EQ(parse_mv_input_pattern("all-same"), MvInputPattern::AllSame);
+    EXPECT_THROW(parse_mv_input_pattern("nope"), ContractViolation);
+    EXPECT_EQ(parse_input_pattern("split"), InputPattern::Split);
+    EXPECT_THROW(parse_input_pattern("nope"), ContractViolation);
+}
+
+// ---------------------------------------------------------------- plug-ins
+
+TEST(Registry, DuplicateRegistrationThrows) {
+    // A plug-in must not silently shadow an existing name or alias.
+    AdversaryEntry dup;
+    dup.kind = AdversaryKind::Chaos;
+    dup.name = "chaos";
+    dup.display = "chaos";
+    dup.make_adversary = [](const Scenario&, const ProtocolBundle&, const SeedTree&)
+        -> std::unique_ptr<net::Adversary> {
+        return std::make_unique<net::NullAdversary>();
+    };
+    EXPECT_THROW(AdversaryRegistry::instance().add(std::move(dup)), ContractViolation);
+}
+
+TEST(Registry, BudgetsMatchTrialConfiguration) {
+    Scenario s;
+    s.n = 64;
+    s.t = 12;
+    s.protocol = ProtocolKind::Ours;
+    s.adversary = AdversaryKind::None;
+    const BudgetHint hint = ProtocolRegistry::instance().at(s.protocol).budgets(s);
+    const TrialResult r = run_trial(s, 3);
+    EXPECT_EQ(hint.phases, r.phases_configured);
+    EXPECT_GE(hint.max_rounds, r.rounds);
+}
+
+}  // namespace
+}  // namespace adba::sim

@@ -329,5 +329,49 @@ TEST(Cli, BenchmarkFlagsPassThrough) {
     EXPECT_EQ(cli.passthrough()[1], "--benchmark_filter=all");
 }
 
+TEST(Cli, CheckUnusedPassesWhenEveryFlagWasQueried) {
+    const char* argv[] = {"prog", "--n=4", "--trials=9"};
+    Cli cli(3, const_cast<char**>(argv));
+    cli.get_int("n", 0);
+    cli.get_int("trials", 0);
+    cli.get_int("threads", 1);  // queried-but-absent flags are fine
+    EXPECT_NO_THROW(cli.check_unused());
+}
+
+TEST(Cli, CheckUnusedFailsLoudlyOnTypo) {
+    const char* argv[] = {"prog", "--trails=50"};
+    Cli cli(2, const_cast<char**>(argv));
+    cli.get_int("trials", 20);
+    try {
+        cli.check_unused();
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--trails"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean --trials?"), std::string::npos) << msg;
+    }
+}
+
+TEST(Cli, CheckUnusedIgnoresPassthrough) {
+    const char* argv[] = {"prog", "--benchmark_filter=all", "positional"};
+    Cli cli(3, const_cast<char**>(argv));
+    EXPECT_NO_THROW(cli.check_unused());
+}
+
+TEST(Cli, CheckUnusedListsAllOffenders) {
+    const char* argv[] = {"prog", "--alpha=1", "--bogus=2", "--wrong=3"};
+    Cli cli(4, const_cast<char**>(argv));
+    cli.get_double("alpha", 0.0);
+    try {
+        cli.check_unused();
+        FAIL() << "expected ContractViolation";
+    } catch (const ContractViolation& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("--bogus"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("--wrong"), std::string::npos) << msg;
+        EXPECT_EQ(msg.find("--alpha=1"), std::string::npos) << msg;
+    }
+}
+
 }  // namespace
 }  // namespace adba

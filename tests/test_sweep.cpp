@@ -157,6 +157,13 @@ TEST(CoinSweepGrid, RejectsBothBudgetAxes) {
     EXPECT_THROW(g.rows(), ContractViolation);
 }
 
+TEST(CoinSweepGrid, RejectsMissingBudgetAxis) {
+    // Forgetting both budget axes must fail loudly, not yield zero rows.
+    CoinSweepGrid g;
+    g.ns = {64};
+    EXPECT_THROW(g.rows(), ContractViolation);
+}
+
 TEST(CoinSweep, RunCoinSweepMatchesDirectCall) {
     CoinSweepGrid g;
     g.ns = {64};

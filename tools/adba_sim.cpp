@@ -1,0 +1,198 @@
+// adba_sim — the one entry point for every registered scenario.
+//
+// Runs any (protocol x adversary x input) combination the registries know
+// about, selected by name, instead of recompiling one of the bespoke bench
+// binaries:
+//
+//   adba_sim --list
+//   adba_sim --protocol=ours --adversary=worst-case --n=128 --t=40 --trials=50
+//   adba_sim --protocol=phase-king --n=33               # adversary defaults to
+//                                                       # the protocol's strongest
+//   adba_sim --scenario="protocol=ours adversary=chaos n=64 t=21 q=10"
+//   adba_sim --protocol=turpin-coan --adversary=prelude+worst-case \
+//            --inputs=near-quorum --n=96 --t=31         # multi-valued stack
+//
+// Flags: --protocol --adversary --inputs --n --t --q --trials --seed
+//        --threads --csv_dir --scenario --alpha --gamma --beta --phases
+//        --kappa --max_rounds --transcript --las_vegas --fallback --list
+// Unknown flags fail loudly (Cli strict mode).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/registry.hpp"
+#include "sim/sweep.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace adba;
+
+std::string join(const std::vector<std::string>& parts) {
+    std::string out;
+    for (const auto& p : parts) out += (out.empty() ? "" : ", ") + p;
+    return out.empty() ? "-" : out;
+}
+
+int list_capabilities() {
+    const auto& protocols = sim::ProtocolRegistry::instance();
+    const auto& adversaries = sim::AdversaryRegistry::instance();
+
+    Table pt("Registered protocols");
+    pt.set_header({"name", "aliases", "resilience", "strongest adversary", "schedule",
+                   "summary"});
+    for (const auto* e : protocols.list())
+        pt.add_row({e->name, join(e->aliases), e->resilience,
+                    adversaries.at(e->strongest).name, e->schedule_of ? "yes" : "no",
+                    e->summary});
+    pt.print(std::cout);
+
+    Table at("Registered adversaries");
+    at.set_header({"name", "aliases", "adaptive", "rushing", "constraint", "summary"});
+    for (const auto* e : adversaries.list()) {
+        std::string constraint = "-";
+        if (e->requires_protocol)
+            constraint = "requires " + protocols.at(*e->requires_protocol).name;
+        else if (e->needs_schedule)
+            constraint = "needs committee schedule";
+        at.add_row({e->name, join(e->aliases), e->adaptive, e->rushing, constraint,
+                    e->summary});
+    }
+    at.print(std::cout);
+
+    Table mt("Multi-valued adversaries (--protocol=turpin-coan)");
+    mt.set_header({"name", "aliases", "summary"});
+    for (const auto* e : sim::MvAdversaryRegistry::instance().list())
+        mt.add_row({e->name, join(e->aliases), e->summary});
+    mt.print(std::cout);
+
+    std::printf("Input patterns: all-zero, all-one, split, random "
+                "(multi-valued: all-same, two-blocks, all-distinct, random, "
+                "near-quorum).\n");
+    return 0;
+}
+
+void maybe_csv(const Cli& cli, const Table& table, const std::string& slug) {
+    const std::string dir = cli.get("csv_dir", "");
+    if (dir.empty()) return;
+    std::printf("wrote %s\n", write_csv(table, dir, slug).c_str());
+}
+
+double pct(Count good, Count total) {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(good) / total;
+}
+
+int run_multivalued(const Cli& cli) {
+    sim::MvScenario s;
+    s.n = static_cast<NodeId>(cli.get_int("n", 96));
+    s.t = static_cast<Count>(cli.get_int("t", (s.n - 1) / 3));
+    s.inputs = sim::parse_mv_input_pattern(cli.get("inputs", "two-blocks"));
+    s.adversary =
+        sim::MvAdversaryRegistry::instance().at(cli.get("adversary", "worst-case-inner"))
+            .kind;
+    s.las_vegas = cli.get_bool("las_vegas", false);
+    s.fallback = static_cast<net::Word>(cli.get_int("fallback", 0));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 20));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
+    cli.check_unused();      // fail on typos BEFORE burning trial time
+
+    std::printf("multi-valued scenario: turpin-coan over alg3, n=%u t=%u inputs=%s "
+                "adversary=%s, %u trials, %u threads\n",
+                s.n, s.t, sim::to_string(s.inputs).c_str(),
+                sim::to_string(s.adversary).c_str(), trials, sim::default_threads());
+
+    const sim::MvAggregate agg = sim::run_mv_trials(s, seed, trials);
+    Table table("adba_sim: multi-valued result");
+    table.set_header({"inputs", "adversary", "agree %", "validity", "real-value %",
+                      "mean rounds", "max rounds"});
+    table.add_row({sim::to_string(s.inputs), sim::to_string(s.adversary),
+                   Table::num(pct(agg.trials - agg.agreement_failures, agg.trials), 1),
+                   agg.validity_failures == 0 ? "ok" : "VIOLATED",
+                   Table::num(pct(agg.decided_real, agg.trials), 1),
+                   Table::num(agg.rounds.mean(), 1), Table::num(agg.rounds.max(), 0)});
+    table.print(std::cout);
+    maybe_csv(cli, table, "adba_sim_mv");
+    return agg.validity_failures == 0 ? 0 : 1;
+}
+
+int run_binary(const Cli& cli) {
+    const auto& protocols = sim::ProtocolRegistry::instance();
+
+    sim::Scenario s;
+    if (cli.has("scenario")) s = sim::Scenario::parse(cli.get("scenario", ""));
+    if (cli.has("protocol")) s.protocol = protocols.at(cli.get("protocol", "")).kind;
+    const sim::ProtocolEntry& proto = protocols.at(s.protocol);
+    if (cli.has("adversary"))
+        s.adversary = sim::AdversaryRegistry::instance().at(cli.get("adversary", "")).kind;
+    else if (!cli.has("scenario"))
+        s.adversary = proto.strongest;  // per-protocol default pairing
+    if (cli.has("inputs")) s.inputs = sim::parse_input_pattern(cli.get("inputs", ""));
+    if (cli.has("n") || s.n == 0) s.n = static_cast<NodeId>(cli.get_int("n", 64));
+    if (cli.has("t")) {
+        s.t = static_cast<Count>(cli.get_int("t", 0));
+    } else if (!cli.has("scenario")) {
+        // Largest budget the protocol's resilience predicate admits at n.
+        s.t = (s.n - 1) / 3;
+        while (s.t > 0 && !proto.supports(s.n, s.t)) --s.t;
+    }
+    if (cli.has("q")) s.q = static_cast<Count>(cli.get_int("q", 0));
+    if (cli.has("alpha")) s.tuning.alpha = cli.get_double("alpha", s.tuning.alpha);
+    if (cli.has("gamma")) s.tuning.gamma = cli.get_double("gamma", s.tuning.gamma);
+    if (cli.has("beta")) s.tuning.beta = cli.get_double("beta", s.tuning.beta);
+    if (cli.has("phases"))
+        s.local_coin_phases = static_cast<Count>(cli.get_int("phases", 64));
+    if (cli.has("kappa")) s.sampling_kappa = cli.get_double("kappa", s.sampling_kappa);
+    if (cli.has("max_rounds"))
+        s.max_rounds_override = static_cast<Round>(cli.get_int("max_rounds", 0));
+    if (cli.has("transcript"))
+        s.record_transcript = cli.get_bool("transcript", false);
+
+    const auto trials = static_cast<Count>(cli.get_int("trials", 20));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
+    cli.check_unused();      // fail on typos BEFORE burning trial time
+
+    const sim::ScenarioPlan plan = sim::validate(s);
+    const sim::BudgetHint budget = plan.protocol->budgets(s);
+    std::printf("scenario: %s\n", s.describe().c_str());
+    std::printf("phase budget %u, round cap %u, %u trials, %u threads\n", budget.phases,
+                budget.max_rounds, trials, sim::default_threads());
+
+    const sim::Aggregate agg = sim::run_trials(s, seed, trials);
+    Table table("adba_sim: " + plan.protocol->name + " vs " + plan.adversary->name);
+    table.set_header({"protocol", "adversary", "agree %", "validity", "mean rounds",
+                      "p90 rounds", "max rounds", "mean msgs", "mean corruptions"});
+    table.add_row({sim::to_string(s.protocol), sim::to_string(s.adversary),
+                   Table::num(pct(agg.trials - agg.agreement_failures, agg.trials), 1),
+                   agg.validity_failures == 0 ? "ok" : "VIOLATED",
+                   Table::num(agg.rounds.mean(), 1),
+                   Table::num(agg.rounds.quantile(0.9), 1),
+                   Table::num(agg.rounds.max(), 0), Table::num(agg.messages.mean(), 0),
+                   Table::num(agg.corruptions.mean(), 1)});
+    table.print(std::cout);
+    maybe_csv(cli, table, "adba_sim_" + plan.protocol->name + "_" + plan.adversary->name);
+    return agg.validity_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Cli cli(argc, argv);
+        sim::init_threads(cli);
+        if (cli.get_bool("list", false)) {
+            const int rc = list_capabilities();
+            cli.check_unused();
+            return rc;
+        }
+        const std::string protocol = cli.get("protocol", "");
+        if (protocol == "turpin-coan" || protocol == "multivalued" || protocol == "mv")
+            return run_multivalued(cli);
+        return run_binary(cli);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "adba_sim: error: %s\n", e.what());
+        return 2;
+    }
+}
