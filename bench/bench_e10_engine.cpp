@@ -1,17 +1,106 @@
 // E10 — simulator substrate throughput: the cost model behind every other
 // experiment. Not a paper claim; reported so readers can size their own
 // sweeps (messages delivered per second, trial latency vs n).
+//
+// The `throughput` section is the repo's perf trajectory point: single-
+// thread trials/sec and ns per node-round for the skeleton protocol against
+// the static adversary at n in {64, 256, 1024}, dumped to BENCH_engine.json
+// (--bench_json=PATH; --bench_trials scales the n=256 trial count) so CI
+// can archive the numbers per commit.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "bench/common.hpp"
 #include "sim/macro.hpp"
+#include "sim/registry.hpp"
 #include "sim/sweep.hpp"
+#include "support/contracts.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace adba;
+
+struct ThroughputPoint {
+    NodeId n = 0;
+    Count t = 0;
+    Count trials = 0;
+    double seconds = 0.0;
+    double trials_per_sec = 0.0;
+    double mean_rounds = 0.0;
+    double ns_per_node_round = 0.0;
+};
+
+ThroughputPoint measure_throughput(NodeId n, Count trials) {
+    sim::Scenario s;
+    s.n = n;
+    s.t = (n - 1) / 3;
+    s.protocol = sim::ProtocolKind::Ours;
+    s.adversary = sim::AdversaryKind::Static;
+    s.inputs = sim::InputPattern::Split;
+
+    const sim::ExecutorConfig serial{1, 0};  // the canonical single-thread metric
+    (void)sim::run_trials(s, 0xE10, std::max<Count>(trials / 10, 2), serial);  // warm-up
+
+    const auto start = std::chrono::steady_clock::now();
+    const sim::Aggregate agg = sim::run_trials(s, 0xE10, trials, serial);
+    const auto stop = std::chrono::steady_clock::now();
+
+    ThroughputPoint p;
+    p.n = n;
+    p.t = s.t;
+    p.trials = trials;
+    p.seconds = std::chrono::duration<double>(stop - start).count();
+    p.trials_per_sec = p.seconds > 0 ? trials / p.seconds : 0.0;
+    p.mean_rounds = agg.rounds.mean();
+    const double node_rounds = agg.rounds.sum() * static_cast<double>(n);
+    p.ns_per_node_round = node_rounds > 0 ? 1e9 * p.seconds / node_rounds : 0.0;
+    return p;
+}
+
+void throughput(const Cli& cli) {
+    const auto base = static_cast<Count>(cli.get_int("bench_trials", 2000));
+    const std::string json_path = cli.get("bench_json", "BENCH_engine.json");
+
+    Table tab("E10: delivery-plane throughput (ours + static, split inputs, 1 thread)");
+    tab.set_header({"n", "t", "trials", "trials/sec", "ns/node-round"});
+    std::vector<ThroughputPoint> points;
+    const std::pair<NodeId, Count> cells[] = {
+        {64, std::max<Count>(4 * base, 10)},
+        {256, std::max<Count>(base, 10)},
+        {1024, std::max<Count>(base / 5, 10)},
+    };
+    for (const auto& [n, trials] : cells) {
+        const ThroughputPoint p = measure_throughput(n, trials);
+        points.push_back(p);
+        tab.add_row({Table::num(std::uint64_t{p.n}), Table::num(std::uint64_t{p.t}),
+                     Table::num(std::uint64_t{p.trials}), Table::num(p.trials_per_sec, 0),
+                     Table::num(p.ns_per_node_round, 1)});
+    }
+    tab.print(std::cout);
+    benchutil::maybe_write_csv(cli, tab, "e10_engine_throughput");
+
+    std::ofstream out(json_path);
+    if (!out) throw ContractViolation("cannot write " + json_path);
+    out << "{\n  \"bench\": \"engine_throughput\",\n"
+        << "  \"protocol\": \"ours\",\n  \"adversary\": \"static\",\n"
+        << "  \"inputs\": \"split\",\n  \"threads\": 1,\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const ThroughputPoint& p = points[i];
+        char buf[320];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"n\": %u, \"t\": %u, \"trials\": %u, \"seconds\": %.6f, "
+                      "\"trials_per_sec\": %.1f, \"mean_rounds\": %.2f, "
+                      "\"ns_per_node_round\": %.2f}%s\n",
+                      p.n, p.t, p.trials, p.seconds, p.trials_per_sec, p.mean_rounds,
+                      p.ns_per_node_round, i + 1 < points.size() ? "," : "");
+        out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+}
 
 void experiment(const Cli& cli) {
     const auto trials = static_cast<Count>(cli.get_int("trials", 5));
@@ -74,6 +163,7 @@ int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
     adba::benchutil::init_threads(cli);
     experiment(cli);
+    throughput(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;
 }

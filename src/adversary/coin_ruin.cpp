@@ -54,14 +54,12 @@ void CoinRuinAdversary::act(net::RoundControl& ctl) {
         feasible_ = sum >= -m_byz && sum <= m_byz - 1;
         // Equivocate: half the receivers get all-(+1) Byzantine coins, the
         // other half all-(-1); best effort even when infeasible.
-        for (NodeId v : taken) {
-            for (NodeId to = 0; to < ctl.n(); ++to) {
-                net::Message m;
-                m.kind = net::MsgKind::Coin;
-                m.coin = to < ctl.n() / 2 ? CoinSign{1} : CoinSign{-1};
-                ctl.deliver_as(v, to, m);
-            }
-        }
+        net::Message plus;
+        plus.kind = net::MsgKind::Coin;
+        plus.coin = 1;
+        net::Message minus = plus;
+        minus.coin = -1;
+        for (NodeId v : taken) ctl.split_as(v, plus, minus, ctl.n() / 2);
         return;
     }
 

@@ -18,9 +18,8 @@ void CrashAdversary::crash_prefix(net::RoundControl& ctl, NodeId v, NodeId prefi
     ADBA_EXPECTS(ctl.budget_left() > 0);
     const std::optional<net::Message> intended = ctl.corrupt(v);
     ++crashes_;
-    if (intended) {
-        for (NodeId to = 0; to < prefix; ++to) ctl.deliver_as(v, to, *intended);
-    }
+    if (intended && prefix > 0)
+        ctl.split_as(v, intended, std::nullopt, prefix);  // mid-broadcast cut
     // Silent forever after (crash adversaries never re-deliver).
 }
 

@@ -17,28 +17,26 @@ void KingKillerAdversary::act(net::RoundControl& ctl) {
         }
         // A Byzantine king rules 0 for half the receivers and 1 for the rest.
         if (!ctl.is_honest(king)) {
-            for (NodeId to = 0; to < n; ++to) {
-                net::Message m;
-                m.kind = net::MsgKind::PhaseKingRuler;
-                m.phase = k;
-                m.val = to < n / 2 ? Bit{0} : Bit{1};
-                ctl.deliver_as(king, to, m);
-            }
+            net::Message low;
+            low.kind = net::MsgKind::PhaseKingRuler;
+            low.phase = k;
+            low.val = 0;
+            net::Message high = low;
+            high.val = 1;
+            ctl.split_as(king, low, high, n / 2);
         }
         return;
     }
 
     // Value round: ex-kings vote both ways to keep tallies off the
     // n/2 + t persistence threshold.
-    for (NodeId v : corrupted_) {
-        for (NodeId to = 0; to < n; ++to) {
-            net::Message m;
-            m.kind = net::MsgKind::PhaseKingSend;
-            m.phase = k;
-            m.val = to < n / 2 ? Bit{0} : Bit{1};
-            ctl.deliver_as(v, to, m);
-        }
-    }
+    net::Message low;
+    low.kind = net::MsgKind::PhaseKingSend;
+    low.phase = k;
+    low.val = 0;
+    net::Message high = low;
+    high.val = 1;
+    for (NodeId v : corrupted_) ctl.split_as(v, low, high, n / 2);
 }
 
 }  // namespace adba::adv

@@ -24,18 +24,15 @@ void SplitVoteAdversary::act(net::RoundControl& ctl) {
     const Phase p = ctl.round() / 2;
     const bool round2 = (ctl.round() % 2) == 1;
     const NodeId half = ctl.n() / 2;
-    for (NodeId v : corrupted_) {
-        for (NodeId to = 0; to < ctl.n(); ++to) {
-            const Bit side = to < half ? Bit{0} : Bit{1};
-            net::Message m;
-            m.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
-            m.phase = p;
-            m.val = side;
-            m.flag = 0;
-            m.coin = round2 ? (side ? CoinSign{1} : CoinSign{-1}) : CoinSign{0};
-            ctl.deliver_as(v, to, m);
-        }
-    }
+    net::Message low;  // side 0 below the boundary
+    low.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+    low.phase = p;
+    low.val = 0;
+    low.coin = round2 ? CoinSign{-1} : CoinSign{0};
+    net::Message high = low;  // side 1 at and above it
+    high.val = 1;
+    high.coin = round2 ? CoinSign{1} : CoinSign{0};
+    for (NodeId v : corrupted_) ctl.split_as(v, low, high, half);
 }
 
 }  // namespace adba::adv

@@ -44,18 +44,15 @@ void StaticAdversary::act(net::RoundControl& ctl) {
         case StaticBehavior::SplitVotes: {
             const Phase p = ctl.round() / 2;
             const bool round2 = (ctl.round() % 2) == 1;
-            for (NodeId v : corrupted_) {
-                for (NodeId to = 0; to < ctl.n(); ++to) {
-                    net::Message m;
-                    m.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
-                    m.phase = p;
-                    m.val = to < ctl.n() / 2 ? Bit{0} : Bit{1};
-                    m.flag = 0;
-                    m.coin = round2 ? (to < ctl.n() / 2 ? CoinSign{-1} : CoinSign{1})
-                                    : CoinSign{0};
-                    ctl.deliver_as(v, to, m);
-                }
-            }
+            net::Message low;  // val 0 (coin -1 in round 2) below the boundary
+            low.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+            low.phase = p;
+            low.val = 0;
+            low.coin = round2 ? CoinSign{-1} : CoinSign{0};
+            net::Message high = low;  // val 1 (coin +1) at and above it
+            high.val = 1;
+            high.coin = round2 ? CoinSign{1} : CoinSign{0};
+            for (NodeId v : corrupted_) ctl.split_as(v, low, high, ctl.n() / 2);
             break;
         }
     }

@@ -4,14 +4,26 @@
 
 namespace adba::base {
 
-BenOrNode::BenOrNode(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng)
-    : params_(params), self_(self), rng_(rng), val_(input) {
-    ADBA_EXPECTS(params_.n > 0);
-    ADBA_EXPECTS_MSG(5 * static_cast<std::uint64_t>(params_.t) < params_.n,
+BenOrNode::BenOrNode(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng) {
+    reinit(params, self, input, rng);  // one initialization body for both paths
+}
+
+void BenOrNode::reinit(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng) {
+    ADBA_EXPECTS(params.n > 0);
+    ADBA_EXPECTS_MSG(5 * static_cast<std::uint64_t>(params.t) < params.n,
                      "Ben-Or 1983 requires t < n/5");
-    ADBA_EXPECTS(params_.phases >= 1);
-    ADBA_EXPECTS(self_ < params_.n);
+    ADBA_EXPECTS(params.phases >= 1);
+    ADBA_EXPECTS(self < params.n);
     ADBA_EXPECTS(input <= 1);
+    params_ = params;
+    self_ = self;
+    rng_ = rng;
+    val_ = input;
+    proposal_ = 0;
+    proposing_ = false;
+    decided_ = false;
+    flushing_ = false;
+    halted_ = false;
 }
 
 std::optional<net::Message> BenOrNode::round_send(Round r) {
@@ -38,12 +50,8 @@ void BenOrNode::round_receive(Round r, const net::ReceiveView& view) {
     const Count t = params_.t;
 
     if (r % 2 == 0) {
-        Count cnt[2] = {0, 0};
-        for (NodeId u = 0; u < n; ++u) {
-            const net::Message* m = view.from(u);
-            if (m != nullptr && m->kind == net::MsgKind::BenOrReport && m->phase == p)
-                ++cnt[m->val & 1];
-        }
+        const auto cnt =
+            view.val_counts(net::MsgKind::BenOrReport, p, /*require_flag=*/false);
         proposing_ = false;
         for (Bit b : {Bit{0}, Bit{1}}) {
             if (2 * static_cast<std::uint64_t>(cnt[b]) >
@@ -55,13 +63,8 @@ void BenOrNode::round_receive(Round r, const net::ReceiveView& view) {
         return;
     }
 
-    Count prop[2] = {0, 0};
-    for (NodeId u = 0; u < n; ++u) {
-        const net::Message* m = view.from(u);
-        if (m != nullptr && m->kind == net::MsgKind::BenOrPropose && m->phase == p &&
-            m->flag != 0)
-            ++prop[m->val & 1];
-    }
+    const auto prop =
+        view.val_counts(net::MsgKind::BenOrPropose, p, /*require_flag=*/true);
     // Two honest nodes cannot propose different values (both passed the
     // (n+t)/2 quorum), so at most one value exceeds t from honest senders.
     ADBA_ENSURES_MSG(!(prop[0] > t && prop[1] > t),
@@ -99,6 +102,15 @@ std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(
             params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_ben_or_nodes(const BenOrParams& params, const std::vector<Bit>& inputs,
+                         const SeedTree& seeds,
+                         std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    net::reinit_node_pool<BenOrNode>(nodes, params.n, [&](BenOrNode& nd, NodeId v) {
+        nd.reinit(params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v));
+    });
 }
 
 }  // namespace adba::base

@@ -36,6 +36,9 @@ class BenOrNode final : public net::HonestNode {
 public:
     BenOrNode(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(BenOrParams params, NodeId self, Bit input, Xoshiro256 rng);
+
     std::optional<net::Message> round_send(Round r) override;
     void round_receive(Round r, const net::ReceiveView& view) override;
     bool halted() const override { return halted_; }
@@ -44,9 +47,9 @@ public:
 
 private:
     BenOrParams params_;
-    NodeId self_;
+    NodeId self_ = 0;
     Xoshiro256 rng_;
-    Bit val_;
+    Bit val_ = 0;
     Bit proposal_ = 0;
     bool proposing_ = false;  ///< this phase's R2 proposal is non-⊥
     bool decided_ = false;
@@ -56,5 +59,10 @@ private:
 
 std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(
     const BenOrParams& params, const std::vector<Bit>& inputs, const SeedTree& seeds);
+
+/// Re-arms a pool built by make_ben_or_nodes for a new trial (no allocs).
+void reinit_ben_or_nodes(const BenOrParams& params, const std::vector<Bit>& inputs,
+                         const SeedTree& seeds,
+                         std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 }  // namespace adba::base

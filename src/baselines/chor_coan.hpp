@@ -56,6 +56,10 @@ public:
     ChorCoanNode(const ChorCoanParams& params, AgreementMode mode, NodeId self,
                  Bit input, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(const ChorCoanParams& params, AgreementMode mode, NodeId self,
+                Bit input, Xoshiro256 rng);
+
     const BlockSchedule& schedule() const { return sched_; }
 
 protected:
@@ -69,6 +73,11 @@ private:
 std::vector<std::unique_ptr<net::HonestNode>> make_chor_coan_nodes(
     const ChorCoanParams& params, AgreementMode mode, const std::vector<Bit>& inputs,
     const SeedTree& seeds);
+
+/// Re-arms a pool built by make_chor_coan_nodes for a new trial (no allocs).
+void reinit_chor_coan_nodes(const ChorCoanParams& params, AgreementMode mode,
+                            const std::vector<Bit>& inputs, const SeedTree& seeds,
+                            std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 /// The paper's round budget analogue for this baseline.
 Round max_rounds_whp(const ChorCoanParams& p);

@@ -5,9 +5,9 @@
 namespace adba::base {
 
 LocalCoinNode::LocalCoinNode(const LocalCoinParams& params, core::AgreementMode mode,
-                             NodeId self, Bit input, Xoshiro256 rng)
-    : RabinSkeletonNode(core::SkeletonConfig{params.n, params.t, params.phases, mode},
-                        self, input, rng) {}
+                             NodeId self, Bit input, Xoshiro256 rng) {
+    reinit(params, mode, self, input, rng);
+}
 
 std::vector<std::unique_ptr<net::HonestNode>> make_local_coin_nodes(
     const LocalCoinParams& params, core::AgreementMode mode,
@@ -20,6 +20,17 @@ std::vector<std::unique_ptr<net::HonestNode>> make_local_coin_nodes(
             params, mode, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_local_coin_nodes(const LocalCoinParams& params, core::AgreementMode mode,
+                             const std::vector<Bit>& inputs, const SeedTree& seeds,
+                             std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    net::reinit_node_pool<LocalCoinNode>(nodes, params.n, [&](LocalCoinNode& nd,
+                                                              NodeId v) {
+        nd.reinit(params, mode, v, inputs[v],
+                  seeds.stream(StreamPurpose::NodeProtocol, v));
+    });
 }
 
 }  // namespace adba::base

@@ -30,6 +30,14 @@ public:
     LocalCoinNode(const LocalCoinParams& params, core::AgreementMode mode, NodeId self,
                   Bit input, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(const LocalCoinParams& params, core::AgreementMode mode, NodeId self,
+                Bit input, Xoshiro256 rng) {
+        RabinSkeletonNode::reinit(
+            core::SkeletonConfig{params.n, params.t, params.phases, mode}, self,
+            input, rng);
+    }
+
 protected:
     CoinSign coin_contribution(Phase) override { return 0; }
     Bit coin_value(Phase, const net::ReceiveView&) override { return rng().bit(); }
@@ -38,5 +46,10 @@ protected:
 std::vector<std::unique_ptr<net::HonestNode>> make_local_coin_nodes(
     const LocalCoinParams& params, core::AgreementMode mode,
     const std::vector<Bit>& inputs, const SeedTree& seeds);
+
+/// Re-arms a pool built by make_local_coin_nodes for a new trial (no allocs).
+void reinit_local_coin_nodes(const LocalCoinParams& params, core::AgreementMode mode,
+                             const std::vector<Bit>& inputs, const SeedTree& seeds,
+                             std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 }  // namespace adba::base

@@ -4,14 +4,23 @@
 
 namespace adba::base {
 
-PhaseKingNode::PhaseKingNode(PhaseKingParams params, NodeId self, Bit input)
-    : params_(params), self_(self), val_(input) {
-    ADBA_EXPECTS(params_.n > 0);
-    ADBA_EXPECTS_MSG(4 * static_cast<std::uint64_t>(params_.t) < params_.n,
+PhaseKingNode::PhaseKingNode(PhaseKingParams params, NodeId self, Bit input) {
+    reinit(params, self, input);  // one initialization body for both paths
+}
+
+void PhaseKingNode::reinit(PhaseKingParams params, NodeId self, Bit input) {
+    ADBA_EXPECTS(params.n > 0);
+    ADBA_EXPECTS_MSG(4 * static_cast<std::uint64_t>(params.t) < params.n,
                      "simple phase-king requires t < n/4");
-    ADBA_EXPECTS_MSG(params_.t + 1 <= params_.n, "needs t+1 distinct kings");
-    ADBA_EXPECTS(self_ < params_.n);
+    ADBA_EXPECTS_MSG(params.t + 1 <= params.n, "needs t+1 distinct kings");
+    ADBA_EXPECTS(self < params.n);
     ADBA_EXPECTS(input <= 1);
+    params_ = params;
+    self_ = self;
+    val_ = input;
+    maj_ = 0;
+    mult_ = 0;
+    halted_ = false;
 }
 
 std::optional<net::Message> PhaseKingNode::round_send(Round r) {
@@ -36,12 +45,8 @@ void PhaseKingNode::round_receive(Round r, const net::ReceiveView& view) {
     ADBA_EXPECTS(!halted_);
     const Phase k = r / 2;
     if (r % 2 == 0) {
-        Count cnt[2] = {0, 0};
-        for (NodeId u = 0; u < params_.n; ++u) {
-            const net::Message* m = view.from(u);
-            if (m != nullptr && m->kind == net::MsgKind::PhaseKingSend && m->phase == k)
-                ++cnt[m->val & 1];
-        }
+        const auto cnt =
+            view.val_counts(net::MsgKind::PhaseKingSend, k, /*require_flag=*/false);
         maj_ = cnt[1] > cnt[0] ? Bit{1} : Bit{0};
         mult_ = cnt[maj_];
         return;
@@ -67,6 +72,15 @@ std::vector<std::unique_ptr<net::HonestNode>> make_phase_king_nodes(
     for (NodeId v = 0; v < params.n; ++v)
         nodes.push_back(std::make_unique<PhaseKingNode>(params, v, inputs[v]));
     return nodes;
+}
+
+void reinit_phase_king_nodes(const PhaseKingParams& params,
+                             const std::vector<Bit>& inputs,
+                             std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    net::reinit_node_pool<PhaseKingNode>(
+        nodes, params.n,
+        [&](PhaseKingNode& nd, NodeId v) { nd.reinit(params, v, inputs[v]); });
 }
 
 }  // namespace adba::base

@@ -43,6 +43,9 @@ class PhaseKingNode final : public net::HonestNode {
 public:
     PhaseKingNode(PhaseKingParams params, NodeId self, Bit input);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(PhaseKingParams params, NodeId self, Bit input);
+
     std::optional<net::Message> round_send(Round r) override;
     void round_receive(Round r, const net::ReceiveView& view) override;
     bool halted() const override { return halted_; }
@@ -50,8 +53,8 @@ public:
 
 private:
     PhaseKingParams params_;
-    NodeId self_;
-    Bit val_;
+    NodeId self_ = 0;
+    Bit val_ = 0;
     Bit maj_ = 0;
     Count mult_ = 0;
     bool halted_ = false;
@@ -59,5 +62,10 @@ private:
 
 std::vector<std::unique_ptr<net::HonestNode>> make_phase_king_nodes(
     const PhaseKingParams& params, const std::vector<Bit>& inputs);
+
+/// Re-arms a pool built by make_phase_king_nodes for a new trial (no allocs).
+void reinit_phase_king_nodes(const PhaseKingParams& params,
+                             const std::vector<Bit>& inputs,
+                             std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 }  // namespace adba::base

@@ -22,10 +22,17 @@ RabinDealerParams RabinDealerParams::compute(NodeId n, Count t, std::uint64_t de
 }
 
 RabinDealerNode::RabinDealerNode(const RabinDealerParams& params, core::AgreementMode mode,
-                                 NodeId self, Bit input, Xoshiro256 rng)
-    : RabinSkeletonNode(core::SkeletonConfig{params.n, params.t, params.phases, mode},
-                        self, input, rng),
-      dealer_seed_(params.dealer_seed) {}
+                                 NodeId self, Bit input, Xoshiro256 rng) {
+    reinit(params, mode, self, input, rng);
+}
+
+void RabinDealerNode::reinit(const RabinDealerParams& params, core::AgreementMode mode,
+                             NodeId self, Bit input, Xoshiro256 rng) {
+    RabinSkeletonNode::reinit(
+        core::SkeletonConfig{params.n, params.t, params.phases, mode}, self, input,
+        rng);
+    dealer_seed_ = params.dealer_seed;
+}
 
 Bit RabinDealerNode::dealer_coin(std::uint64_t dealer_seed, Phase p) {
     return static_cast<Bit>(mix64(dealer_seed ^ (0x51a3c0ffee1dULL + p)) & 1);
@@ -46,6 +53,18 @@ std::vector<std::unique_ptr<net::HonestNode>> make_rabin_dealer_nodes(
             params, mode, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_rabin_dealer_nodes(const RabinDealerParams& params,
+                               core::AgreementMode mode,
+                               const std::vector<Bit>& inputs, const SeedTree& seeds,
+                               std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    net::reinit_node_pool<RabinDealerNode>(nodes, params.n, [&](RabinDealerNode& nd,
+                                                                NodeId v) {
+        nd.reinit(params, mode, v, inputs[v],
+                  seeds.stream(StreamPurpose::NodeProtocol, v));
+    });
 }
 
 Round max_rounds_whp(const RabinDealerParams& p) { return 2 * (p.phases + 2); }

@@ -36,6 +36,11 @@ public:
     RabinDealerNode(const RabinDealerParams& params, core::AgreementMode mode,
                     NodeId self, Bit input, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract; the
+    /// dealer seed is per-trial, so it is re-latched here).
+    void reinit(const RabinDealerParams& params, core::AgreementMode mode,
+                NodeId self, Bit input, Xoshiro256 rng);
+
     /// The dealer's public coin for phase p (identical at every node).
     static Bit dealer_coin(std::uint64_t dealer_seed, Phase p);
 
@@ -44,12 +49,18 @@ protected:
     Bit coin_value(Phase p, const net::ReceiveView& view) override;
 
 private:
-    std::uint64_t dealer_seed_;
+    std::uint64_t dealer_seed_ = 0;
 };
 
 std::vector<std::unique_ptr<net::HonestNode>> make_rabin_dealer_nodes(
     const RabinDealerParams& params, core::AgreementMode mode,
     const std::vector<Bit>& inputs, const SeedTree& seeds);
+
+/// Re-arms a pool built by make_rabin_dealer_nodes for a new trial.
+void reinit_rabin_dealer_nodes(const RabinDealerParams& params,
+                               core::AgreementMode mode,
+                               const std::vector<Bit>& inputs, const SeedTree& seeds,
+                               std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 Round max_rounds_whp(const RabinDealerParams& p);
 

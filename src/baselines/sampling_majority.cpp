@@ -20,11 +20,20 @@ SamplingMajorityParams SamplingMajorityParams::compute(NodeId n, Count t, double
 }
 
 SamplingMajorityNode::SamplingMajorityNode(SamplingMajorityParams params, NodeId self,
-                                           Bit input, Xoshiro256 rng)
-    : params_(params), self_(self), rng_(rng), val_(input) {
-    ADBA_EXPECTS(params_.n >= 2);
-    ADBA_EXPECTS(self_ < params_.n);
+                                           Bit input, Xoshiro256 rng) {
+    reinit(params, self, input, rng);  // one initialization body for both paths
+}
+
+void SamplingMajorityNode::reinit(SamplingMajorityParams params, NodeId self,
+                                  Bit input, Xoshiro256 rng) {
+    ADBA_EXPECTS(params.n >= 2);
+    ADBA_EXPECTS(self < params.n);
     ADBA_EXPECTS(input <= 1);
+    params_ = params;
+    self_ = self;
+    rng_ = rng;
+    val_ = input;
+    halted_ = false;
 }
 
 std::optional<net::Message> SamplingMajorityNode::round_send(Round r) {
@@ -44,12 +53,8 @@ void SamplingMajorityNode::round_receive(Round r, const net::ReceiveView& view) 
         // sampling has driven the population to a (1 - o(1)) majority, the
         // <= t Byzantine equivocations cannot swing a full tally; without
         // convergence the outputs split, correctly exposing the stall.
-        Count cnt[2] = {0, 0};
-        for (NodeId u = 0; u < params_.n; ++u) {
-            const net::Message* m = view.from(u);
-            if (m != nullptr && m->kind == net::MsgKind::Vote1 && m->phase == r)
-                ++cnt[m->val & 1];
-        }
+        const auto cnt =
+            view.val_counts(net::MsgKind::Vote1, r, /*require_flag=*/false);
         val_ = cnt[1] >= cnt[0] ? Bit{1} : Bit{0};
         halted_ = true;
         return;
@@ -81,6 +86,17 @@ std::vector<std::unique_ptr<net::HonestNode>> make_sampling_majority_nodes(
             params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_sampling_majority_nodes(
+    const SamplingMajorityParams& params, const std::vector<Bit>& inputs,
+    const SeedTree& seeds, std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    net::reinit_node_pool<SamplingMajorityNode>(
+        nodes, params.n, [&](SamplingMajorityNode& nd, NodeId v) {
+            nd.reinit(params, v, inputs[v],
+                      seeds.stream(StreamPurpose::NodeProtocol, v));
+        });
 }
 
 }  // namespace adba::base

@@ -49,6 +49,10 @@ public:
     SamplingMajorityNode(SamplingMajorityParams params, NodeId self, Bit input,
                          Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(SamplingMajorityParams params, NodeId self, Bit input,
+                Xoshiro256 rng);
+
     std::optional<net::Message> round_send(Round r) override;
     void round_receive(Round r, const net::ReceiveView& view) override;
     bool halted() const override { return halted_; }
@@ -56,14 +60,19 @@ public:
 
 private:
     SamplingMajorityParams params_;
-    NodeId self_;
+    NodeId self_ = 0;
     Xoshiro256 rng_;
-    Bit val_;
+    Bit val_ = 0;
     bool halted_ = false;
 };
 
 std::vector<std::unique_ptr<net::HonestNode>> make_sampling_majority_nodes(
     const SamplingMajorityParams& params, const std::vector<Bit>& inputs,
     const SeedTree& seeds);
+
+/// Re-arms a pool built by make_sampling_majority_nodes for a new trial.
+void reinit_sampling_majority_nodes(
+    const SamplingMajorityParams& params, const std::vector<Bit>& inputs,
+    const SeedTree& seeds, std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 }  // namespace adba::base

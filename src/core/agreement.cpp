@@ -5,11 +5,16 @@
 namespace adba::core {
 
 Algorithm3Node::Algorithm3Node(const AgreementParams& params, AgreementMode mode,
-                               NodeId self, Bit input, Xoshiro256 rng)
-    : RabinSkeletonNode(
-          SkeletonConfig{params.n, params.t, params.phases, mode}, self, input,
-          rng),
-      sched_(params.schedule) {}
+                               NodeId self, Bit input, Xoshiro256 rng) {
+    reinit(params, mode, self, input, rng);
+}
+
+void Algorithm3Node::reinit(const AgreementParams& params, AgreementMode mode,
+                            NodeId self, Bit input, Xoshiro256 rng) {
+    RabinSkeletonNode::reinit(SkeletonConfig{params.n, params.t, params.phases, mode},
+                              self, input, rng);
+    sched_ = params.schedule;
+}
 
 CoinSign Algorithm3Node::coin_contribution(Phase p) {
     return sched_.flips_in_phase(self(), p) ? rng().sign() : CoinSign{0};
@@ -32,6 +37,17 @@ std::vector<std::unique_ptr<net::HonestNode>> make_algorithm3_nodes(
             params, mode, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_algorithm3_nodes(const AgreementParams& params, AgreementMode mode,
+                             const std::vector<Bit>& inputs, const SeedTree& seeds,
+                             std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.n);
+    net::reinit_node_pool<Algorithm3Node>(nodes, params.n, [&](Algorithm3Node& nd,
+                                                               NodeId v) {
+        nd.reinit(params, mode, v, inputs[v],
+                  seeds.stream(StreamPurpose::NodeProtocol, v));
+    });
 }
 
 }  // namespace adba::core

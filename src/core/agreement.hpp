@@ -27,6 +27,10 @@ public:
     Algorithm3Node(const AgreementParams& params, AgreementMode mode, NodeId self,
                    Bit input, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(const AgreementParams& params, AgreementMode mode, NodeId self,
+                Bit input, Xoshiro256 rng);
+
     const BlockSchedule& schedule() const { return sched_; }
 
 protected:
@@ -42,5 +46,11 @@ private:
 std::vector<std::unique_ptr<net::HonestNode>> make_algorithm3_nodes(
     const AgreementParams& params, AgreementMode mode, const std::vector<Bit>& inputs,
     const SeedTree& seeds);
+
+/// Re-arms a pool previously built by make_algorithm3_nodes for a new trial,
+/// with zero allocation. Pool size and node types must match.
+void reinit_algorithm3_nodes(const AgreementParams& params, AgreementMode mode,
+                             const std::vector<Bit>& inputs, const SeedTree& seeds,
+                             std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 }  // namespace adba::core

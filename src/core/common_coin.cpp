@@ -4,11 +4,20 @@
 
 namespace adba::core {
 
-CoinFlipNode::CoinFlipNode(CoinConfig cfg, NodeId self, Xoshiro256 rng)
-    : cfg_(cfg), self_(self), rng_(rng) {
-    ADBA_EXPECTS(cfg_.n > 0);
-    ADBA_EXPECTS(cfg_.designated >= 1 && cfg_.designated <= cfg_.n);
-    ADBA_EXPECTS(self_ < cfg_.n);
+CoinFlipNode::CoinFlipNode(CoinConfig cfg, NodeId self, Xoshiro256 rng) {
+    reinit(cfg, self, rng);  // one initialization body for both paths
+}
+
+void CoinFlipNode::reinit(CoinConfig cfg, NodeId self, Xoshiro256 rng) {
+    ADBA_EXPECTS(cfg.n > 0);
+    ADBA_EXPECTS(cfg.designated >= 1 && cfg.designated <= cfg.n);
+    ADBA_EXPECTS(self < cfg.n);
+    cfg_ = cfg;
+    self_ = self;
+    rng_ = rng;
+    flip_ = 0;
+    out_ = 0;
+    halted_ = false;
 }
 
 std::optional<net::Message> CoinFlipNode::round_send(Round r) {
@@ -23,15 +32,8 @@ std::optional<net::Message> CoinFlipNode::round_send(Round r) {
 
 void CoinFlipNode::round_receive(Round r, const net::ReceiveView& view) {
     ADBA_EXPECTS(r == 0);
-    std::int64_t sum = 0;
-    for (NodeId u = 0; u < cfg_.designated; ++u) {
-        const net::Message* m = view.from(u);
-        if (m == nullptr || m->kind != net::MsgKind::Coin) continue;
-        if (m->coin > 0)
-            ++sum;
-        else if (m->coin < 0)
-            --sum;
-    }
+    const std::int64_t sum = view.coin_sum(net::MsgKind::Coin, 0,
+                                           /*check_phase=*/false, 0, cfg_.designated);
     out_ = sum >= 0 ? Bit{1} : Bit{0};
     halted_ = true;
 }
@@ -45,6 +47,13 @@ std::vector<std::unique_ptr<net::HonestNode>> make_coin_nodes(const CoinConfig& 
             cfg, v, seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_coin_nodes(const CoinConfig& cfg, const SeedTree& seeds,
+                       std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    net::reinit_node_pool<CoinFlipNode>(nodes, cfg.n, [&](CoinFlipNode& nd, NodeId v) {
+        nd.reinit(cfg, v, seeds.stream(StreamPurpose::NodeProtocol, v));
+    });
 }
 
 }  // namespace adba::core

@@ -37,6 +37,9 @@ class CoinFlipNode final : public net::HonestNode {
 public:
     CoinFlipNode(CoinConfig cfg, NodeId self, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract).
+    void reinit(CoinConfig cfg, NodeId self, Xoshiro256 rng);
+
     std::optional<net::Message> round_send(Round r) override;
     void round_receive(Round r, const net::ReceiveView& view) override;
     bool halted() const override { return halted_; }
@@ -48,7 +51,7 @@ public:
 
 private:
     CoinConfig cfg_;
-    NodeId self_;
+    NodeId self_ = 0;
     Xoshiro256 rng_;
     CoinSign flip_ = 0;
     Bit out_ = 0;
@@ -58,5 +61,9 @@ private:
 /// Builds all n participants with independent streams.
 std::vector<std::unique_ptr<net::HonestNode>> make_coin_nodes(const CoinConfig& cfg,
                                                               const SeedTree& seeds);
+
+/// Re-arms a pool built by make_coin_nodes for a new trial (no allocs).
+void reinit_coin_nodes(const CoinConfig& cfg, const SeedTree& seeds,
+                       std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 }  // namespace adba::core

@@ -1,7 +1,5 @@
 #include "core/multivalued.hpp"
 
-#include <map>
-
 #include "support/contracts.hpp"
 
 namespace adba::core {
@@ -16,9 +14,21 @@ MultiValuedParams MultiValuedParams::compute(NodeId n, Count t, const Tuning& tu
 }
 
 TurpinCoanNode::TurpinCoanNode(const MultiValuedParams& params, NodeId self,
-                               net::Word input, Xoshiro256 rng)
-    : params_(params), self_(self), rng_(rng), input_(input) {
-    ADBA_EXPECTS(self_ < params_.binary.n);
+                               net::Word input, Xoshiro256 rng) {
+    reinit(params, self, input, rng);  // one initialization body for both paths
+}
+
+void TurpinCoanNode::reinit(const MultiValuedParams& params, NodeId self,
+                            net::Word input, Xoshiro256 rng) {
+    ADBA_EXPECTS(self < params.binary.n);
+    params_ = params;
+    self_ = self;
+    rng_ = rng;
+    input_ = input;
+    echo_.reset();
+    x_star_ = 0;
+    x_star_valid_ = false;
+    inner_live_ = false;  // the pooled inner node is re-armed by the prelude
 }
 
 std::optional<net::Message> TurpinCoanNode::round_send(Round r) {
@@ -36,7 +46,7 @@ std::optional<net::Message> TurpinCoanNode::round_send(Round r) {
         m.word = echo_.value_or(0);
         return m;
     }
-    ADBA_ENSURES_MSG(inner_ != nullptr, "prelude must have built the inner protocol");
+    ADBA_ENSURES_MSG(inner_live_, "prelude must have armed the inner protocol");
     return inner_->round_send(r - 2);
 }
 
@@ -46,60 +56,48 @@ void TurpinCoanNode::round_receive(Round r, const net::ReceiveView& view) {
     const Count quorum = n - params_.binary.t;
 
     if (r == 0) {
-        std::map<net::Word, Count> tally;
-        for (NodeId u = 0; u < n; ++u) {
-            const net::Message* m = view.from(u);
-            if (m != nullptr && m->kind == net::MsgKind::TCValue) ++tally[m->word];
-        }
-        echo_.reset();
-        for (const auto& [word, cnt] : tally) {
-            if (cnt >= quorum) {
-                // Two quorums cannot coexist (they would intersect in an
-                // honest double-voter).
-                ADBA_ENSURES_MSG(!echo_.has_value(), "two n-t word quorums");
-                echo_ = word;
-            }
-        }
+        // The quorum uniqueness contract (two n-t quorums would intersect in
+        // an honest double-voter) is enforced inside quorum_word.
+        echo_ = view.quorum_word(net::MsgKind::TCValue, /*require_flag=*/false, quorum);
         return;
     }
 
     if (r == 1) {
-        std::map<net::Word, Count> tally;
-        for (NodeId u = 0; u < n; ++u) {
-            const net::Message* m = view.from(u);
-            if (m != nullptr && m->kind == net::MsgKind::TCEcho && m->flag != 0)
-                ++tally[m->word];
-        }
+        const auto plur =
+            view.plurality_word(net::MsgKind::TCEcho, /*require_flag=*/true);
         Count best = 0;
-        for (const auto& [word, cnt] : tally) {
-            if (cnt > best) {  // ties break to the smallest word (map order)
-                best = cnt;
-                x_star_ = word;
-            }
+        if (plur) {
+            x_star_ = plur->first;  // ties broke to the smallest word
+            best = plur->second;
         }
         x_star_valid_ = best > 0;
         const Bit binary_input = best >= quorum ? Bit{1} : Bit{0};
-        inner_ = std::make_unique<Algorithm3Node>(params_.binary, params_.mode, self_,
-                                                  binary_input, rng_);
+        if (inner_) {
+            inner_->reinit(params_.binary, params_.mode, self_, binary_input, rng_);
+        } else {
+            inner_ = std::make_unique<Algorithm3Node>(params_.binary, params_.mode,
+                                                      self_, binary_input, rng_);
+        }
+        inner_live_ = true;
         return;
     }
 
-    ADBA_ENSURES_MSG(inner_ != nullptr, "prelude must have built the inner protocol");
+    ADBA_ENSURES_MSG(inner_live_, "prelude must have armed the inner protocol");
     inner_->round_receive(r - 2, view);
 }
 
-bool TurpinCoanNode::halted() const { return inner_ != nullptr && inner_->halted(); }
+bool TurpinCoanNode::halted() const { return inner_live_ && inner_->halted(); }
 
 Bit TurpinCoanNode::current_value() const {
-    return inner_ ? inner_->current_value() : Bit{0};
+    return inner_live_ ? inner_->current_value() : Bit{0};
 }
 
 bool TurpinCoanNode::current_decided() const {
-    return inner_ != nullptr && inner_->current_decided();
+    return inner_live_ && inner_->current_decided();
 }
 
 bool TurpinCoanNode::decided_real_value() const {
-    return inner_ != nullptr && inner_->output() == 1;
+    return inner_live_ && inner_->output() == 1;
 }
 
 net::Word TurpinCoanNode::output_word() const {
@@ -121,6 +119,18 @@ std::vector<std::unique_ptr<net::HonestNode>> make_turpin_coan_nodes(
             params, v, inputs[v], seeds.stream(StreamPurpose::NodeProtocol, v)));
     }
     return nodes;
+}
+
+void reinit_turpin_coan_nodes(const MultiValuedParams& params,
+                              const std::vector<net::Word>& inputs,
+                              const SeedTree& seeds,
+                              std::vector<std::unique_ptr<net::HonestNode>>& nodes) {
+    ADBA_EXPECTS(inputs.size() == params.binary.n);
+    net::reinit_node_pool<TurpinCoanNode>(
+        nodes, params.binary.n, [&](TurpinCoanNode& nd, NodeId v) {
+            nd.reinit(params, v, inputs[v],
+                      seeds.stream(StreamPurpose::NodeProtocol, v));
+        });
 }
 
 Round max_rounds_whp(const MultiValuedParams& p) {

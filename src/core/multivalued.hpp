@@ -46,6 +46,11 @@ public:
     TurpinCoanNode(const MultiValuedParams& params, NodeId self, net::Word input,
                    Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (constructor contract). The
+    /// embedded Algorithm 3 node is kept allocated and re-armed in place.
+    void reinit(const MultiValuedParams& params, NodeId self, net::Word input,
+                Xoshiro256 rng);
+
     std::optional<net::Message> round_send(Round r) override;
     void round_receive(Round r, const net::ReceiveView& view) override;
     bool halted() const override;
@@ -62,20 +67,29 @@ public:
 
 private:
     MultiValuedParams params_;
-    NodeId self_;
+    NodeId self_ = 0;
     Xoshiro256 rng_;
-    net::Word input_;
+    net::Word input_ = 0;
     // Prelude state.
     std::optional<net::Word> echo_;  ///< nullopt = ⊥
     net::Word x_star_ = 0;
     bool x_star_valid_ = false;
-    // Inner binary protocol, created when the prelude fixes its input.
+    // Inner binary protocol, armed when the prelude fixes its input. The
+    // allocation is pooled across trials; inner_live_ marks whether the
+    // current trial's prelude has armed it yet.
     std::unique_ptr<Algorithm3Node> inner_;
+    bool inner_live_ = false;
 };
 
 std::vector<std::unique_ptr<net::HonestNode>> make_turpin_coan_nodes(
     const MultiValuedParams& params, const std::vector<net::Word>& inputs,
     const SeedTree& seeds);
+
+/// Re-arms a pool built by make_turpin_coan_nodes for a new trial.
+void reinit_turpin_coan_nodes(const MultiValuedParams& params,
+                              const std::vector<net::Word>& inputs,
+                              const SeedTree& seeds,
+                              std::vector<std::unique_ptr<net::HonestNode>>& nodes);
 
 /// Engine round budget: 2 prelude rounds + the binary budget.
 Round max_rounds_whp(const MultiValuedParams& p);

@@ -5,13 +5,26 @@
 namespace adba::core {
 
 RabinSkeletonNode::RabinSkeletonNode(SkeletonConfig cfg, NodeId self, Bit input,
-                                     Xoshiro256 rng)
-    : cfg_(cfg), self_(self), rng_(rng), val_(input) {
-    ADBA_EXPECTS(cfg_.n > 0);
-    ADBA_EXPECTS_MSG(3 * static_cast<std::uint64_t>(cfg_.t) < cfg_.n, "requires t < n/3");
-    ADBA_EXPECTS(cfg_.phases >= 1);
-    ADBA_EXPECTS(self_ < cfg_.n);
+                                     Xoshiro256 rng) {
+    reinit(cfg, self, input, rng);  // one initialization body for both paths
+}
+
+void RabinSkeletonNode::reinit(SkeletonConfig cfg, NodeId self, Bit input,
+                               Xoshiro256 rng) {
+    ADBA_EXPECTS(cfg.n > 0);
+    ADBA_EXPECTS_MSG(3 * static_cast<std::uint64_t>(cfg.t) < cfg.n, "requires t < n/3");
+    ADBA_EXPECTS(cfg.phases >= 1);
+    ADBA_EXPECTS(self < cfg.n);
     ADBA_EXPECTS(input <= 1);
+    cfg_ = cfg;
+    self_ = self;
+    rng_ = rng;
+    val_ = input;
+    decided_ = false;
+    finish_ = false;
+    finish_phase_.reset();
+    flushing_ = false;
+    halted_ = false;
 }
 
 std::optional<net::Message> RabinSkeletonNode::round_send(Round r) {
@@ -59,12 +72,7 @@ void RabinSkeletonNode::round_receive(Round r, const net::ReceiveView& view) {
 
 void RabinSkeletonNode::receive_round1(Phase p, const net::ReceiveView& view) {
     const Count n = cfg_.n;
-    Count cnt[2] = {0, 0};
-    for (NodeId u = 0; u < n; ++u) {
-        const net::Message* m = view.from(u);
-        if (m != nullptr && m->kind == net::MsgKind::Vote1 && m->phase == p)
-            ++cnt[m->val & 1];
-    }
+    const auto cnt = view.val_counts(net::MsgKind::Vote1, p, /*require_flag=*/false);
     const Count quorum = n - cfg_.t;
     ADBA_ENSURES_MSG(!(cnt[0] >= quorum && cnt[1] >= quorum),
                      "two n-t quorums cannot coexist (t < n/3)");
@@ -81,12 +89,7 @@ void RabinSkeletonNode::receive_round1(Phase p, const net::ReceiveView& view) {
 
 void RabinSkeletonNode::receive_round2(Phase p, const net::ReceiveView& view) {
     const Count n = cfg_.n;
-    Count cnt_dec[2] = {0, 0};
-    for (NodeId u = 0; u < n; ++u) {
-        const net::Message* m = view.from(u);
-        if (m != nullptr && m->kind == net::MsgKind::Vote2 && m->phase == p && m->flag != 0)
-            ++cnt_dec[m->val & 1];
-    }
+    const auto cnt_dec = view.val_counts(net::MsgKind::Vote2, p, /*require_flag=*/true);
     const Count quorum = n - cfg_.t;
     const Count supermin = cfg_.t + 1;
     // Lemma 3: all honest decided nodes share one value, so two disjoint
@@ -116,17 +119,7 @@ void RabinSkeletonNode::receive_round2(Phase p, const net::ReceiveView& view) {
 
 std::int64_t committee_coin_sum(const net::ReceiveView& view, Phase p, NodeId first,
                                 NodeId last) {
-    ADBA_EXPECTS(first <= last && last <= view.n());
-    std::int64_t sum = 0;
-    for (NodeId u = first; u < last; ++u) {
-        const net::Message* m = view.from(u);
-        if (m == nullptr || m->kind != net::MsgKind::Vote2 || m->phase != p) continue;
-        if (m->coin > 0)
-            ++sum;
-        else if (m->coin < 0)
-            --sum;
-    }
-    return sum;
+    return view.coin_sum(net::MsgKind::Vote2, p, /*check_phase=*/true, first, last);
 }
 
 }  // namespace adba::core

@@ -61,6 +61,10 @@ class RabinSkeletonNode : public net::HonestNode {
 public:
     RabinSkeletonNode(SkeletonConfig cfg, NodeId self, Bit input, Xoshiro256 rng);
 
+    /// Re-arms a pooled node for a fresh trial (same contract as the
+    /// constructor); trial runners call this instead of re-allocating.
+    void reinit(SkeletonConfig cfg, NodeId self, Bit input, Xoshiro256 rng);
+
     std::optional<net::Message> round_send(Round r) final;
     void round_receive(Round r, const net::ReceiveView& view) final;
     bool halted() const final { return halted_; }
@@ -86,15 +90,20 @@ protected:
     const SkeletonConfig& cfg() const { return cfg_; }
     Xoshiro256& rng() { return rng_; }
 
+protected:
+    /// For subclasses that construct via their own reinit() (the constructor
+    /// and the pooled path then share one initialization body).
+    RabinSkeletonNode() = default;
+
 private:
     void receive_round1(Phase p, const net::ReceiveView& view);
     void receive_round2(Phase p, const net::ReceiveView& view);
 
     SkeletonConfig cfg_;
-    NodeId self_;
+    NodeId self_ = 0;
     Xoshiro256 rng_;
 
-    Bit val_;
+    Bit val_ = 0;
     bool decided_ = false;
     bool finish_ = false;
     std::optional<Phase> finish_phase_;
@@ -106,7 +115,8 @@ private:
 /// deliveries: Byzantine coin fields are clamped to ±1, contributions from
 /// outside the committee are ignored (paper §3.2: "messages from byzantine
 /// nodes not in the committee are ignored"). Shared by Algorithm 3 and the
-/// Chor-Coan baselines.
+/// Chor-Coan baselines. Backed by the view's shared-tally coin prefix, so
+/// the honest contribution costs O(1) per receiver.
 std::int64_t committee_coin_sum(const net::ReceiveView& view, Phase p, NodeId first,
                                 NodeId last);
 

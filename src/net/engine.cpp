@@ -45,10 +45,10 @@ bool RoundControl::is_halted(NodeId v) const {
     ADBA_EXPECTS(v < e_.cfg_.n);
     return e_.is_halted(v);
 }
-const std::optional<Message>& RoundControl::intended_broadcast(NodeId v) const {
+const Message* RoundControl::intended_broadcast(NodeId v) const {
     ADBA_EXPECTS(v < e_.cfg_.n);
     ADBA_EXPECTS_MSG(e_.is_honest(v), "only honest nodes have intended broadcasts");
-    return e_.out_[v];
+    return e_.buf_.broadcast(v);
 }
 const HonestNode& RoundControl::node_state(NodeId v) const {
     ADBA_EXPECTS(v < e_.cfg_.n);
@@ -60,152 +60,157 @@ void RoundControl::deliver_as(NodeId byz_from, NodeId to, const Message& m) {
     e_.do_deliver(byz_from, to, m);
 }
 void RoundControl::broadcast_as(NodeId byz_from, const Message& m) {
-    for (NodeId to = 0; to < e_.cfg_.n; ++to) e_.do_deliver(byz_from, to, m);
+    split_as(byz_from, m, std::nullopt, e_.cfg_.n);
+}
+void RoundControl::split_as(NodeId byz_from, const std::optional<Message>& low,
+                            const std::optional<Message>& high, NodeId boundary) {
+    ADBA_EXPECTS(byz_from < e_.cfg_.n && boundary <= e_.cfg_.n);
+    ADBA_EXPECTS_MSG(!e_.buf_.is_honest(byz_from),
+                     "split_as requires a corrupted sender");
+    e_.metrics_.byzantine_messages += e_.buf_.apply_pattern(
+        byz_from, low ? &*low : nullptr, high ? &*high : nullptr, boundary);
 }
 
 // ------------------------------------------------------------------- Engine
 
 Engine::Engine(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
-               Adversary& adversary)
-    : cfg_(cfg), nodes_(std::move(nodes)), adversary_(adversary) {
+               Adversary& adversary) {
+    reset(cfg, std::move(nodes), adversary);
+}
+
+void Engine::reset(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
+                   Adversary& adversary) {
+    cfg_ = cfg;
+    nodes_ = std::move(nodes);
+    adversary_ = &adversary;
     ADBA_EXPECTS(cfg_.n > 0);
     ADBA_EXPECTS(nodes_.size() == cfg_.n);
     ADBA_EXPECTS(cfg_.max_rounds > 0);
     for (const auto& p : nodes_) ADBA_EXPECTS(p != nullptr);
-    honest_.assign(cfg_.n, true);
-    out_.resize(cfg_.n);
-    byz_row_index_.assign(cfg_.n, -1);
+    round_ = 0;
+    budget_used_ = 0;
+    buf_.reset(cfg_.n);
+    honest_mask_.assign(cfg_.n, true);
+    metrics_ = Metrics{};
+    transcript_.reset();
     if (cfg_.record_transcript) transcript_.emplace();
+    observer_ = nullptr;  // a run-A observer must not fire on run B's state
+    ran_ = false;
 }
 
-bool Engine::is_halted(NodeId v) const { return honest_[v] && nodes_[v]->halted(); }
+std::vector<std::unique_ptr<HonestNode>> Engine::take_nodes() {
+    return std::move(nodes_);
+}
+
+bool Engine::is_halted(NodeId v) const {
+    return buf_.is_honest(v) && nodes_[v]->halted();
+}
 
 std::optional<Message> Engine::do_corrupt(NodeId v) {
     ADBA_EXPECTS(v < cfg_.n);
-    ADBA_EXPECTS_MSG(honest_[v], "cannot corrupt an already-Byzantine node");
+    ADBA_EXPECTS_MSG(buf_.is_honest(v), "cannot corrupt an already-Byzantine node");
     ADBA_EXPECTS_MSG(!nodes_[v]->halted(), "cannot corrupt a node that already terminated");
     ADBA_EXPECTS_MSG(budget_used_ < cfg_.budget, "corruption budget exhausted");
     ++budget_used_;
     ++metrics_.corruptions;
-    honest_[v] = false;
-    std::optional<Message> discarded = std::move(out_[v]);
-    out_[v].reset();
+    honest_mask_[v] = false;
     if (transcript_) transcript_->record_corruption(v);
-    return discarded;
+    return buf_.corrupt(v);
 }
 
 void Engine::do_deliver(NodeId byz_from, NodeId to, const Message& m) {
     ADBA_EXPECTS(byz_from < cfg_.n && to < cfg_.n);
-    ADBA_EXPECTS_MSG(!honest_[byz_from], "deliver_as requires a corrupted sender");
-    auto& row = byz_row(byz_from);
-    if (!row[to]) ++metrics_.byzantine_messages;
-    row[to] = m;
+    ADBA_EXPECTS_MSG(!buf_.is_honest(byz_from), "deliver_as requires a corrupted sender");
+    if (buf_.deliver(byz_from, to, m)) ++metrics_.byzantine_messages;
 }
 
-std::vector<std::optional<Message>>& Engine::byz_row(NodeId v) {
-    if (byz_row_index_[v] < 0) {
-        if (byz_rows_in_use_ == byz_rows_.size()) byz_rows_.emplace_back(cfg_.n);
-        auto& row = byz_rows_[byz_rows_in_use_];
-        row.assign(cfg_.n, std::nullopt);
-        byz_row_index_[v] = static_cast<std::int32_t>(byz_rows_in_use_);
-        ++byz_rows_in_use_;
-    }
-    return byz_rows_[static_cast<std::size_t>(byz_row_index_[v])];
-}
-
-namespace {
-
-/// Receiver-specific delivery lookup backed by the engine's round buffers.
-class EngineView final : public ReceiveView {
-public:
-    EngineView(NodeId n, NodeId recv, const std::vector<bool>& honest,
-               const std::vector<std::optional<Message>>& out,
-               const std::vector<std::int32_t>& byz_row_index,
-               const std::vector<std::vector<std::optional<Message>>>& byz_rows)
-        : n_(n), recv_(recv), honest_(honest), out_(out), byz_row_index_(byz_row_index),
-          byz_rows_(byz_rows) {}
-
-    const Message* from(NodeId sender) const override {
-        ADBA_EXPECTS(sender < n_);
-        if (honest_[sender]) {
-            const auto& m = out_[sender];
-            return m ? &*m : nullptr;
+void Engine::account_sends() {
+    // Accounting + transcript reflect post-corruption reality: a node
+    // corrupted this round never got its broadcast onto the wire. Honest
+    // receivers that already terminated have left the protocol, so a
+    // broadcast is charged only for the receivers that still take delivery
+    // (Byzantine receivers stay on the wire — the sender cannot know them).
+    NodeId halted_receivers = 0;
+    for (NodeId v = 0; v < cfg_.n; ++v)
+        if (buf_.is_honest(v) && nodes_[v]->halted()) ++halted_receivers;
+    for (NodeId v = 0; v < cfg_.n; ++v) {
+        if (buf_.is_honest(v)) {
+            const Message* m = buf_.broadcast(v);
+            if (transcript_)
+                transcript_->record_send(
+                    v, m ? std::optional<Message>(*m) : std::nullopt, true);
+            if (m) {
+                // A finish-flushing sender that halted during this round's
+                // send is itself a halted receiver; its own exclusion is
+                // already the "- 1", so put it back.
+                const std::uint64_t excluded =
+                    static_cast<std::uint64_t>(halted_receivers) -
+                    (nodes_[v]->halted() ? 1 : 0);
+                const std::uint64_t fanout =
+                    static_cast<std::uint64_t>(cfg_.n) - 1 - excluded;
+                metrics_.honest_messages += fanout;
+                metrics_.honest_bits += fanout * wire_bits(*m, cfg_.n);
+            }
+        } else if (transcript_) {
+            transcript_->record_send(v, std::nullopt, false);
         }
-        const std::int32_t row = byz_row_index_[sender];
-        if (row < 0) return nullptr;
-        const auto& m = byz_rows_[static_cast<std::size_t>(row)][recv_];
-        return m ? &*m : nullptr;
     }
+}
 
-    NodeId n() const override { return n_; }
-    NodeId receiver() const override { return recv_; }
-
-private:
-    NodeId n_;
-    NodeId recv_;
-    const std::vector<bool>& honest_;
-    const std::vector<std::optional<Message>>& out_;
-    const std::vector<std::int32_t>& byz_row_index_;
-    const std::vector<std::vector<std::optional<Message>>>& byz_rows_;
-};
-
-}  // namespace
+void Engine::run_receives() {
+    if (cfg_.reference_delivery) {
+        const RoundBufferSource src(buf_);
+        for (NodeId v = 0; v < cfg_.n; ++v) {
+            if (!buf_.is_honest(v) || nodes_[v]->halted()) continue;
+            const ReceiveView view(src, v);
+            nodes_[v]->round_receive(round_, view);
+        }
+        return;
+    }
+    tally_.rebuild(buf_);
+    for (NodeId v = 0; v < cfg_.n; ++v) {
+        if (!buf_.is_honest(v) || nodes_[v]->halted()) continue;
+        const ReceiveView view(buf_, tally_, v);
+        nodes_[v]->round_receive(round_, view);
+    }
+}
 
 RunResult Engine::run() {
-    ADBA_EXPECTS_MSG(!ran_, "Engine::run is single-shot");
+    ADBA_EXPECTS_MSG(!ran_, "Engine::run is single-shot (reset() rearms)");
     ran_ = true;
 
-    adversary_.on_start(cfg_.n, cfg_.budget);
+    adversary_->on_start(cfg_.n, cfg_.budget);
 
     bool all_halted = false;
     for (round_ = 0; round_ < cfg_.max_rounds; ++round_) {
         if (transcript_) transcript_->begin_round(round_, cfg_.n);
+        buf_.begin_round();
 
         // Beat 1: honest sends (randomness for this round is drawn here).
         for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (honest_[v] && !nodes_[v]->halted()) {
-                out_[v] = nodes_[v]->round_send(round_);
-            } else {
-                out_[v].reset();
+            if (buf_.is_honest(v) && !nodes_[v]->halted()) {
+                if (const auto m = nodes_[v]->round_send(round_))
+                    buf_.set_broadcast(v, *m);
             }
         }
 
         // Beat 2: the rushing adversary observes and acts.
-        std::fill(byz_row_index_.begin(), byz_row_index_.end(), -1);
-        byz_rows_in_use_ = 0;
         {
             RoundControl ctl(*this);
-            adversary_.act(ctl);
+            adversary_->act(ctl);
         }
 
-        // Accounting + transcript reflect post-corruption reality: a node
-        // corrupted this round never got its broadcast onto the wire.
-        for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (honest_[v]) {
-                if (transcript_) transcript_->record_send(v, out_[v], true);
-                if (out_[v]) {
-                    const auto fanout = static_cast<std::uint64_t>(cfg_.n) - 1;
-                    metrics_.honest_messages += fanout;
-                    metrics_.honest_bits += fanout * wire_bits(*out_[v], cfg_.n);
-                }
-            } else if (transcript_) {
-                transcript_->record_send(v, std::nullopt, false);
-            }
-        }
+        account_sends();
 
         // Beat 3: deliveries.
-        for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (!honest_[v] || nodes_[v]->halted()) continue;
-            EngineView view(cfg_.n, v, honest_, out_, byz_row_index_, byz_rows_);
-            nodes_[v]->round_receive(round_, view);
-        }
+        run_receives();
 
         metrics_.rounds = round_ + 1;
-        if (observer_) observer_(round_, nodes_, honest_);
+        if (observer_) observer_(round_, nodes_, honest_mask_);
 
         all_halted = true;
         for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (honest_[v] && !nodes_[v]->halted()) {
+            if (buf_.is_honest(v) && !nodes_[v]->halted()) {
                 all_halted = false;
                 break;
             }
@@ -218,10 +223,10 @@ RunResult Engine::run() {
 
     RunResult res;
     res.outputs.resize(cfg_.n, 0);
-    res.honest = honest_;
+    res.honest = honest_mask_;
     res.halted.assign(cfg_.n, false);
     for (NodeId v = 0; v < cfg_.n; ++v) {
-        if (honest_[v]) {
+        if (buf_.is_honest(v)) {
             res.outputs[v] = nodes_[v]->output();
             res.halted[v] = nodes_[v]->halted();
         }
@@ -230,6 +235,10 @@ RunResult Engine::run() {
     res.all_halted = all_halted;
     res.metrics = metrics_;
     res.transcript = std::move(transcript_);
+
+    // Pooled arenas destroy the per-trial adversary right after run();
+    // drop the pointer so the idle engine never holds a dangling reference.
+    adversary_ = nullptr;
 
     ADBA_ENSURES_MSG(budget_used_ <= cfg_.budget, "budget accounting overflow");
     return res;

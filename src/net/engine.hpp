@@ -17,6 +17,19 @@
 // Corruption is permanent and budgeted: at most `budget` (= t) corruptions
 // per run, enforced by contract. Halted nodes have left the protocol and
 // cannot be corrupted (their output already stands).
+//
+// Delivery plane: round state lives in a flat RoundBuffer (contiguous
+// Message[] + uint8_t presence plane, net/round_buffer.hpp) and receivers
+// get a concrete ReceiveView backed by engine-level shared tallies — the
+// honest histogram is computed once per round, so a receive step costs
+// O(byz) instead of O(n). EngineConfig::reference_delivery re-routes every
+// probe through the virtual DeliverySource adapter with per-sender tally
+// loops: the slow oracle the equivalence tests pin the flat path against.
+//
+// Engines are reusable: reset() rearms a finished engine for another run
+// and take_nodes() returns the node set to the caller's pool, so Monte-
+// Carlo runners keep one engine + one node set per worker and stop paying
+// per-trial allocation.
 #pragma once
 
 #include <functional>
@@ -27,6 +40,7 @@
 #include "net/message.hpp"
 #include "net/metrics.hpp"
 #include "net/node.hpp"
+#include "net/round_buffer.hpp"
 #include "net/transcript.hpp"
 #include "support/types.hpp"
 
@@ -47,8 +61,8 @@ public:
     bool is_honest(NodeId v) const;
     /// True iff v terminated (honest and permanently silent).
     bool is_halted(NodeId v) const;
-    /// Honest v's intended broadcast this round (nullopt = silent).
-    const std::optional<Message>& intended_broadcast(NodeId v) const;
+    /// Honest v's intended broadcast this round (nullptr = silent).
+    const Message* intended_broadcast(NodeId v) const;
     /// Full-information introspection into an honest node's state.
     const HonestNode& node_state(NodeId v) const;
 
@@ -60,8 +74,15 @@ public:
     std::optional<Message> corrupt(NodeId v);
     /// Delivers m from Byzantine node `byz_from` to `to` this round.
     void deliver_as(NodeId byz_from, NodeId to, const Message& m);
-    /// Delivers m from `byz_from` to every node.
+    /// Delivers m from `byz_from` to every node. O(1): stored as a pattern
+    /// row, not n cell writes.
     void broadcast_as(NodeId byz_from, const Message& m);
+    /// Threshold equivocation in O(1): delivers `low` to receivers below
+    /// `boundary` and `high` to the rest (nullopt = silence for that side).
+    /// The classic split attacks (split-vote, coin ruin, king killing,
+    /// crash prefixes) are all this shape.
+    void split_as(NodeId byz_from, const std::optional<Message>& low,
+                  const std::optional<Message>& high, NodeId boundary);
     // Silence is the default behaviour of a Byzantine sender.
 
 private:
@@ -93,6 +114,10 @@ struct EngineConfig {
     Count budget = 0;        ///< adversary's corruption budget t
     Round max_rounds = 0;    ///< hard stop if the protocol does not self-halt
     bool record_transcript = false;
+    /// Route deliveries through the virtual DeliverySource adapter with
+    /// per-sender tally loops — the reference path the flat plane is pinned
+    /// against. Semantics identical, markedly slower.
+    bool reference_delivery = false;
 };
 
 /// Outcome of one simulated run.
@@ -119,8 +144,18 @@ public:
     Engine(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
            Adversary& adversary);
 
+    /// Rearms a finished (or fresh) engine for another run, reusing every
+    /// internal buffer — the trial-reuse path of the Monte-Carlo runners.
+    void reset(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
+               Adversary& adversary);
+
     /// Runs rounds until every honest node halts or cfg.max_rounds elapse.
+    /// Single-shot per reset().
     RunResult run();
+
+    /// Moves the node set back out (to a caller-owned pool for reinit);
+    /// the engine is unusable until the next reset().
+    std::vector<std::unique_ptr<HonestNode>> take_nodes();
 
     /// Test hook: invoked after each round's deliveries with full state
     /// access, for invariant checking (Lemmas 2-4 property tests).
@@ -132,26 +167,23 @@ public:
 private:
     friend class RoundControl;
 
-    bool is_honest(NodeId v) const { return honest_[v]; }
+    bool is_honest(NodeId v) const { return buf_.is_honest(v); }
     bool is_halted(NodeId v) const;
 
     std::optional<Message> do_corrupt(NodeId v);
     void do_deliver(NodeId byz_from, NodeId to, const Message& m);
-    /// Byzantine delivery row for sender v this round, creating on demand.
-    std::vector<std::optional<Message>>& byz_row(NodeId v);
+    void account_sends();
+    void run_receives();
 
     EngineConfig cfg_;
     std::vector<std::unique_ptr<HonestNode>> nodes_;
-    Adversary& adversary_;
+    Adversary* adversary_ = nullptr;
 
     Round round_ = 0;
     Count budget_used_ = 0;
-    std::vector<bool> honest_;
-    // Per-round buffers (reused across rounds).
-    std::vector<std::optional<Message>> out_;            // honest broadcasts
-    std::vector<std::int32_t> byz_row_index_;            // node -> row or -1
-    std::vector<std::vector<std::optional<Message>>> byz_rows_;
-    std::size_t byz_rows_in_use_ = 0;
+    RoundBuffer buf_;      ///< flat per-round delivery state
+    RoundTally tally_;     ///< engine-level shared tallies, rebuilt per round
+    std::vector<bool> honest_mask_;  ///< mirror of buf_ honesty for observers/results
 
     Metrics metrics_;
     std::optional<Transcript> transcript_;

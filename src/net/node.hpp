@@ -9,30 +9,22 @@
 // Byzantine messages.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "net/message.hpp"
+#include "net/round_buffer.hpp"
+#include "support/contracts.hpp"
 #include "support/types.hpp"
 
 namespace adba::net {
 
-/// Receiver-specific view of one round's deliveries.
-class ReceiveView {
-public:
-    virtual ~ReceiveView() = default;
-
-    /// Message delivered from `sender` to this receiver this round, or
-    /// nullptr for silence (halted, crashed, or adversarially withheld).
-    /// `from(self)` returns the node's own broadcast (a node counts its own
-    /// value in the paper's tallies).
-    virtual const Message* from(NodeId sender) const = 0;
-
-    /// Network size; senders are 0..n()-1.
-    virtual NodeId n() const = 0;
-
-    /// The receiving node's own id.
-    virtual NodeId receiver() const = 0;
-};
+// ReceiveView (the receiver's window onto one round, a concrete final class
+// with non-virtual from() plus the shared tally queries) lives in
+// net/round_buffer.hpp with the flat delivery plane backing it. Scripted
+// tests that used to subclass ReceiveView implement DeliverySource instead
+// and hand the engine-independent adapter constructor a receiver id.
 
 /// An honest protocol participant. Implementations are pure state machines;
 /// all randomness comes from the per-node stream handed to the constructor.
@@ -64,5 +56,18 @@ public:
     /// for all protocols here).
     virtual Bit output() const { return current_value(); }
 };
+
+/// Shared loop behind every protocol's reinit_*_nodes: checks the pool was
+/// built for this node type and size, then re-arms each node in id order via
+/// `per_node(node, v)`. Trial runners use this to reuse node sets across
+/// Monte-Carlo trials with zero allocation.
+template <typename Node, typename Fn>
+void reinit_node_pool(std::vector<std::unique_ptr<HonestNode>>& nodes, NodeId n,
+                      Fn&& per_node) {
+    ADBA_EXPECTS(nodes.size() == n);
+    ADBA_EXPECTS_MSG(dynamic_cast<Node*>(nodes.front().get()) != nullptr,
+                     "node pool type does not match the requested protocol");
+    for (NodeId v = 0; v < n; ++v) per_node(*static_cast<Node*>(nodes[v].get()), v);
+}
 
 }  // namespace adba::net

@@ -1,5 +1,8 @@
 #include "sim/coin_runner.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "core/common_coin.hpp"
 #include "net/engine.hpp"
 #include "rand/seed_tree.hpp"
@@ -7,29 +10,60 @@
 
 namespace adba::sim {
 
-CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed) {
-    ADBA_EXPECTS(s.designated >= 1 && s.designated <= s.n);
-    const SeedTree seeds(seed);
-    const core::CoinConfig cfg{s.n, s.designated};
-    auto nodes = core::make_coin_nodes(cfg, seeds);
+namespace {
 
-    adv::CoinRuinAdversary adversary(
-        adv::CoinRuinConfig{s.designated, s.f, s.attack, s.forced_bit});
-
-    net::EngineConfig ecfg;
-    ecfg.n = s.n;
-    ecfg.budget = s.f;
-    ecfg.max_rounds = 1;
-    net::Engine engine(ecfg, std::move(nodes), adversary);
-    const net::RunResult run = engine.run();
-
-    CoinTrial out;
-    out.common = run.agreement();
-    if (out.common) {
-        if (const auto v = run.agreed_value()) out.value = *v;
+/// Per-chunk reusable coin-trial state (pooled nodes + engine); run() is
+/// bit-identical to the one-shot run_coin_trial path.
+class CoinArena {
+public:
+    explicit CoinArena(const CoinScenario& s) : s_(s) {
+        ADBA_EXPECTS(s.designated >= 1 && s.designated <= s.n);
     }
-    out.attack_feasible = adversary.attack_feasible();
-    return out;
+
+    CoinTrial run(std::uint64_t seed) {
+        const SeedTree seeds(seed);
+        const core::CoinConfig cfg{s_.n, s_.designated};
+        if (nodes_.empty()) {
+            nodes_ = core::make_coin_nodes(cfg, seeds);
+        } else {
+            core::reinit_coin_nodes(cfg, seeds, nodes_);
+        }
+
+        adv::CoinRuinAdversary adversary(
+            adv::CoinRuinConfig{s_.designated, s_.f, s_.attack, s_.forced_bit});
+
+        net::EngineConfig ecfg;
+        ecfg.n = s_.n;
+        ecfg.budget = s_.f;
+        ecfg.max_rounds = 1;
+        if (engine_) {
+            engine_->reset(ecfg, std::move(nodes_), adversary);
+        } else {
+            engine_.emplace(ecfg, std::move(nodes_), adversary);
+        }
+        const net::RunResult run = engine_->run();
+        nodes_ = engine_->take_nodes();
+
+        CoinTrial out;
+        out.common = run.agreement();
+        if (out.common) {
+            if (const auto v = run.agreed_value()) out.value = *v;
+        }
+        out.attack_feasible = adversary.attack_feasible();
+        return out;
+    }
+
+private:
+    CoinScenario s_;
+    std::vector<std::unique_ptr<net::HonestNode>> nodes_;
+    std::optional<net::Engine> engine_;
+};
+
+}  // namespace
+
+CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed) {
+    CoinArena arena(s);
+    return arena.run(seed);
 }
 
 void CoinAggregate::merge(const CoinAggregate& other) {
@@ -44,8 +78,9 @@ CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
     return parallel_reduce<CoinAggregate>(trials, exec, [&](Count begin, Count end) {
         CoinAggregate part;
         part.trials = end - begin;
+        CoinArena arena(s);
         for (Count i = begin; i < end; ++i) {
-            const CoinTrial t = run_coin_trial(s, mix64(base_seed + 0x9e3779b1ULL * i));
+            const CoinTrial t = arena.run(mix64(base_seed + 0x9e3779b1ULL * i));
             if (t.common) {
                 ++part.common;
                 if (t.value == 1) ++part.common_ones;

@@ -4,24 +4,30 @@
 
 namespace adba::sim {
 
-std::vector<Bit> make_inputs(InputPattern pattern, NodeId n, const SeedTree& seeds) {
+void make_inputs(InputPattern pattern, NodeId n, const SeedTree& seeds,
+                 std::vector<Bit>& out) {
     ADBA_EXPECTS(n > 0);
-    std::vector<Bit> inputs(n, 0);
+    out.assign(n, 0);
     switch (pattern) {
         case InputPattern::AllZero:
             break;
         case InputPattern::AllOne:
-            inputs.assign(n, 1);
+            out.assign(n, 1);
             break;
         case InputPattern::Split:
-            for (NodeId v = 0; v < n; ++v) inputs[v] = static_cast<Bit>(v & 1);
+            for (NodeId v = 0; v < n; ++v) out[v] = static_cast<Bit>(v & 1);
             break;
         case InputPattern::Random: {
             auto rng = seeds.stream(StreamPurpose::InputAssignment);
-            for (NodeId v = 0; v < n; ++v) inputs[v] = rng.bit();
+            for (NodeId v = 0; v < n; ++v) out[v] = rng.bit();
             break;
         }
     }
+}
+
+std::vector<Bit> make_inputs(InputPattern pattern, NodeId n, const SeedTree& seeds) {
+    std::vector<Bit> inputs;
+    make_inputs(pattern, n, seeds, inputs);
     return inputs;
 }
 

@@ -19,6 +19,11 @@ enum class InputPattern : std::uint8_t {
 
 std::vector<Bit> make_inputs(InputPattern pattern, NodeId n, const SeedTree& seeds);
 
+/// In-place variant for pooled trial loops: fills `out` (resized to n) with
+/// exactly the same values the allocating overload returns.
+void make_inputs(InputPattern pattern, NodeId n, const SeedTree& seeds,
+                 std::vector<Bit>& out);
+
 /// True iff every node holds the same input (validity clause applies).
 bool unanimous(const std::vector<Bit>& inputs);
 

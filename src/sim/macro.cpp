@@ -34,15 +34,24 @@ core::BlockSchedule schedule_for(const MacroScenario& s, Count& phases_out) {
     return {};
 }
 
-}  // namespace
-
-MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
-    ADBA_EXPECTS(s.n >= 4 && s.n <= 0xFFFFFFFFULL);
-    ADBA_EXPECTS_MSG(3 * s.t < s.n, "requires t < n/3");
-    ADBA_EXPECTS(s.q <= s.t);
-
+/// Once-per-sweep product of a MacroScenario: the committee schedule and
+/// phase budget are seed-independent, so trial loops compute them once.
+struct MacroPlan {
+    core::BlockSchedule sched;
     Count phases = 0;
-    const core::BlockSchedule sched = schedule_for(s, phases);
+
+    explicit MacroPlan(const MacroScenario& s) {
+        ADBA_EXPECTS(s.n >= 4 && s.n <= 0xFFFFFFFFULL);
+        ADBA_EXPECTS_MSG(3 * s.t < s.n, "requires t < n/3");
+        ADBA_EXPECTS(s.q <= s.t);
+        sched = schedule_for(s, phases);
+    }
+};
+
+MacroResult run_macro_trial(const MacroScenario& s, const MacroPlan& plan,
+                            std::uint64_t seed) {
+    const Count phases = plan.phases;
+    const core::BlockSchedule& sched = plan.sched;
 
     Xoshiro256 rng(mix64(seed ^ 0x6d6163726f2d3031ULL));
     std::vector<std::uint32_t> byz_in(sched.num_blocks, 0);  // corrupted per committee
@@ -113,6 +122,12 @@ MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
     return out;
 }
 
+}  // namespace
+
+MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
+    return run_macro_trial(s, MacroPlan(s), seed);
+}
+
 void MacroAggregate::merge(const MacroAggregate& other) {
     trials += other.trials;
     agreement_failures += other.agreement_failures;
@@ -123,13 +138,14 @@ void MacroAggregate::merge(const MacroAggregate& other) {
 
 MacroAggregate run_macro_trials(const MacroScenario& s, std::uint64_t base_seed,
                                 Count trials, const ExecutorConfig& exec) {
+    const MacroPlan plan(s);  // schedule + phase budget once per sweep
     return parallel_reduce<MacroAggregate>(trials, exec, [&](Count begin, Count end) {
         MacroAggregate part;
         part.trials = end - begin;
         part.rounds.reserve(end - begin);
         for (Count i = begin; i < end; ++i) {
             const MacroResult r =
-                run_macro_trial(s, mix64(base_seed + 0x9e3779b97f4a7c15ULL * i));
+                run_macro_trial(s, plan, mix64(base_seed + 0x9e3779b97f4a7c15ULL * i));
             part.rounds.add(static_cast<double>(r.rounds));
             part.phases.add(static_cast<double>(r.phases_run));
             part.corruptions.add(static_cast<double>(r.corruptions));

@@ -12,9 +12,9 @@ namespace adba::sim {
 
 namespace {
 
-std::vector<net::Word> make_mv_inputs(MvInputPattern pattern, NodeId n,
-                                      const SeedTree& seeds) {
-    std::vector<net::Word> inputs(n, 0);
+void make_mv_inputs(MvInputPattern pattern, NodeId n, const SeedTree& seeds,
+                    std::vector<net::Word>& inputs) {
+    inputs.assign(n, 0);
     switch (pattern) {
         case MvInputPattern::AllSame:
             inputs.assign(n, 0xCAFE);
@@ -38,64 +38,101 @@ std::vector<net::Word> make_mv_inputs(MvInputPattern pattern, NodeId n,
             break;
         }
     }
-    return inputs;
 }
 
-std::unique_ptr<net::Adversary> make_mv_adversary(const MvScenario& s,
-                                                  const core::MultiValuedParams& params,
-                                                  const SeedTree& seeds) {
-    return MvAdversaryRegistry::instance().at(s.adversary).make_adversary(s, params,
-                                                                          seeds);
-}
+/// Once-per-sweep product of an MvScenario: resolved adversary entry plus
+/// the (seed-independent) multi-valued parameters and round cap.
+struct MvPlan {
+    MvScenario scenario;
+    core::MultiValuedParams params;
+    Round cap = 0;
+    const MvAdversaryEntry* adversary = nullptr;
+
+    explicit MvPlan(const MvScenario& s) : scenario(s) {
+        ADBA_EXPECTS(s.n > 0);
+        const auto mode = s.las_vegas ? core::AgreementMode::LasVegas
+                                      : core::AgreementMode::WhpFixedPhases;
+        params = core::MultiValuedParams::compute(s.n, s.t, s.tuning, s.fallback, mode);
+        cap = s.las_vegas ? 32 * core::max_rounds_whp(params) + 256
+                          : core::max_rounds_whp(params);
+        adversary = &MvAdversaryRegistry::instance().at(s.adversary);
+    }
+};
+
+/// Per-chunk reusable mv-trial state (pooled Turpin-Coan nodes + engine);
+/// run() is bit-identical to the one-shot run_mv_trial path.
+class MvArena {
+public:
+    explicit MvArena(const MvPlan& plan) : plan_(plan) {}
+
+    MvTrialResult run(std::uint64_t seed) {
+        const MvScenario& s = plan_.scenario;
+        const SeedTree seeds(seed);
+        make_mv_inputs(s.inputs, s.n, seeds, inputs_);
+        const auto& inputs = inputs_;
+
+        if (nodes_.empty()) {
+            nodes_ = core::make_turpin_coan_nodes(plan_.params, inputs, seeds);
+        } else {
+            core::reinit_turpin_coan_nodes(plan_.params, inputs, seeds, nodes_);
+        }
+        raw_.clear();
+        raw_.reserve(s.n);
+        for (const auto& p : nodes_)
+            raw_.push_back(static_cast<const core::TurpinCoanNode*>(p.get()));
+        const auto& raw = raw_;
+
+        auto adversary = plan_.adversary->make_adversary(s, plan_.params, seeds);
+        if (engine_) {
+            engine_->reset({s.n, s.t, plan_.cap, false}, std::move(nodes_), *adversary);
+        } else {
+            engine_.emplace(net::EngineConfig{s.n, s.t, plan_.cap, false},
+                            std::move(nodes_), *adversary);
+        }
+        const net::RunResult run = engine_->run();
+        nodes_ = engine_->take_nodes();
+
+        MvTrialResult res;
+        res.rounds = run.rounds;
+        res.all_halted = run.all_halted;
+        res.agreement = true;
+        std::optional<net::Word> seen;
+        bool any_real = false;
+        for (NodeId v = 0; v < s.n; ++v) {
+            if (!run.honest[v]) continue;
+            const net::Word w = raw[v]->output_word();
+            any_real = any_real || raw[v]->decided_real_value();
+            if (!seen) {
+                seen = w;
+            } else if (*seen != w) {
+                res.agreement = false;
+            }
+        }
+        res.agreed_word = res.agreement ? seen : std::nullopt;
+        res.decided_real = any_real;
+
+        bool unanimous = true;
+        for (const auto w : inputs) unanimous = unanimous && w == inputs.front();
+        res.validity_applicable = unanimous;
+        res.validity_ok = !unanimous || (res.agreement && res.agreed_word &&
+                                         *res.agreed_word == inputs.front());
+        return res;
+    }
+
+private:
+    const MvPlan& plan_;
+    std::vector<net::Word> inputs_;
+    std::vector<const core::TurpinCoanNode*> raw_;
+    std::vector<std::unique_ptr<net::HonestNode>> nodes_;
+    std::optional<net::Engine> engine_;
+};
 
 }  // namespace
 
 MvTrialResult run_mv_trial(const MvScenario& s, std::uint64_t seed) {
-    ADBA_EXPECTS(s.n > 0);
-    const SeedTree seeds(seed);
-    const auto mode = s.las_vegas ? core::AgreementMode::LasVegas
-                                  : core::AgreementMode::WhpFixedPhases;
-    const auto params =
-        core::MultiValuedParams::compute(s.n, s.t, s.tuning, s.fallback, mode);
-    const auto inputs = make_mv_inputs(s.inputs, s.n, seeds);
-
-    auto nodes = core::make_turpin_coan_nodes(params, inputs, seeds);
-    std::vector<const core::TurpinCoanNode*> raw;
-    raw.reserve(s.n);
-    for (const auto& p : nodes)
-        raw.push_back(static_cast<const core::TurpinCoanNode*>(p.get()));
-
-    auto adversary = make_mv_adversary(s, params, seeds);
-    const Round cap = s.las_vegas ? 32 * core::max_rounds_whp(params) + 256
-                                  : core::max_rounds_whp(params);
-    net::Engine engine({s.n, s.t, cap, false}, std::move(nodes), *adversary);
-    const net::RunResult run = engine.run();
-
-    MvTrialResult res;
-    res.rounds = run.rounds;
-    res.all_halted = run.all_halted;
-    res.agreement = true;
-    std::optional<net::Word> seen;
-    bool any_real = false;
-    for (NodeId v = 0; v < s.n; ++v) {
-        if (!run.honest[v]) continue;
-        const net::Word w = raw[v]->output_word();
-        any_real = any_real || raw[v]->decided_real_value();
-        if (!seen) {
-            seen = w;
-        } else if (*seen != w) {
-            res.agreement = false;
-        }
-    }
-    res.agreed_word = res.agreement ? seen : std::nullopt;
-    res.decided_real = any_real;
-
-    bool unanimous = true;
-    for (const auto w : inputs) unanimous = unanimous && w == inputs.front();
-    res.validity_applicable = unanimous;
-    res.validity_ok = !unanimous || (res.agreement && res.agreed_word &&
-                                     *res.agreed_word == inputs.front());
-    return res;
+    const MvPlan plan(s);
+    MvArena arena(plan);
+    return arena.run(seed);
 }
 
 void MvAggregate::merge(const MvAggregate& other) {
@@ -109,12 +146,14 @@ void MvAggregate::merge(const MvAggregate& other) {
 
 MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials,
                           const ExecutorConfig& exec) {
+    const MvPlan plan(s);  // params + registry lookup once per sweep
     return parallel_reduce<MvAggregate>(trials, exec, [&](Count begin, Count end) {
         MvAggregate part;
         part.trials = end - begin;
         part.rounds.reserve(end - begin);
+        MvArena arena(plan);
         for (Count i = begin; i < end; ++i) {
-            const auto r = run_mv_trial(s, mix64(base_seed + 0x9e37ULL * i));
+            const auto r = arena.run(mix64(base_seed + 0x9e37ULL * i));
             if (!r.agreement) ++part.agreement_failures;
             if (!r.validity_ok) ++part.validity_failures;
             if (!r.all_halted) ++part.not_halted;

@@ -136,6 +136,12 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
                                    : core::max_rounds_whp(params);
         return b;
     };
+    const auto alg3_reinit = [](const Scenario& s, const std::vector<Bit>& inputs,
+                                const SeedTree& seeds, core::AgreementMode mode,
+                                ProtocolBundle& b) {
+        const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
+        core::reinit_algorithm3_nodes(params, mode, inputs, seeds, b.nodes);
+    };
     const auto alg3_schedule = [](const Scenario& s) {
         return core::AgreementParams::compute(s.n, s.t, s.tuning).schedule;
     };
@@ -150,6 +156,10 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          AdversaryKind::WorstCase,
          [alg3_nodes](const Scenario& s, const std::vector<Bit>& in, const SeedTree& sd) {
              return alg3_nodes(s, in, sd, core::AgreementMode::WhpFixedPhases);
+         },
+         [alg3_reinit](const Scenario& s, const std::vector<Bit>& in,
+                       const SeedTree& sd, ProtocolBundle& b) {
+             alg3_reinit(s, in, sd, core::AgreementMode::WhpFixedPhases, b);
          },
          alg3_schedule,
          [](const Scenario& s) {
@@ -167,6 +177,10 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          AdversaryKind::WorstCase,
          [alg3_nodes](const Scenario& s, const std::vector<Bit>& in, const SeedTree& sd) {
              return alg3_nodes(s, in, sd, core::AgreementMode::LasVegas);
+         },
+         [alg3_reinit](const Scenario& s, const std::vector<Bit>& in,
+                       const SeedTree& sd, ProtocolBundle& b) {
+             alg3_reinit(s, in, sd, core::AgreementMode::LasVegas, b);
          },
          alg3_schedule,
          [](const Scenario& s) {
@@ -187,6 +201,15 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
         b.default_max_rounds = base::max_rounds_whp(params);
         return b;
     };
+    const auto chor_coan_reinit = [](const Scenario& s, const std::vector<Bit>& inputs,
+                                     const SeedTree& seeds, bool rushing,
+                                     ProtocolBundle& b) {
+        const auto params = rushing
+                                ? base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning)
+                                : base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
+        base::reinit_chor_coan_nodes(params, core::AgreementMode::WhpFixedPhases,
+                                     inputs, seeds, b.nodes);
+    };
 
     add({ProtocolKind::ChorCoanRushing,
          "chor-coan-rushing",
@@ -198,6 +221,10 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          AdversaryKind::WorstCase,
          [chor_coan_nodes](const Scenario& s, const std::vector<Bit>& in,
                            const SeedTree& sd) { return chor_coan_nodes(s, in, sd, true); },
+         [chor_coan_reinit](const Scenario& s, const std::vector<Bit>& in,
+                            const SeedTree& sd, ProtocolBundle& b) {
+             chor_coan_reinit(s, in, sd, true, b);
+         },
          [](const Scenario& s) {
              return base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning).schedule;
          },
@@ -216,6 +243,10 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          AdversaryKind::WorstCase,
          [chor_coan_nodes](const Scenario& s, const std::vector<Bit>& in,
                            const SeedTree& sd) { return chor_coan_nodes(s, in, sd, false); },
+         [chor_coan_reinit](const Scenario& s, const std::vector<Bit>& in,
+                            const SeedTree& sd, ProtocolBundle& b) {
+             chor_coan_reinit(s, in, sd, false, b);
+         },
          [](const Scenario& s) {
              return base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning).schedule;
          },
@@ -242,6 +273,14 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              b.default_max_rounds = base::max_rounds_whp(params);
              return b;
          },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             // The dealer seed is per-trial; recompute params with it.
+             const auto params = base::RabinDealerParams::compute(
+                 s.n, s.t, seeds.seed(StreamPurpose::DealerCoin), s.tuning.gamma);
+             base::reinit_rabin_dealer_nodes(params, core::AgreementMode::WhpFixedPhases,
+                                             inputs, seeds, b.nodes);
+         },
          nullptr,
          [](const Scenario& s) {
              const auto p = base::RabinDealerParams::compute(s.n, s.t, 0, s.tuning.gamma);
@@ -265,6 +304,12 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              b.default_max_rounds = 2 * (params.phases + 2);
              return b;
          },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             const base::LocalCoinParams params{s.n, s.t, s.local_coin_phases};
+             base::reinit_local_coin_nodes(params, core::AgreementMode::WhpFixedPhases,
+                                           inputs, seeds, b.nodes);
+         },
          nullptr,
          [](const Scenario& s) {
              return BudgetHint{s.local_coin_phases,
@@ -286,6 +331,11 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              b.phases = params.phases;
              b.default_max_rounds = 2 * (params.phases + 2);
              return b;
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
+             base::reinit_ben_or_nodes(params, inputs, seeds, b.nodes);
          },
          nullptr,
          [](const Scenario& s) {
@@ -309,6 +359,11 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              b.default_max_rounds = params.total_rounds() + 2;
              return b;
          },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree&,
+            ProtocolBundle& b) {
+             base::reinit_phase_king_nodes(base::PhaseKingParams{s.n, s.t}, inputs,
+                                           b.nodes);
+         },
          nullptr,
          [](const Scenario& s) {
              const base::PhaseKingParams p{s.n, s.t};
@@ -331,6 +386,12 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              b.phases = params.rounds;
              b.default_max_rounds = params.rounds + 1;
              return b;
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             const auto params =
+                 base::SamplingMajorityParams::compute(s.n, s.t, s.sampling_kappa);
+             base::reinit_sampling_majority_nodes(params, inputs, seeds, b.nodes);
          },
          nullptr,
          [](const Scenario& s) {
@@ -582,7 +643,7 @@ bool compatible(const Scenario& s) { return !why_incompatible(s).has_value(); }
 
 ScenarioPlan validate(const Scenario& s) {
     if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
-    return {&ProtocolRegistry::instance().at(s.protocol),
+    return {s, &ProtocolRegistry::instance().at(s.protocol),
             &AdversaryRegistry::instance().at(s.adversary)};
 }
 
@@ -632,6 +693,7 @@ std::string Scenario::describe() const {
     if (max_rounds_override != defaults.max_rounds_override)
         out += " max_rounds=" + std::to_string(max_rounds_override);
     if (record_transcript) out += " transcript=true";
+    if (reference_delivery) out += " reference=true";
     return out;
 }
 
@@ -707,11 +769,13 @@ Scenario Scenario::parse(const std::string& spec) {
             s.max_rounds_override = static_cast<Round>(parse_u64(key, value));
         } else if (key == "transcript") {
             s.record_transcript = value == "true" || value == "1" || value == "yes";
+        } else if (key == "reference") {
+            s.reference_delivery = value == "true" || value == "1" || value == "yes";
         } else {
             throw ContractViolation(
                 "unknown scenario key '" + key +
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
-                "beta, phases, kappa, max_rounds, transcript");
+                "beta, phases, kappa, max_rounds, transcript, reference");
         }
     }
     return s;

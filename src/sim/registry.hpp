@@ -68,6 +68,15 @@ struct ProtocolEntry {
                                  const SeedTree&)>
         make_nodes;
 
+    /// Trial-reuse fast path: re-arms `bundle.nodes` (produced by an earlier
+    /// make_nodes for the SAME scenario) for a new trial's inputs/seeds with
+    /// zero allocation. Null = no pooling; the runner falls back to
+    /// make_nodes each trial. Bundle metadata (phases, schedule, round
+    /// budget) is scenario-only and stays valid across trials.
+    std::function<void(const Scenario&, const std::vector<Bit>&, const SeedTree&,
+                       ProtocolBundle&)>
+        reinit_nodes;
+
     /// Committee schedule hook; null for protocols without one (their
     /// scenarios are incompatible with schedule-aware adversaries).
     std::function<core::BlockSchedule(const Scenario&)> schedule_of;
@@ -171,8 +180,11 @@ private:
     MvAdversaryRegistry();
 };
 
-/// The registry entries a scenario resolves to once validated.
+/// The registry entries a scenario resolves to once validated, plus the
+/// validated scenario itself — the once-per-sweep product trial loops
+/// capture so per-trial work never repeats validation or registry lookups.
 struct ScenarioPlan {
+    Scenario scenario;
     const ProtocolEntry* protocol = nullptr;
     const AdversaryEntry* adversary = nullptr;
 };

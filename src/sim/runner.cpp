@@ -1,6 +1,8 @@
 #include "sim/runner.hpp"
 
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "sim/registry.hpp"
@@ -9,6 +11,12 @@
 // All protocol/adversary construction goes through the registries in
 // registry.cpp — this file only wires a validated scenario into the engine.
 // Adding a protocol or adversary is a registry entry, not a switch edit here.
+//
+// The Monte-Carlo hot loop runs through TrialArena: scenario validation,
+// registry lookups, the engine, the node set, and the input buffer are all
+// hoisted out of the per-trial path and re-armed in place (ProtocolEntry::
+// reinit_nodes + Engine::reset), so a warm trial performs no allocation
+// beyond what the adversary strategy itself needs.
 
 namespace adba::sim {
 
@@ -18,37 +26,82 @@ std::optional<core::BlockSchedule> schedule_of(const Scenario& s) {
     return e.schedule_of(s);
 }
 
+namespace {
+
+/// Per-chunk reusable trial state: pooled nodes, engine, and input buffer.
+/// run() is bit-identical to the one-shot run_trial path; the executor's
+/// thread-invariance tests double as the canary for stale pool state.
+class TrialArena {
+public:
+    explicit TrialArena(const ScenarioPlan& plan) : plan_(plan) {
+        ADBA_EXPECTS(plan_.scenario.n > 0);
+    }
+
+    TrialResult run(std::uint64_t seed) {
+        const Scenario& s = plan_.scenario;
+        const SeedTree seeds(seed);
+        make_inputs(s.inputs, s.n, seeds, inputs_);
+
+        if (!have_bundle_) {
+            bundle_ = plan_.protocol->make_nodes(s, inputs_, seeds);
+            have_bundle_ = true;
+        } else if (plan_.protocol->reinit_nodes) {
+            plan_.protocol->reinit_nodes(s, inputs_, seeds, bundle_);
+        } else {
+            // No pooling support: rebuild the node set, keep the metadata.
+            bundle_.nodes = plan_.protocol->make_nodes(s, inputs_, seeds).nodes;
+        }
+        auto adversary = plan_.adversary->make_adversary(s, bundle_, seeds);
+
+        net::EngineConfig cfg;
+        cfg.n = s.n;
+        cfg.budget = s.t;
+        cfg.max_rounds =
+            s.max_rounds_override ? s.max_rounds_override : bundle_.default_max_rounds;
+        cfg.record_transcript = s.record_transcript;
+        cfg.reference_delivery = s.reference_delivery;
+
+        if (engine_) {
+            engine_->reset(cfg, std::move(bundle_.nodes), *adversary);
+        } else {
+            engine_.emplace(cfg, std::move(bundle_.nodes), *adversary);
+        }
+        const net::RunResult run = engine_->run();
+        bundle_.nodes = engine_->take_nodes();
+
+        TrialResult res;
+        res.agreement = run.agreement();
+        res.agreed_value = run.agreed_value();
+        res.validity_applicable = unanimous(inputs_);
+        res.validity_ok = !res.validity_applicable ||
+                          (res.agreement && res.agreed_value &&
+                           *res.agreed_value == inputs_.front());
+        res.all_halted = run.all_halted;
+        res.rounds = run.rounds;
+        res.metrics = run.metrics;
+        res.phases_configured = bundle_.phases;
+        return res;
+    }
+
+private:
+    const ScenarioPlan& plan_;
+    std::vector<Bit> inputs_;
+    ProtocolBundle bundle_;
+    bool have_bundle_ = false;
+    std::optional<net::Engine> engine_;
+};
+
+}  // namespace
+
+TrialResult run_trial(const ScenarioPlan& plan, std::uint64_t seed) {
+    TrialArena arena(plan);
+    return arena.run(seed);
+}
+
 TrialResult run_trial(const Scenario& s, std::uint64_t seed) {
     ADBA_EXPECTS(s.n > 0);
     const ScenarioPlan plan = validate(s);
-    const SeedTree seeds(seed);
-    const std::vector<Bit> inputs = make_inputs(s.inputs, s.n, seeds);
-
-    ProtocolBundle bundle = plan.protocol->make_nodes(s, inputs, seeds);
-    auto adversary = plan.adversary->make_adversary(s, bundle, seeds);
-
-    net::EngineConfig cfg;
-    cfg.n = s.n;
-    cfg.budget = s.t;
-    cfg.max_rounds =
-        s.max_rounds_override ? s.max_rounds_override : bundle.default_max_rounds;
-    cfg.record_transcript = s.record_transcript;
-
-    net::Engine engine(cfg, std::move(bundle.nodes), *adversary);
-    const net::RunResult run = engine.run();
-
-    TrialResult res;
-    res.agreement = run.agreement();
-    res.agreed_value = run.agreed_value();
-    res.validity_applicable = unanimous(inputs);
-    res.validity_ok = !res.validity_applicable ||
-                      (res.agreement && res.agreed_value &&
-                       *res.agreed_value == inputs.front());
-    res.all_halted = run.all_halted;
-    res.rounds = run.rounds;
-    res.metrics = run.metrics;
-    res.phases_configured = bundle.phases;
-    return res;
+    return run_trial(plan, seed);
 }
 
 void Aggregate::merge(const Aggregate& other) {
@@ -64,12 +117,15 @@ void Aggregate::merge(const Aggregate& other) {
 
 Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
                      const ExecutorConfig& exec) {
+    ADBA_EXPECTS(s.n > 0);
+    const ScenarioPlan plan = validate(s);  // once per sweep, not per trial
     return parallel_reduce<Aggregate>(trials, exec, [&](Count begin, Count end) {
         Aggregate part;
         part.trials = end - begin;
         part.rounds.reserve(end - begin);
+        TrialArena arena(plan);
         for (Count i = begin; i < end; ++i) {
-            const TrialResult r = run_trial(s, mix64(base_seed + 0x100000001b3ULL * i));
+            const TrialResult r = arena.run(mix64(base_seed + 0x100000001b3ULL * i));
             part.rounds.add(static_cast<double>(r.rounds));
             part.messages.add(static_cast<double>(r.metrics.honest_messages));
             part.bits.add(static_cast<double>(r.metrics.honest_bits));

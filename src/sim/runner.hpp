@@ -53,12 +53,17 @@ struct Scenario {
     double sampling_kappa = 4.0;       ///< SamplingMajority round budget knob
     Round max_rounds_override = 0;     ///< 0 = protocol-derived default
     bool record_transcript = false;
+    /// Drive the engine's reference delivery path (virtual dispatch,
+    /// per-sender tally loops) instead of the flat plane. Semantics are
+    /// identical — the equivalence tests pin this — but markedly slower;
+    /// exists for oracle comparisons and debugging.
+    bool reference_delivery = false;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// protocol/adversary/input names through the registries (registry.hpp).
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
-    /// phases, kappa, max_rounds, transcript. Unknown keys or names throw
-    /// ContractViolation with the accepted alternatives.
+    /// phases, kappa, max_rounds, transcript, reference. Unknown keys or
+    /// names throw ContractViolation with the accepted alternatives.
     static Scenario parse(const std::string& spec);
 
     /// Canonical spec string; `Scenario::parse(s.describe()) == s`.
@@ -79,8 +84,14 @@ struct TrialResult {
     Count phases_configured = 0;  ///< protocol phase budget actually used
 };
 
+struct ScenarioPlan;  // resolved registry entries; defined in sim/registry.hpp
+
 /// Runs one trial; pure function of (scenario, seed).
 TrialResult run_trial(const Scenario& s, std::uint64_t seed);
+
+/// Runs one trial against a pre-validated plan — no registry lookups or
+/// feasibility checks on the hot path. Bit-identical to run_trial(s, seed).
+TrialResult run_trial(const ScenarioPlan& plan, std::uint64_t seed);
 
 /// Aggregate over `trials` seeds derived from base_seed.
 struct Aggregate {
@@ -101,6 +112,12 @@ struct Aggregate {
 /// Runs on the parallel executor; per-trial seeds depend only on
 /// (base_seed, trial index), so the aggregate is bit-identical at any
 /// thread count, including the serial `exec.threads = 1`.
+///
+/// The scenario is validated ONCE and each executor chunk runs its trials
+/// through a pooled arena (one engine + one node set + one input buffer,
+/// re-armed per trial), so the Monte-Carlo loop does no per-trial
+/// allocation or registry work. Arena re-arming is exact: results are
+/// bit-identical to calling run_trial(s, seed) per index.
 Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
                      const ExecutorConfig& exec = {});
 

@@ -13,15 +13,18 @@
 namespace adba::core {
 namespace {
 
-class FakeView final : public net::ReceiveView {
+/// Scriptable delivery source; converts implicitly to a ReceiveView over
+/// the virtual adapter backend (see net/round_buffer.hpp).
+class FakeView final : public net::DeliverySource {
 public:
     FakeView(NodeId n, NodeId recv) : n_(n), recv_(recv), slots_(n) {}
     void put(NodeId from, net::Message m) { slots_[from] = m; }
-    const net::Message* from(NodeId sender) const override {
+    const net::Message* delivery(NodeId, NodeId sender) const override {
         return slots_[sender] ? &*slots_[sender] : nullptr;
     }
     NodeId n() const override { return n_; }
-    NodeId receiver() const override { return recv_; }
+
+    operator net::ReceiveView() const { return net::ReceiveView(*this, recv_); }
 
 private:
     NodeId n_;

@@ -14,19 +14,22 @@
 namespace adba::core {
 namespace {
 
-/// Scriptable delivery view: one optional message per sender.
-class FakeView final : public net::ReceiveView {
+/// Scriptable delivery source: one optional message per sender. Converts
+/// implicitly to a ReceiveView over the virtual adapter backend, so call
+/// sites hand it straight to round_receive.
+class FakeView final : public net::DeliverySource {
 public:
     FakeView(NodeId n, NodeId recv) : n_(n), recv_(recv), slots_(n) {}
 
     void put(NodeId from, net::Message m) { slots_[from] = m; }
     void clear(NodeId from) { slots_[from].reset(); }
 
-    const net::Message* from(NodeId sender) const override {
+    const net::Message* delivery(NodeId, NodeId sender) const override {
         return slots_[sender] ? &*slots_[sender] : nullptr;
     }
     NodeId n() const override { return n_; }
-    NodeId receiver() const override { return recv_; }
+
+    operator net::ReceiveView() const { return net::ReceiveView(*this, recv_); }
 
 private:
     NodeId n_;
