@@ -7,6 +7,7 @@
 // the static adversary at n in {64, 256, 1024}, dumped to BENCH_engine.json
 // (--bench_json=PATH; --bench_trials scales the n=256 trial count) so CI
 // can archive the numbers per commit.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -33,13 +34,14 @@ struct ThroughputPoint {
     double ns_per_node_round = 0.0;
 };
 
-ThroughputPoint measure_throughput(NodeId n, Count trials) {
+ThroughputPoint measure_throughput(NodeId n, Count trials, bool use_batch) {
     sim::Scenario s;
     s.n = n;
     s.t = (n - 1) / 3;
     s.protocol = sim::ProtocolKind::Ours;
     s.adversary = sim::AdversaryKind::Static;
     s.inputs = sim::InputPattern::Split;
+    s.use_batch = use_batch;
 
     const sim::ExecutorConfig serial{1, 0};  // the canonical single-thread metric
     (void)sim::run_trials(s, 0xE10, std::max<Count>(trials / 10, 2), serial);  // warm-up
@@ -63,6 +65,7 @@ ThroughputPoint measure_throughput(NodeId n, Count trials) {
 void throughput(const Cli& cli) {
     const auto base = static_cast<Count>(cli.get_int("bench_trials", 2000));
     const std::string json_path = cli.get("bench_json", "BENCH_engine.json");
+    const bool use_batch = cli.get_bool("batch", true);  // --batch=on|off
 
     Table tab("E10: delivery-plane throughput (ours + static, split inputs, 1 thread)");
     tab.set_header({"n", "t", "trials", "trials/sec", "ns/node-round"});
@@ -71,9 +74,10 @@ void throughput(const Cli& cli) {
         {64, std::max<Count>(4 * base, 10)},
         {256, std::max<Count>(base, 10)},
         {1024, std::max<Count>(base / 5, 10)},
+        {4096, std::max<Count>(base / 20, 5)},
     };
     for (const auto& [n, trials] : cells) {
-        const ThroughputPoint p = measure_throughput(n, trials);
+        const ThroughputPoint p = measure_throughput(n, trials, use_batch);
         points.push_back(p);
         tab.add_row({Table::num(std::uint64_t{p.n}), Table::num(std::uint64_t{p.t}),
                      Table::num(std::uint64_t{p.trials}), Table::num(p.trials_per_sec, 0),
@@ -82,11 +86,24 @@ void throughput(const Cli& cli) {
     tab.print(std::cout);
     benchutil::maybe_write_csv(cli, tab, "e10_engine_throughput");
 
+    // Scaling flatness: per-node-round cost should not grow with n once the
+    // plane is batched; CI tracks the max/min ratio, not just throughput.
+    double ns_min = points.front().ns_per_node_round;
+    double ns_max = ns_min;
+    for (const ThroughputPoint& p : points) {
+        ns_min = std::min(ns_min, p.ns_per_node_round);
+        ns_max = std::max(ns_max, p.ns_per_node_round);
+    }
+    const double ns_ratio = ns_min > 0 ? ns_max / ns_min : 0.0;
+    std::printf("ns/node-round scaling: min %.1f, max %.1f, max/min %.2fx\n", ns_min,
+                ns_max, ns_ratio);
+
     std::ofstream out(json_path);
     if (!out) throw ContractViolation("cannot write " + json_path);
     out << "{\n  \"bench\": \"engine_throughput\",\n"
         << "  \"protocol\": \"ours\",\n  \"adversary\": \"static\",\n"
-        << "  \"inputs\": \"split\",\n  \"threads\": 1,\n  \"entries\": [\n";
+        << "  \"inputs\": \"split\",\n  \"threads\": 1,\n"
+        << "  \"batch\": " << (use_batch ? "true" : "false") << ",\n  \"entries\": [\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const ThroughputPoint& p = points[i];
         char buf[320];
@@ -98,7 +115,13 @@ void throughput(const Cli& cli) {
                       p.ns_per_node_round, i + 1 < points.size() ? "," : "");
         out << buf;
     }
-    out << "  ]\n}\n";
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "  ],\n  \"scaling\": {\"ns_per_node_round_min\": %.2f, "
+                  "\"ns_per_node_round_max\": %.2f, "
+                  "\"ns_per_node_round_max_over_min\": %.3f}\n}\n",
+                  ns_min, ns_max, ns_ratio);
+    out << buf;
     std::printf("wrote %s\n", json_path.c_str());
 }
 

@@ -88,9 +88,9 @@ void WorstCaseAdversary::act_round2(net::RoundControl& ctl, Phase p) {
     std::vector<NodeId> decided_out, decided_in;  // decided honest, by membership
     for (NodeId v = 0; v < n; ++v) {
         if (!ctl.is_honest(v) || ctl.is_halted(v)) continue;
-        if (ctl.node_state(v).current_decided()) {
+        if (ctl.current_decided(v)) {
             ++d;
-            b_i = ctl.node_state(v).current_value();
+            b_i = ctl.current_value(v);
             (in_committee(v) ? decided_in : decided_out).push_back(v);
         }
     }

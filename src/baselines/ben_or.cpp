@@ -113,4 +113,152 @@ void reinit_ben_or_nodes(const BenOrParams& params, const std::vector<Bit>& inpu
     });
 }
 
+// ------------------------------------------------------------- BenOrBatch
+
+BenOrBatch::BenOrBatch(const BenOrParams& params, const std::vector<Bit>& inputs,
+                       const SeedTree& seeds) {
+    rearm(params, inputs, seeds);
+}
+
+void BenOrBatch::rearm(const BenOrParams& params, const std::vector<Bit>& inputs,
+                       const SeedTree& seeds) {
+    ADBA_EXPECTS(params.n > 0);
+    ADBA_EXPECTS_MSG(5 * static_cast<std::uint64_t>(params.t) < params.n,
+                     "Ben-Or 1983 requires t < n/5");
+    ADBA_EXPECTS(params.phases >= 1);
+    ADBA_EXPECTS(inputs.size() == params.n);
+    params_ = params;
+    const NodeId n = params.n;
+    val_.assign(inputs.begin(), inputs.end());
+    for (NodeId v = 0; v < n; ++v) ADBA_EXPECTS(val_[v] <= 1);
+    proposal_.assign(n, 0);
+    proposing_.assign(n, 0);
+    decided_.assign(n, 0);
+    flushing_.assign(n, 0);
+    halted_.assign(n, 0);
+    rng_.clear();
+    rng_.reserve(n);
+    for (NodeId v = 0; v < n; ++v)
+        rng_.push_back(seeds.stream(StreamPurpose::NodeProtocol, v));
+}
+
+void BenOrBatch::send_all(Round r, net::RoundBuffer& buf) {
+    const NodeId n = params_.n;
+    const std::uint8_t* state = buf.state_plane();
+    const bool round2 = (r % 2) != 0;
+    net::Message m;
+    m.phase = r / 2;
+    m.kind = round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+        if (round2) {
+            m.val = proposal_[v];
+            m.flag = proposing_[v] ? 1 : 0;  // flag 0 encodes the ⊥ proposal
+            if (flushing_[v]) halted_[v] = 1;
+        } else {
+            m.val = val_[v];
+            m.flag = 0;
+        }
+        buf.set_broadcast(v, m);
+    }
+}
+
+void BenOrBatch::apply_report(NodeId v, const std::array<Count, 2>& cnt) {
+    proposing_[v] = 0;
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (2 * static_cast<std::uint64_t>(cnt[b]) >
+            static_cast<std::uint64_t>(params_.n) + params_.t) {
+            proposal_[v] = b;
+            proposing_[v] = 1;
+        }
+    }
+}
+
+void BenOrBatch::apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop) {
+    const Count t = params_.t;
+    // Two honest nodes cannot propose different values (both passed the
+    // (n+t)/2 quorum), so at most one value exceeds t from honest senders.
+    ADBA_ENSURES_MSG(!(prop[0] > t && prop[1] > t),
+                     "conflicting Ben-Or proposals above t");
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (prop[b] > 2 * t) {
+            val_[v] = b;
+            decided_[v] = 1;
+            flushing_[v] = 1;
+            proposal_[v] = val_[v];
+            proposing_[v] = 1;
+            return;
+        }
+    }
+    bool adopted = false;
+    for (Bit b : {Bit{0}, Bit{1}}) {
+        if (prop[b] > t) {
+            val_[v] = b;
+            adopted = true;
+        }
+    }
+    if (!adopted) val_[v] = rng_[v].bit();  // private coin
+    if (p + 1 >= params_.phases) halted_[v] = 1;
+}
+
+void BenOrBatch::receive_all(Round r, const net::RoundBuffer& buf,
+                             const net::RoundTally& tally) {
+    const Phase p = r / 2;
+    const NodeId n = params_.n;
+    const std::uint8_t* state = buf.state_plane();
+    const bool round2 = (r % 2) != 0;
+    const net::MsgKind kind =
+        round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
+    // Honest quorum counts once per round; only Byzantine deltas vary.
+    const net::TallyBucket* b = tally.find(kind, p);
+    std::array<Count, 2> base{0, 0};
+    if (b != nullptr) base = round2 ? b->val_flag_cnt : b->val_cnt;
+    const std::array<Count, 2>* delta = tally.val_delta_plane(kind, p, round2);
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v] ||
+            flushing_[v])
+            continue;
+        std::array<Count, 2> cnt = base;
+        if (delta != nullptr) {
+            cnt[0] += delta[v][0];
+            cnt[1] += delta[v][1];
+        }
+        if (round2)
+            apply_propose(v, p, cnt);
+        else
+            apply_report(v, cnt);
+    }
+}
+
+void BenOrBatch::receive_all(Round r, const net::RoundBuffer& buf,
+                             const net::DeliverySource& src) {
+    const Phase p = r / 2;
+    const NodeId n = params_.n;
+    const std::uint8_t* state = buf.state_plane();
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v] ||
+            flushing_[v])
+            continue;
+        const net::ReceiveView view(src, v);
+        if ((r % 2) == 0)
+            apply_report(v, view.val_counts(net::MsgKind::BenOrReport, p, false));
+        else
+            apply_propose(v, p, view.val_counts(net::MsgKind::BenOrPropose, p, true));
+    }
+}
+
+std::unique_ptr<net::BatchProtocol> make_ben_or_batch(const BenOrParams& params,
+                                                      const std::vector<Bit>& inputs,
+                                                      const SeedTree& seeds) {
+    return std::make_unique<BenOrBatch>(params, inputs, seeds);
+}
+
+void reinit_ben_or_batch(const BenOrParams& params, const std::vector<Bit>& inputs,
+                         const SeedTree& seeds, net::BatchProtocol& batch) {
+    auto* b = dynamic_cast<BenOrBatch*>(&batch);
+    ADBA_EXPECTS_MSG(b != nullptr,
+                     "batch pool type does not match the requested protocol");
+    b->rearm(params, inputs, seeds);
+}
+
 }  // namespace adba::base

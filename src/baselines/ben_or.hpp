@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/batch.hpp"
 #include "net/node.hpp"
 #include "rand/seed_tree.hpp"
 #include "support/types.hpp"
@@ -57,6 +58,44 @@ private:
     bool halted_ = false;
 };
 
+/// SoA batch form of Ben-Or: per-node state (val / proposal / proposing /
+/// decided / flushing / halted, plus private-coin RNG streams) as flat
+/// arrays, whole population stepped under one dispatch per beat. The
+/// report/propose quorum counts are hoisted out of the per-node loop: the
+/// honest tallies are receiver-independent, only Byzantine deltas vary.
+/// Bit-identical to BenOrNode (tests/test_batch_plane.cpp).
+class BenOrBatch final : public net::BatchProtocol {
+public:
+    BenOrBatch(const BenOrParams& params, const std::vector<Bit>& inputs,
+               const SeedTree& seeds);
+    void rearm(const BenOrParams& params, const std::vector<Bit>& inputs,
+               const SeedTree& seeds);
+
+    NodeId n() const override { return params_.n; }
+    void send_all(Round r, net::RoundBuffer& buf) override;
+    void receive_all(Round r, const net::RoundBuffer& buf,
+                     const net::RoundTally& tally) override;
+    void receive_all(Round r, const net::RoundBuffer& buf,
+                     const net::DeliverySource& src) override;
+    const std::uint8_t* halted_plane() const override { return halted_.data(); }
+    Bit value(NodeId v) const override { return val_[v]; }
+    bool decided(NodeId v) const override { return decided_[v] != 0; }
+    Bit output(NodeId v) const override { return val_[v]; }
+
+private:
+    void apply_report(NodeId v, const std::array<Count, 2>& cnt);
+    void apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop);
+
+    BenOrParams params_;
+    std::vector<Bit> val_;
+    std::vector<Bit> proposal_;
+    std::vector<std::uint8_t> proposing_;
+    std::vector<std::uint8_t> decided_;
+    std::vector<std::uint8_t> flushing_;
+    std::vector<std::uint8_t> halted_;
+    std::vector<Xoshiro256> rng_;
+};
+
 std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(
     const BenOrParams& params, const std::vector<Bit>& inputs, const SeedTree& seeds);
 
@@ -64,5 +103,12 @@ std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(
 void reinit_ben_or_nodes(const BenOrParams& params, const std::vector<Bit>& inputs,
                          const SeedTree& seeds,
                          std::vector<std::unique_ptr<net::HonestNode>>& nodes);
+
+/// Native batch factory / pooled reinit (mirrors make/reinit_ben_or_nodes).
+std::unique_ptr<net::BatchProtocol> make_ben_or_batch(const BenOrParams& params,
+                                                      const std::vector<Bit>& inputs,
+                                                      const SeedTree& seeds);
+void reinit_ben_or_batch(const BenOrParams& params, const std::vector<Bit>& inputs,
+                         const SeedTree& seeds, net::BatchProtocol& batch);
 
 }  // namespace adba::base

@@ -83,4 +83,129 @@ void reinit_phase_king_nodes(const PhaseKingParams& params,
         [&](PhaseKingNode& nd, NodeId v) { nd.reinit(params, v, inputs[v]); });
 }
 
+// --------------------------------------------------------- PhaseKingBatch
+
+PhaseKingBatch::PhaseKingBatch(const PhaseKingParams& params,
+                               const std::vector<Bit>& inputs) {
+    rearm(params, inputs);
+}
+
+void PhaseKingBatch::rearm(const PhaseKingParams& params,
+                           const std::vector<Bit>& inputs) {
+    ADBA_EXPECTS(params.n > 0);
+    ADBA_EXPECTS_MSG(4 * static_cast<std::uint64_t>(params.t) < params.n,
+                     "simple phase-king requires t < n/4");
+    ADBA_EXPECTS_MSG(params.t + 1 <= params.n, "needs t+1 distinct kings");
+    ADBA_EXPECTS(inputs.size() == params.n);
+    params_ = params;
+    const NodeId n = params.n;
+    val_.assign(inputs.begin(), inputs.end());
+    for (NodeId v = 0; v < n; ++v) ADBA_EXPECTS(val_[v] <= 1);
+    maj_.assign(n, 0);
+    mult_.assign(n, 0);
+    halted_.assign(n, 0);
+}
+
+void PhaseKingBatch::send_all(Round r, net::RoundBuffer& buf) {
+    const Phase k = r / 2;
+    const NodeId n = params_.n;
+    const std::uint8_t* state = buf.state_plane();
+    if ((r % 2) == 0) {
+        net::Message m;
+        m.kind = net::MsgKind::PhaseKingSend;
+        m.phase = k;
+        for (NodeId v = 0; v < n; ++v) {
+            if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+            m.val = val_[v];
+            buf.set_broadcast(v, m);
+        }
+        return;
+    }
+    // Only the king speaks in round 2.
+    const NodeId king = params_.king_of(k);
+    if ((state[king] & net::RoundBuffer::kByzantine) != 0 || halted_[king]) return;
+    net::Message m;
+    m.kind = net::MsgKind::PhaseKingRuler;
+    m.phase = k;
+    m.val = maj_[king];
+    buf.set_broadcast(king, m);
+}
+
+void PhaseKingBatch::apply_send_round(NodeId v, const std::array<Count, 2>& cnt) {
+    maj_[v] = cnt[1] > cnt[0] ? Bit{1} : Bit{0};
+    mult_[v] = cnt[maj_[v]];
+}
+
+void PhaseKingBatch::apply_king_round(NodeId v, Phase k, const net::Message* m) {
+    Bit king_val = 0;  // a silent/corrupted king defaults to 0 at every node
+    if (m != nullptr && m->kind == net::MsgKind::PhaseKingRuler && m->phase == k)
+        king_val = m->val & 1;
+    if (2 * static_cast<std::uint64_t>(mult_[v]) >
+        params_.n + 2 * static_cast<std::uint64_t>(params_.t)) {
+        val_[v] = maj_[v];
+    } else {
+        val_[v] = king_val;
+    }
+    if (k + 1 == params_.phases()) halted_[v] = 1;
+}
+
+void PhaseKingBatch::receive_all(Round r, const net::RoundBuffer& buf,
+                                 const net::RoundTally& tally) {
+    const Phase k = r / 2;
+    const NodeId n = params_.n;
+    const std::uint8_t* state = buf.state_plane();
+    if ((r % 2) == 0) {
+        const net::TallyBucket* b = tally.find(net::MsgKind::PhaseKingSend, k);
+        const std::array<Count, 2> base =
+            b != nullptr ? b->val_cnt : std::array<Count, 2>{0, 0};
+        const std::array<Count, 2>* delta =
+            tally.val_delta_plane(net::MsgKind::PhaseKingSend, k, false);
+        for (NodeId v = 0; v < n; ++v) {
+            if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+            std::array<Count, 2> cnt = base;
+            if (delta != nullptr) {
+                cnt[0] += delta[v][0];
+                cnt[1] += delta[v][1];
+            }
+            apply_send_round(v, cnt);
+        }
+        return;
+    }
+    const NodeId king = params_.king_of(k);
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+        apply_king_round(v, k, buf.from(v, king));
+    }
+}
+
+void PhaseKingBatch::receive_all(Round r, const net::RoundBuffer& buf,
+                                 const net::DeliverySource& src) {
+    const Phase k = r / 2;
+    const NodeId n = params_.n;
+    const std::uint8_t* state = buf.state_plane();
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+        const net::ReceiveView view(src, v);
+        if ((r % 2) == 0)
+            apply_send_round(v,
+                             view.val_counts(net::MsgKind::PhaseKingSend, k, false));
+        else
+            apply_king_round(v, k, view.from(params_.king_of(k)));
+    }
+}
+
+std::unique_ptr<net::BatchProtocol> make_phase_king_batch(
+    const PhaseKingParams& params, const std::vector<Bit>& inputs) {
+    return std::make_unique<PhaseKingBatch>(params, inputs);
+}
+
+void reinit_phase_king_batch(const PhaseKingParams& params,
+                             const std::vector<Bit>& inputs,
+                             net::BatchProtocol& batch) {
+    auto* b = dynamic_cast<PhaseKingBatch*>(&batch);
+    ADBA_EXPECTS_MSG(b != nullptr,
+                     "batch pool type does not match the requested protocol");
+    b->rearm(params, inputs);
+}
+
 }  // namespace adba::base

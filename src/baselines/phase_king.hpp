@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/batch.hpp"
 #include "net/node.hpp"
 #include "rand/seed_tree.hpp"
 #include "support/types.hpp"
@@ -60,6 +61,36 @@ private:
     bool halted_ = false;
 };
 
+/// SoA batch form of Phase-King: val / maj / mult planes, one dispatch per
+/// beat. Round-1 majorities hoist the shared honest tally; the round-2 king
+/// probe is one buffer load per receiver. Bit-identical to PhaseKingNode.
+class PhaseKingBatch final : public net::BatchProtocol {
+public:
+    PhaseKingBatch(const PhaseKingParams& params, const std::vector<Bit>& inputs);
+    void rearm(const PhaseKingParams& params, const std::vector<Bit>& inputs);
+
+    NodeId n() const override { return params_.n; }
+    void send_all(Round r, net::RoundBuffer& buf) override;
+    void receive_all(Round r, const net::RoundBuffer& buf,
+                     const net::RoundTally& tally) override;
+    void receive_all(Round r, const net::RoundBuffer& buf,
+                     const net::DeliverySource& src) override;
+    const std::uint8_t* halted_plane() const override { return halted_.data(); }
+    Bit value(NodeId v) const override { return val_[v]; }
+    bool decided(NodeId /*v*/) const override { return false; }
+    Bit output(NodeId v) const override { return val_[v]; }
+
+private:
+    void apply_send_round(NodeId v, const std::array<Count, 2>& cnt);
+    void apply_king_round(NodeId v, Phase k, const net::Message* king_msg);
+
+    PhaseKingParams params_;
+    std::vector<Bit> val_;
+    std::vector<Bit> maj_;
+    std::vector<Count> mult_;
+    std::vector<std::uint8_t> halted_;
+};
+
 std::vector<std::unique_ptr<net::HonestNode>> make_phase_king_nodes(
     const PhaseKingParams& params, const std::vector<Bit>& inputs);
 
@@ -67,5 +98,12 @@ std::vector<std::unique_ptr<net::HonestNode>> make_phase_king_nodes(
 void reinit_phase_king_nodes(const PhaseKingParams& params,
                              const std::vector<Bit>& inputs,
                              std::vector<std::unique_ptr<net::HonestNode>>& nodes);
+
+/// Native batch factory / pooled reinit (mirrors make/reinit_phase_king_nodes).
+std::unique_ptr<net::BatchProtocol> make_phase_king_batch(
+    const PhaseKingParams& params, const std::vector<Bit>& inputs);
+void reinit_phase_king_batch(const PhaseKingParams& params,
+                             const std::vector<Bit>& inputs,
+                             net::BatchProtocol& batch);
 
 }  // namespace adba::base

@@ -67,6 +67,36 @@ void reinit_rabin_dealer_nodes(const RabinDealerParams& params,
     });
 }
 
+namespace {
+
+core::BatchCoinSpec dealer_coin_spec(const RabinDealerParams& params) {
+    core::BatchCoinSpec coin;
+    coin.kind = core::BatchCoinSpec::Kind::Dealer;
+    coin.dealer = [seed = params.dealer_seed](Phase p) {
+        return RabinDealerNode::dealer_coin(seed, p);
+    };
+    return coin;
+}
+
+}  // namespace
+
+std::unique_ptr<net::BatchProtocol> make_rabin_dealer_batch(
+    const RabinDealerParams& params, core::AgreementMode mode,
+    const std::vector<Bit>& inputs, const SeedTree& seeds) {
+    return core::make_skeleton_batch(
+        core::SkeletonConfig{params.n, params.t, params.phases, mode},
+        dealer_coin_spec(params), inputs, seeds);
+}
+
+void reinit_rabin_dealer_batch(const RabinDealerParams& params,
+                               core::AgreementMode mode,
+                               const std::vector<Bit>& inputs, const SeedTree& seeds,
+                               net::BatchProtocol& batch) {
+    core::reinit_skeleton_batch(
+        core::SkeletonConfig{params.n, params.t, params.phases, mode},
+        dealer_coin_spec(params), inputs, seeds, batch);
+}
+
 Round max_rounds_whp(const RabinDealerParams& p) { return 2 * (p.phases + 2); }
 
 }  // namespace adba::base

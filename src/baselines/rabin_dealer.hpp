@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/skeleton.hpp"
+#include "core/skeleton_batch.hpp"
 #include "rand/seed_tree.hpp"
 
 namespace adba::base {
@@ -61,6 +62,15 @@ void reinit_rabin_dealer_nodes(const RabinDealerParams& params,
                                core::AgreementMode mode,
                                const std::vector<Bit>& inputs, const SeedTree& seeds,
                                std::vector<std::unique_ptr<net::HonestNode>>& nodes);
+
+/// Native SoA batch form (dealer coin); bit-identical to the node vector.
+std::unique_ptr<net::BatchProtocol> make_rabin_dealer_batch(
+    const RabinDealerParams& params, core::AgreementMode mode,
+    const std::vector<Bit>& inputs, const SeedTree& seeds);
+void reinit_rabin_dealer_batch(const RabinDealerParams& params,
+                               core::AgreementMode mode,
+                               const std::vector<Bit>& inputs, const SeedTree& seeds,
+                               net::BatchProtocol& batch);
 
 Round max_rounds_whp(const RabinDealerParams& p);
 

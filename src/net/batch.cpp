@@ -1,0 +1,54 @@
+#include "net/batch.hpp"
+
+#include "support/contracts.hpp"
+
+namespace adba::net {
+
+void PerNodeBatch::rearm(std::vector<std::unique_ptr<HonestNode>> nodes) {
+    nodes_ = std::move(nodes);
+    for (const auto& p : nodes_) ADBA_EXPECTS(p != nullptr);
+    halted_.assign(nodes_.size(), 0);
+    for (NodeId v = 0; v < nodes_.size(); ++v)
+        halted_[v] = nodes_[v]->halted() ? 1 : 0;
+}
+
+std::vector<std::unique_ptr<HonestNode>> PerNodeBatch::take_nodes() {
+    return std::move(nodes_);
+}
+
+void PerNodeBatch::send_all(Round r, RoundBuffer& buf) {
+    const std::uint8_t* state = buf.state_plane();
+    const NodeId n = this->n();
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+        if (const auto m = nodes_[v]->round_send(r)) buf.set_broadcast(v, *m);
+        // Finish-flush protocols halt at send time; latch it for the beat's
+        // accounting and the all-halted check.
+        if (nodes_[v]->halted()) halted_[v] = 1;
+    }
+}
+
+template <typename MakeView>
+void PerNodeBatch::receive_impl(Round r, const std::uint8_t* state,
+                                MakeView&& make_view) {
+    const NodeId n = this->n();
+    for (NodeId v = 0; v < n; ++v) {
+        if ((state[v] & RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+        const ReceiveView view = make_view(v);
+        nodes_[v]->round_receive(r, view);
+        if (nodes_[v]->halted()) halted_[v] = 1;
+    }
+}
+
+void PerNodeBatch::receive_all(Round r, const RoundBuffer& buf,
+                               const RoundTally& tally) {
+    receive_impl(r, buf.state_plane(),
+                 [&](NodeId v) { return ReceiveView(buf, tally, v); });
+}
+
+void PerNodeBatch::receive_all(Round r, const RoundBuffer& buf,
+                               const DeliverySource& src) {
+    receive_impl(r, buf.state_plane(), [&](NodeId v) { return ReceiveView(src, v); });
+}
+
+}  // namespace adba::net

@@ -1,0 +1,126 @@
+// Batch node plane: whole-protocol stepping with ONE virtual dispatch per
+// engine beat instead of one per node.
+//
+// The engine's round cadence (sends -> adversary -> deliveries) used to walk
+// a vector<unique_ptr<HonestNode>> and pay a virtual call plus a pointer
+// chase per node per beat; at large n that dispatch-and-cache-miss tax —
+// not algorithmic work — dominated the round loop. BatchProtocol inverts
+// the loop: the protocol implementation owns ALL per-node state and the
+// engine calls
+//
+//   send_all(r, buf)              — every live honest node broadcasts,
+//   receive_all(r, buf, tally)    — every live honest node consumes the
+//                                   round (flat delivery plane + shared
+//                                   tallies), or
+//   receive_all(r, src)           — the same over the virtual DeliverySource
+//                                   oracle (EngineConfig::reference_delivery),
+//
+// and reads `halted_plane()` / `value(v)` / `decided(v)` for gating, message
+// accounting, adversary introspection, and result assembly.
+//
+// Two families implement the interface:
+//  * PerNodeBatch — the generic adapter over any HonestNode vector. Every
+//    protocol works unchanged through it, and it is the reference oracle the
+//    native batches are pinned against (the same role reference_delivery
+//    plays for the delivery plane).
+//  * native SoA batches (core/skeleton_batch.hpp, baselines/ben_or.hpp,
+//    baselines/phase_king.hpp) — per-node state as flat arrays, shared
+//    tally queries hoisted out of the per-node loop. Selected by the
+//    registry's make_batch hooks; scenario key `batch=false` (CLI
+//    `--batch=off`) falls back to the adapter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/round_buffer.hpp"
+#include "support/types.hpp"
+
+namespace adba::net {
+
+/// Steps one protocol's whole node population; the engine's only handle on
+/// honest protocol state. Implementations must preserve per-node semantics
+/// exactly: iterate nodes in ascending id, skip Byzantine (RoundBuffer state
+/// plane) and halted nodes, and draw per-node randomness in the same order
+/// a per-node engine loop would.
+class BatchProtocol {
+public:
+    virtual ~BatchProtocol() = default;
+
+    virtual NodeId n() const = 0;
+
+    /// Beat 1: every live honest node computes its round-r broadcast into
+    /// `buf` (set_broadcast). Nodes that halt at send time (finish-flush
+    /// protocols) must flip their halted_plane() bit here.
+    virtual void send_all(Round r, RoundBuffer& buf) = 0;
+
+    /// Beat 3, flat path: every live honest node consumes the round through
+    /// the shared tally service. Implementations hoist receiver-independent
+    /// queries (honest histograms, delta planes) out of the per-node loop.
+    virtual void receive_all(Round r, const RoundBuffer& buf,
+                             const RoundTally& tally) = 0;
+
+    /// Beat 3, oracle path: the same semantics over the virtual
+    /// DeliverySource adapter (the engine's reference_delivery mode) —
+    /// per-node ReceiveView queries, the executable spec of the flat
+    /// receive_all. `buf` supplies the honesty plane only; deliveries go
+    /// through `src`.
+    virtual void receive_all(Round r, const RoundBuffer& buf,
+                             const DeliverySource& src) = 0;
+
+    /// Contiguous halted bitplane, one byte per node (1 = halted). Valid
+    /// between beats; updated only inside send_all / receive_all.
+    virtual const std::uint8_t* halted_plane() const = 0;
+
+    /// Full-information introspection (RoundControl, result assembly).
+    virtual Bit value(NodeId v) const = 0;
+    virtual bool decided(NodeId v) const = 0;
+    virtual Bit output(NodeId v) const = 0;
+
+    /// The underlying per-node objects, when this batch has them (adapter);
+    /// nullptr for native SoA batches. Round observers require them.
+    virtual const std::vector<std::unique_ptr<HonestNode>>* nodes() const {
+        return nullptr;
+    }
+};
+
+/// Generic adapter: drives any HonestNode vector behind the batch
+/// interface. One virtual call per node per beat survives inside — this is
+/// the compatibility / oracle path, not the fast one.
+class PerNodeBatch final : public BatchProtocol {
+public:
+    PerNodeBatch() = default;
+    explicit PerNodeBatch(std::vector<std::unique_ptr<HonestNode>> nodes) {
+        rearm(std::move(nodes));
+    }
+
+    /// Re-arms the adapter around a (possibly new) node set; the halted
+    /// plane is refreshed from the nodes.
+    void rearm(std::vector<std::unique_ptr<HonestNode>> nodes);
+    /// Moves the node set back out (to a caller-owned pool); the adapter is
+    /// unusable until the next rearm().
+    std::vector<std::unique_ptr<HonestNode>> take_nodes();
+
+    NodeId n() const override { return static_cast<NodeId>(nodes_.size()); }
+    void send_all(Round r, RoundBuffer& buf) override;
+    void receive_all(Round r, const RoundBuffer& buf, const RoundTally& tally) override;
+    void receive_all(Round r, const RoundBuffer& buf, const DeliverySource& src) override;
+    const std::uint8_t* halted_plane() const override { return halted_.data(); }
+    Bit value(NodeId v) const override { return nodes_[v]->current_value(); }
+    bool decided(NodeId v) const override { return nodes_[v]->current_decided(); }
+    Bit output(NodeId v) const override { return nodes_[v]->output(); }
+    const std::vector<std::unique_ptr<HonestNode>>* nodes() const override {
+        return &nodes_;
+    }
+
+private:
+    template <typename MakeView>
+    void receive_impl(Round r, const std::uint8_t* state, MakeView&& make_view);
+
+    std::vector<std::unique_ptr<HonestNode>> nodes_;
+    std::vector<std::uint8_t> halted_;
+};
+
+}  // namespace adba::net

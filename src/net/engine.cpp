@@ -50,10 +50,15 @@ const Message* RoundControl::intended_broadcast(NodeId v) const {
     ADBA_EXPECTS_MSG(e_.is_honest(v), "only honest nodes have intended broadcasts");
     return e_.buf_.broadcast(v);
 }
-const HonestNode& RoundControl::node_state(NodeId v) const {
+Bit RoundControl::current_value(NodeId v) const {
     ADBA_EXPECTS(v < e_.cfg_.n);
     ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
-    return *e_.nodes_[v];
+    return e_.batch_->value(v);
+}
+bool RoundControl::current_decided(NodeId v) const {
+    ADBA_EXPECTS(v < e_.cfg_.n);
+    ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
+    return e_.batch_->decided(v);
 }
 std::optional<Message> RoundControl::corrupt(NodeId v) { return e_.do_corrupt(v); }
 void RoundControl::deliver_as(NodeId byz_from, NodeId to, const Message& m) {
@@ -78,15 +83,39 @@ Engine::Engine(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
     reset(cfg, std::move(nodes), adversary);
 }
 
+Engine::Engine(EngineConfig cfg, std::unique_ptr<BatchProtocol> batch,
+               Adversary& adversary) {
+    reset(cfg, std::move(batch), adversary);
+}
+
 void Engine::reset(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
                    Adversary& adversary) {
+    ADBA_EXPECTS(nodes.size() == cfg.n);
+    for (const auto& p : nodes) ADBA_EXPECTS(p != nullptr);
+    if (adapter_ != nullptr) {
+        adapter_->rearm(std::move(nodes));  // pooled adapter: no allocation
+    } else {
+        auto adapter = std::make_unique<PerNodeBatch>(std::move(nodes));
+        adapter_ = adapter.get();
+        batch_ = std::move(adapter);
+    }
+    common_reset(cfg, adversary);
+}
+
+void Engine::reset(EngineConfig cfg, std::unique_ptr<BatchProtocol> batch,
+                   Adversary& adversary) {
+    ADBA_EXPECTS(batch != nullptr);
+    ADBA_EXPECTS(batch->n() == cfg.n);
+    batch_ = std::move(batch);
+    adapter_ = nullptr;
+    common_reset(cfg, adversary);
+}
+
+void Engine::common_reset(EngineConfig cfg, Adversary& adversary) {
     cfg_ = cfg;
-    nodes_ = std::move(nodes);
     adversary_ = &adversary;
     ADBA_EXPECTS(cfg_.n > 0);
-    ADBA_EXPECTS(nodes_.size() == cfg_.n);
     ADBA_EXPECTS(cfg_.max_rounds > 0);
-    for (const auto& p : nodes_) ADBA_EXPECTS(p != nullptr);
     round_ = 0;
     budget_used_ = 0;
     buf_.reset(cfg_.n);
@@ -99,17 +128,25 @@ void Engine::reset(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> no
 }
 
 std::vector<std::unique_ptr<HonestNode>> Engine::take_nodes() {
-    return std::move(nodes_);
+    ADBA_EXPECTS_MSG(adapter_ != nullptr,
+                     "take_nodes requires the per-node engine form (see take_batch)");
+    return adapter_->take_nodes();
+}
+
+std::unique_ptr<BatchProtocol> Engine::take_batch() {
+    adapter_ = nullptr;
+    return std::move(batch_);
 }
 
 bool Engine::is_halted(NodeId v) const {
-    return buf_.is_honest(v) && nodes_[v]->halted();
+    return buf_.is_honest(v) && batch_->halted_plane()[v] != 0;
 }
 
 std::optional<Message> Engine::do_corrupt(NodeId v) {
     ADBA_EXPECTS(v < cfg_.n);
     ADBA_EXPECTS_MSG(buf_.is_honest(v), "cannot corrupt an already-Byzantine node");
-    ADBA_EXPECTS_MSG(!nodes_[v]->halted(), "cannot corrupt a node that already terminated");
+    ADBA_EXPECTS_MSG(batch_->halted_plane()[v] == 0,
+                     "cannot corrupt a node that already terminated");
     ADBA_EXPECTS_MSG(budget_used_ < cfg_.budget, "corruption budget exhausted");
     ++budget_used_;
     ++metrics_.corruptions;
@@ -130,9 +167,10 @@ void Engine::account_sends() {
     // receivers that already terminated have left the protocol, so a
     // broadcast is charged only for the receivers that still take delivery
     // (Byzantine receivers stay on the wire — the sender cannot know them).
+    const std::uint8_t* halted = batch_->halted_plane();
     NodeId halted_receivers = 0;
     for (NodeId v = 0; v < cfg_.n; ++v)
-        if (buf_.is_honest(v) && nodes_[v]->halted()) ++halted_receivers;
+        if (buf_.is_honest(v) && halted[v]) ++halted_receivers;
     for (NodeId v = 0; v < cfg_.n; ++v) {
         if (buf_.is_honest(v)) {
             const Message* m = buf_.broadcast(v);
@@ -145,7 +183,7 @@ void Engine::account_sends() {
                 // already the "- 1", so put it back.
                 const std::uint64_t excluded =
                     static_cast<std::uint64_t>(halted_receivers) -
-                    (nodes_[v]->halted() ? 1 : 0);
+                    (halted[v] ? 1 : 0);
                 const std::uint64_t fanout =
                     static_cast<std::uint64_t>(cfg_.n) - 1 - excluded;
                 metrics_.honest_messages += fanout;
@@ -160,19 +198,11 @@ void Engine::account_sends() {
 void Engine::run_receives() {
     if (cfg_.reference_delivery) {
         const RoundBufferSource src(buf_);
-        for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (!buf_.is_honest(v) || nodes_[v]->halted()) continue;
-            const ReceiveView view(src, v);
-            nodes_[v]->round_receive(round_, view);
-        }
+        batch_->receive_all(round_, buf_, src);
         return;
     }
     tally_.rebuild(buf_);
-    for (NodeId v = 0; v < cfg_.n; ++v) {
-        if (!buf_.is_honest(v) || nodes_[v]->halted()) continue;
-        const ReceiveView view(buf_, tally_, v);
-        nodes_[v]->round_receive(round_, view);
-    }
+    batch_->receive_all(round_, buf_, tally_);
 }
 
 RunResult Engine::run() {
@@ -187,12 +217,8 @@ RunResult Engine::run() {
         buf_.begin_round();
 
         // Beat 1: honest sends (randomness for this round is drawn here).
-        for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (buf_.is_honest(v) && !nodes_[v]->halted()) {
-                if (const auto m = nodes_[v]->round_send(round_))
-                    buf_.set_broadcast(v, *m);
-            }
-        }
+        // One dispatch for the whole population.
+        batch_->send_all(round_, buf_);
 
         // Beat 2: the rushing adversary observes and acts.
         {
@@ -202,15 +228,24 @@ RunResult Engine::run() {
 
         account_sends();
 
-        // Beat 3: deliveries.
+        // Beat 3: deliveries — again one dispatch.
         run_receives();
 
         metrics_.rounds = round_ + 1;
-        if (observer_) observer_(round_, nodes_, honest_mask_);
+        if (observer_) {
+            const auto* nodes = batch_->nodes();
+            ADBA_EXPECTS_MSG(nodes != nullptr,
+                             "round observers require a per-node protocol");
+            observer_(round_, *nodes, honest_mask_);
+        }
 
+        // All-halted check over the contiguous bitplanes: a node is live
+        // iff it is honest (buffer state plane) and not halted (batch).
+        const std::uint8_t* state = buf_.state_plane();
+        const std::uint8_t* halted = batch_->halted_plane();
         all_halted = true;
         for (NodeId v = 0; v < cfg_.n; ++v) {
-            if (buf_.is_honest(v) && !nodes_[v]->halted()) {
+            if ((state[v] & RoundBuffer::kByzantine) == 0 && halted[v] == 0) {
                 all_halted = false;
                 break;
             }
@@ -225,10 +260,11 @@ RunResult Engine::run() {
     res.outputs.resize(cfg_.n, 0);
     res.honest = honest_mask_;
     res.halted.assign(cfg_.n, false);
+    const std::uint8_t* halted = batch_->halted_plane();
     for (NodeId v = 0; v < cfg_.n; ++v) {
         if (buf_.is_honest(v)) {
-            res.outputs[v] = nodes_[v]->output();
-            res.halted[v] = nodes_[v]->halted();
+            res.outputs[v] = batch_->output(v);
+            res.halted[v] = halted[v] != 0;
         }
     }
     res.rounds = std::min(round_, cfg_.max_rounds);

@@ -18,18 +18,23 @@
 // per run, enforced by contract. Halted nodes have left the protocol and
 // cannot be corrupted (their output already stands).
 //
-// Delivery plane: round state lives in a flat RoundBuffer (contiguous
-// Message[] + uint8_t presence plane, net/round_buffer.hpp) and receivers
-// get a concrete ReceiveView backed by engine-level shared tallies — the
-// honest histogram is computed once per round, so a receive step costs
-// O(byz) instead of O(n). EngineConfig::reference_delivery re-routes every
-// probe through the virtual DeliverySource adapter with per-sender tally
-// loops: the slow oracle the equivalence tests pin the flat path against.
+// Data plane, three layers (see also src/net/batch.hpp):
+//   RoundBuffer    — flat per-round delivery state (contiguous Message[] +
+//                    uint8_t presence/honesty plane, net/round_buffer.hpp);
+//   RoundTally     — engine-level shared tallies: honest histogram once per
+//                    round, Byzantine delta planes once per query signature;
+//   BatchProtocol  — whole-protocol stepping: ONE virtual dispatch per beat
+//                    per round (send_all / receive_all), with halted state
+//                    as a contiguous bitplane. Per-node HonestNode vectors
+//                    ride through the PerNodeBatch adapter unchanged.
+// EngineConfig::reference_delivery re-routes every delivery probe through
+// the virtual DeliverySource adapter with per-sender tally loops: the slow
+// oracle the equivalence tests pin the flat path against.
 //
 // Engines are reusable: reset() rearms a finished engine for another run
-// and take_nodes() returns the node set to the caller's pool, so Monte-
-// Carlo runners keep one engine + one node set per worker and stop paying
-// per-trial allocation.
+// and take_nodes()/take_batch() return the protocol state to the caller's
+// pool, so Monte-Carlo runners keep one engine + one protocol instance per
+// worker and stop paying per-trial allocation.
 #pragma once
 
 #include <functional>
@@ -37,6 +42,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/batch.hpp"
 #include "net/message.hpp"
 #include "net/metrics.hpp"
 #include "net/node.hpp"
@@ -63,8 +69,12 @@ public:
     bool is_halted(NodeId v) const;
     /// Honest v's intended broadcast this round (nullptr = silent).
     const Message* intended_broadcast(NodeId v) const;
-    /// Full-information introspection into an honest node's state.
-    const HonestNode& node_state(NodeId v) const;
+    /// Full-information introspection into honest v's state (§1.1): its
+    /// current agreement value and "decided" flag (false where the protocol
+    /// has no such notion). Backed by the batch plane, so it works for
+    /// per-node and SoA protocol implementations alike.
+    Bit current_value(NodeId v) const;
+    bool current_decided(NodeId v) const;
 
     // ---- actions ----
     /// Corrupts honest, non-halted v: discards v's broadcast for this round,
@@ -141,12 +151,18 @@ struct RunResult {
 class Engine {
 public:
     /// `nodes.size()` must equal cfg.n; `adversary` must outlive run().
+    /// The node vector is wrapped in an engine-pooled PerNodeBatch adapter.
     Engine(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
+           Adversary& adversary);
+    /// Batch-plane form: `batch->n()` must equal cfg.n.
+    Engine(EngineConfig cfg, std::unique_ptr<BatchProtocol> batch,
            Adversary& adversary);
 
     /// Rearms a finished (or fresh) engine for another run, reusing every
     /// internal buffer — the trial-reuse path of the Monte-Carlo runners.
     void reset(EngineConfig cfg, std::vector<std::unique_ptr<HonestNode>> nodes,
+               Adversary& adversary);
+    void reset(EngineConfig cfg, std::unique_ptr<BatchProtocol> batch,
                Adversary& adversary);
 
     /// Runs rounds until every honest node halts or cfg.max_rounds elapse.
@@ -154,11 +170,15 @@ public:
     RunResult run();
 
     /// Moves the node set back out (to a caller-owned pool for reinit);
-    /// the engine is unusable until the next reset().
+    /// requires the per-node constructor/reset form. The engine keeps its
+    /// adapter shell and is unusable until the next reset().
     std::vector<std::unique_ptr<HonestNode>> take_nodes();
+    /// Moves the batch back out (batch form of take_nodes).
+    std::unique_ptr<BatchProtocol> take_batch();
 
     /// Test hook: invoked after each round's deliveries with full state
-    /// access, for invariant checking (Lemmas 2-4 property tests).
+    /// access, for invariant checking (Lemmas 2-4 property tests). Requires
+    /// a per-node protocol (the batch must expose nodes()).
     using RoundObserver =
         std::function<void(Round, const std::vector<std::unique_ptr<HonestNode>>&,
                            const std::vector<bool>& honest_mask)>;
@@ -170,13 +190,15 @@ private:
     bool is_honest(NodeId v) const { return buf_.is_honest(v); }
     bool is_halted(NodeId v) const;
 
+    void common_reset(EngineConfig cfg, Adversary& adversary);
     std::optional<Message> do_corrupt(NodeId v);
     void do_deliver(NodeId byz_from, NodeId to, const Message& m);
     void account_sends();
     void run_receives();
 
     EngineConfig cfg_;
-    std::vector<std::unique_ptr<HonestNode>> nodes_;
+    std::unique_ptr<BatchProtocol> batch_;
+    PerNodeBatch* adapter_ = nullptr;  ///< set when batch_ is the pooled adapter
     Adversary* adversary_ = nullptr;
 
     Round round_ = 0;

@@ -14,7 +14,9 @@ void RoundBuffer::reset(NodeId n) {
     byz_row_of_.assign(n, -1);
     row_sender_.clear();
     row_mode_.clear();
+    row_slot_.clear();
     rows_in_use_ = 0;
+    slots_in_use_ = 0;
 }
 
 void RoundBuffer::begin_round() {
@@ -22,7 +24,9 @@ void RoundBuffer::begin_round() {
     std::fill(byz_row_of_.begin(), byz_row_of_.end(), -1);
     row_sender_.clear();
     row_mode_.clear();
+    row_slot_.clear();
     rows_in_use_ = 0;
+    slots_in_use_ = 0;
 }
 
 std::optional<Message> RoundBuffer::corrupt(NodeId v) {
@@ -36,23 +40,32 @@ std::optional<Message> RoundBuffer::corrupt(NodeId v) {
 std::int32_t RoundBuffer::ensure_row(NodeId v) {
     std::int32_t row = byz_row_of_[v];
     if (row >= 0) return row;
-    if ((rows_in_use_ + 1) * n_ > byz_msgs_.size()) {
-        byz_msgs_.resize((rows_in_use_ + 1) * n_);
-        byz_present_.resize((rows_in_use_ + 1) * n_);
-    }
     if (row_pattern_.size() <= rows_in_use_) row_pattern_.resize(rows_in_use_ + 1);
     row = static_cast<std::int32_t>(rows_in_use_);
     byz_row_of_[v] = row;
     row_sender_.push_back(v);
     row_mode_.push_back(kRowDense);
+    row_slot_.push_back(-1);  // dense cells assigned only when needed
     ++rows_in_use_;
     return row;
+}
+
+void RoundBuffer::assign_dense_slot(std::size_t row) {
+    const std::size_t slot = slots_in_use_++;
+    if ((slot + 1) * n_ > byz_msgs_.size()) {
+        byz_msgs_.resize((slot + 1) * n_);
+        byz_present_.resize((slot + 1) * n_);
+    }
+    row_slot_[row] = static_cast<std::int32_t>(slot);
+    std::fill_n(byz_present_.begin() + static_cast<std::ptrdiff_t>(slot * n_), n_,
+                std::uint8_t{0});
 }
 
 void RoundBuffer::densify(std::size_t row) {
     if (row_mode_[row] == kRowDense) return;
     const RowPattern p = row_pattern_[row];
-    const std::size_t base = row * n_;
+    assign_dense_slot(row);
+    const std::size_t base = static_cast<std::size_t>(row_slot_[row]) * n_;
     for (NodeId to = 0; to < n_; ++to) {
         const int side = to < p.boundary ? 0 : 1;
         byz_present_[base + to] = p.present[side];
@@ -66,13 +79,11 @@ bool RoundBuffer::deliver(NodeId byz_from, NodeId to, const Message& m) {
     const std::int32_t prior = byz_row_of_[byz_from];
     const std::size_t row = static_cast<std::size_t>(ensure_row(byz_from));
     if (prior < 0) {
-        // Fresh dense row: clear its cells once.
-        std::fill_n(byz_present_.begin() + static_cast<std::ptrdiff_t>(row * n_), n_,
-                    std::uint8_t{0});
+        assign_dense_slot(row);  // fresh dense row: clear its cells once
     } else {
         densify(row);
     }
-    const std::size_t off = row * n_ + to;
+    const std::size_t off = static_cast<std::size_t>(row_slot_[row]) * n_ + to;
     const bool fresh = byz_present_[off] == 0;
     byz_present_[off] = 1;
     byz_msgs_[off] = m;
@@ -100,7 +111,7 @@ Count RoundBuffer::apply_pattern(NodeId byz_from, const Message* low,
     // Merge with earlier deliveries from the same sender: materialize and
     // overwrite cellwise, counting newly covered slots.
     densify(row);
-    const std::size_t base = row * n_;
+    const std::size_t base = static_cast<std::size_t>(row_slot_[row]) * n_;
     Count fresh = 0;
     for (NodeId to = 0; to < n_; ++to) {
         const Message* m = to < boundary ? low : high;
@@ -181,8 +192,29 @@ const std::vector<std::int64_t>& RoundTally::coin_prefix(const TallyBucket& b) c
     return b.coin_prefix;
 }
 
-const std::map<Word, Count>& RoundTally::word_counts(const TallyBucket& b,
-                                                     bool require_flag) const {
+namespace {
+
+/// Sorts a raw (word, 1)-pair list and merges duplicates in place: the
+/// flat-vector replacement for inserting into a std::map. Capacity is the
+/// caller's; a recycled vector makes this allocation-free once warm.
+void sort_aggregate(WordHistogram& h) {
+    std::sort(h.begin(), h.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < h.size();) {
+        std::size_t j = i;
+        Count total = 0;
+        while (j < h.size() && h[j].first == h[i].first) total += h[j++].second;
+        h[out++] = {h[i].first, total};
+        i = j;
+    }
+    h.resize(out);
+}
+
+}  // namespace
+
+const WordHistogram& RoundTally::word_counts(const TallyBucket& b,
+                                             bool require_flag) const {
     if (!b.have_words) {
         b.words.clear();
         b.words_flag.clear();
@@ -193,27 +225,31 @@ const std::map<Word, Count>& RoundTally::word_counts(const TallyBucket& b,
             if (state[u] != RoundBuffer::kPresent) continue;
             const Message& m = honest[u];
             if (m.kind != b.kind || m.phase != b.phase) continue;
-            ++b.words[m.word];
-            if (m.flag != 0) ++b.words_flag[m.word];
+            b.words.emplace_back(m.word, Count{1});
+            if (m.flag != 0) b.words_flag.emplace_back(m.word, Count{1});
         }
+        sort_aggregate(b.words);
+        sort_aggregate(b.words_flag);
         b.have_words = true;
     }
     return require_flag ? b.words_flag : b.words;
 }
 
-const std::array<Count, 2>* RoundTally::val_deltas(MsgKind kind, Phase phase,
-                                                   bool require_flag,
-                                                   NodeId receiver) const {
+const std::array<Count, 2>* RoundTally::val_delta_plane(MsgKind kind, Phase phase,
+                                                        bool require_flag) const {
     const std::size_t rows = buf_->rows_in_use();
     if (rows == 0) return nullptr;
     for (std::size_t c = 0; c < val_caches_in_use_; ++c) {
         const ValCache& vc = val_caches_[c];
         if (vc.kind == kind && vc.phase == phase && vc.flag == require_flag)
-            return &vc.delta[receiver];
+            return vc.delta.data();
     }
     // Build the per-receiver delta array once for this query signature:
-    // pattern rows contribute piecewise-constant runs (difference sweep),
-    // dense rows are probed cellwise.
+    // pattern rows contribute piecewise-constant runs as a DIFFERENCE SWEEP
+    // (+1 at the run start, -1 past its end, prefix-summed once at the end)
+    // so k pattern rows cost O(n + k), not O(n * k) — with t split-voting
+    // Byzantine senders the latter was the dominant large-n term. Dense
+    // rows are probed cellwise after the sweep resolves.
     if (val_caches_.size() <= val_caches_in_use_)
         val_caches_.resize(val_caches_in_use_ + 1);
     ValCache& vc = val_caches_[val_caches_in_use_++];
@@ -225,36 +261,56 @@ const std::array<Count, 2>* RoundTally::val_deltas(MsgKind kind, Phase phase,
     const auto matches = [&](const Message& m) {
         return m.kind == kind && m.phase == phase && (!require_flag || m.flag != 0);
     };
+    bool any_pattern = false;
     for (std::size_t r = 0; r < rows; ++r) {
-        if (buf_->row_mode(r) == RoundBuffer::kRowPattern) {
-            const RoundBuffer::RowPattern& p = buf_->row_pattern(r);
-            for (int side = 0; side < 2; ++side) {
-                if (!p.present[side] || !matches(p.msg[side])) continue;
-                const NodeId lo = side == 0 ? 0 : p.boundary;
-                const NodeId hi = side == 0 ? p.boundary : n;
-                const int idx = p.msg[side].val & 1;
-                for (NodeId v = lo; v < hi; ++v) ++vc.delta[v][idx];
-            }
-        } else {
-            for (NodeId v = 0; v < n; ++v) {
-                const Message* m = buf_->row_delivery(r, v);
-                if (m != nullptr && matches(*m)) ++vc.delta[v][m->val & 1];
-            }
+        if (buf_->row_mode(r) != RoundBuffer::kRowPattern) continue;
+        const RoundBuffer::RowPattern& p = buf_->row_pattern(r);
+        for (int side = 0; side < 2; ++side) {
+            if (!p.present[side] || !matches(p.msg[side])) continue;
+            const NodeId lo = side == 0 ? 0 : p.boundary;
+            const NodeId hi = side == 0 ? p.boundary : n;
+            if (lo >= hi) continue;
+            const int idx = p.msg[side].val & 1;
+            // Unsigned wraparound in the -1 marker is intentional: the
+            // prefix sum below restores the true (non-negative) counts.
+            ++vc.delta[lo][idx];
+            if (hi < n) --vc.delta[hi][idx];
+            any_pattern = true;
         }
     }
-    return &vc.delta[receiver];
+    if (any_pattern) {
+        for (NodeId v = 1; v < n; ++v) {
+            vc.delta[v][0] += vc.delta[v - 1][0];
+            vc.delta[v][1] += vc.delta[v - 1][1];
+        }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+        if (buf_->row_mode(r) == RoundBuffer::kRowPattern) continue;
+        for (NodeId v = 0; v < n; ++v) {
+            const Message* m = buf_->row_delivery(r, v);
+            if (m != nullptr && matches(*m)) ++vc.delta[v][m->val & 1];
+        }
+    }
+    return vc.delta.data();
 }
 
-std::int64_t RoundTally::coin_delta(MsgKind kind, Phase phase, bool check_phase,
-                                    NodeId first, NodeId last,
-                                    NodeId receiver) const {
+const std::array<Count, 2>* RoundTally::val_deltas(MsgKind kind, Phase phase,
+                                                   bool require_flag,
+                                                   NodeId receiver) const {
+    const auto* plane = val_delta_plane(kind, phase, require_flag);
+    return plane == nullptr ? nullptr : plane + receiver;
+}
+
+const std::int64_t* RoundTally::coin_delta_plane(MsgKind kind, Phase phase,
+                                                 bool check_phase, NodeId first,
+                                                 NodeId last) const {
     const std::size_t rows = buf_->rows_in_use();
-    if (rows == 0) return 0;
+    if (rows == 0) return nullptr;
     for (std::size_t c = 0; c < coin_caches_in_use_; ++c) {
         const CoinCache& cc = coin_caches_[c];
         if (cc.kind == kind && cc.phase == phase && cc.check_phase == check_phase &&
             cc.first == first && cc.last == last)
-            return cc.delta[receiver];
+            return cc.delta.data();
     }
     if (coin_caches_.size() <= coin_caches_in_use_)
         coin_caches_.resize(coin_caches_in_use_ + 1);
@@ -272,27 +328,59 @@ std::int64_t RoundTally::coin_delta(MsgKind kind, Phase phase, bool check_phase,
         if (m.coin < 0) return -1;
         return 0;
     };
+    // Pattern rows as a difference sweep (O(1) per side, one prefix pass),
+    // dense rows probed cellwise — same shape as val_delta_plane.
+    bool any_pattern = false;
     for (std::size_t r = 0; r < rows; ++r) {
         const NodeId u = buf_->row_sender(r);
         if (u < first || u >= last) continue;
-        if (buf_->row_mode(r) == RoundBuffer::kRowPattern) {
-            const RoundBuffer::RowPattern& p = buf_->row_pattern(r);
-            for (int side = 0; side < 2; ++side) {
-                if (!p.present[side]) continue;
-                const std::int64_t d = sign_of(p.msg[side]);
-                if (d == 0) continue;
-                const NodeId lo = side == 0 ? 0 : p.boundary;
-                const NodeId hi = side == 0 ? p.boundary : n;
-                for (NodeId v = lo; v < hi; ++v) cc.delta[v] += d;
-            }
-        } else {
-            for (NodeId v = 0; v < n; ++v) {
-                const Message* m = buf_->row_delivery(r, v);
-                if (m != nullptr) cc.delta[v] += sign_of(*m);
-            }
+        if (buf_->row_mode(r) != RoundBuffer::kRowPattern) continue;
+        const RoundBuffer::RowPattern& p = buf_->row_pattern(r);
+        for (int side = 0; side < 2; ++side) {
+            if (!p.present[side]) continue;
+            const std::int64_t d = sign_of(p.msg[side]);
+            if (d == 0) continue;
+            const NodeId lo = side == 0 ? 0 : p.boundary;
+            const NodeId hi = side == 0 ? p.boundary : n;
+            if (lo >= hi) continue;
+            cc.delta[lo] += d;
+            if (hi < n) cc.delta[hi] -= d;
+            any_pattern = true;
         }
     }
-    return cc.delta[receiver];
+    if (any_pattern)
+        for (NodeId v = 1; v < n; ++v) cc.delta[v] += cc.delta[v - 1];
+    for (std::size_t r = 0; r < rows; ++r) {
+        const NodeId u = buf_->row_sender(r);
+        if (u < first || u >= last) continue;
+        if (buf_->row_mode(r) == RoundBuffer::kRowPattern) continue;
+        for (NodeId v = 0; v < n; ++v) {
+            const Message* m = buf_->row_delivery(r, v);
+            if (m != nullptr) cc.delta[v] += sign_of(*m);
+        }
+    }
+    return cc.delta.data();
+}
+
+std::int64_t RoundTally::coin_delta(MsgKind kind, Phase phase, bool check_phase,
+                                    NodeId first, NodeId last,
+                                    NodeId receiver) const {
+    const std::int64_t* plane = coin_delta_plane(kind, phase, check_phase, first, last);
+    return plane == nullptr ? 0 : plane[receiver];
+}
+
+const WordHistogram& RoundTally::byz_word_deltas(MsgKind kind, bool require_flag,
+                                                 NodeId receiver) const {
+    WordHistogram& out = byz_words_scratch_;
+    out.clear();  // capacity survives: no per-query allocation once warm
+    const std::size_t rows = buf_->rows_in_use();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const Message* m = buf_->row_delivery(r, receiver);
+        if (m != nullptr && m->kind == kind && (!require_flag || m->flag != 0))
+            out.emplace_back(m->word, Count{1});
+    }
+    sort_aggregate(out);
+    return out;
 }
 
 // -------------------------------------------------------------- ReceiveView
@@ -348,25 +436,14 @@ std::int64_t ReceiveView::coin_sum(MsgKind kind, Phase phase, bool check_phase,
     return sum;
 }
 
-std::map<Word, Count> ReceiveView::byz_word_deltas(MsgKind kind,
-                                                   bool require_flag) const {
-    std::map<Word, Count> deltas;
-    const std::size_t rows = buf_->rows_in_use();
-    for (std::size_t r = 0; r < rows; ++r) {
-        const Message* m = buf_->row_delivery(r, recv_);
-        if (m != nullptr && m->kind == kind && (!require_flag || m->flag != 0))
-            ++deltas[m->word];
-    }
-    return deltas;
-}
-
 namespace {
 
 /// Shared word-query walk: invokes consider(word, count) over the combined
-/// (honest + Byzantine-delta) histogram in ascending word order.
+/// (honest + Byzantine-delta) histogram in ascending word order. Both inputs
+/// are sorted unique-word vectors (WordHistogram invariant).
 template <typename Fn>
-void walk_word_histogram(const std::map<Word, Count>& honest,
-                         std::map<Word, Count> byz, Fn&& consider) {
+void walk_word_histogram(const WordHistogram& honest, const WordHistogram& byz,
+                         Fn&& consider) {
     auto hit = honest.begin();
     auto bit = byz.begin();
     while (hit != honest.end() || bit != byz.end()) {
@@ -384,27 +461,29 @@ void walk_word_histogram(const std::map<Word, Count>& honest,
     }
 }
 
-const std::map<Word, Count> kEmptyWordMap;
+const WordHistogram kEmptyWords;
 
 }  // namespace
 
 template <typename Fn>
 void ReceiveView::walk_words(MsgKind kind, bool require_flag, Fn&& consider) const {
     if (buf_ == nullptr) {
-        // Adapter backend: the executable spec — a plain per-sender tally.
-        std::map<Word, Count> tally;
+        // Adapter backend: the executable spec — a plain per-sender tally
+        // (test/oracle path only; it may allocate).
+        WordHistogram tally;
         for (NodeId u = 0; u < n_; ++u) {
             const Message* m = from(u);
             if (m != nullptr && m->kind == kind && (!require_flag || m->flag != 0))
-                ++tally[m->word];
+                tally.emplace_back(m->word, Count{1});
         }
-        walk_word_histogram(tally, {}, consider);
+        sort_aggregate(tally);
+        walk_word_histogram(tally, kEmptyWords, consider);
         return;
     }
     // Honest messages of one kind share one (kind, phase) bucket in any real
     // round (nodes move in lockstep); merge buckets defensively anyway.
-    const std::map<Word, Count>* honest = &kEmptyWordMap;
-    std::map<Word, Count> merged;
+    const WordHistogram* honest = &kEmptyWords;
+    WordHistogram merged;
     bool first_bucket = true;
     for (std::size_t i = 0; i < tally_->bucket_count(); ++i) {
         const TallyBucket& b = tally_->bucket(i);
@@ -414,12 +493,16 @@ void ReceiveView::walk_words(MsgKind kind, bool require_flag, Fn&& consider) con
             honest = &counts;
             first_bucket = false;
         } else {
-            if (merged.empty()) merged = *honest;
-            for (const auto& [w, c] : counts) merged[w] += c;
+            // Defensive multi-bucket merge; never hit by lockstep protocols.
+            if (honest != &merged)
+                merged.insert(merged.end(), honest->begin(), honest->end());
+            merged.insert(merged.end(), counts.begin(), counts.end());
+            sort_aggregate(merged);
             honest = &merged;
         }
     }
-    walk_word_histogram(*honest, byz_word_deltas(kind, require_flag), consider);
+    walk_word_histogram(*honest, tally_->byz_word_deltas(kind, require_flag, recv_),
+                        consider);
 }
 
 std::optional<Word> ReceiveView::quorum_word(MsgKind kind, bool require_flag,

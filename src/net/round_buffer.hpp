@@ -30,8 +30,8 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "net/message.hpp"
@@ -119,7 +119,8 @@ public:
     const RowPattern& row_pattern(std::size_t row) const { return row_pattern_[row]; }
     const Message* row_delivery(std::size_t row, NodeId receiver) const {
         if (row_mode_[row] == kRowDense) {
-            const std::size_t off = row * n_ + receiver;
+            const std::size_t off =
+                static_cast<std::size_t>(row_slot_[row]) * n_ + receiver;
             return byz_present_[off] ? &byz_msgs_[off] : nullptr;
         }
         const RowPattern& p = row_pattern_[row];
@@ -131,6 +132,11 @@ public:
 
 private:
     std::int32_t ensure_row(NodeId v);
+    /// Assigns (and clears) a dense cell block for `row`. Dense storage is
+    /// allocated per *densified* row, not per row: a round of t pattern
+    /// rows (every split/broadcast attack) costs O(t) bookkeeping, not an
+    /// O(t * n) cell arena.
+    void assign_dense_slot(std::size_t row);
     /// Materializes a pattern row into dense cells (merge path).
     void densify(std::size_t row);
 
@@ -140,10 +146,12 @@ private:
     std::vector<std::int32_t> byz_row_of_;  ///< [n] sender -> row, or -1
     std::vector<NodeId> row_sender_;     ///< [rows] row -> sender
     std::vector<std::uint8_t> row_mode_; ///< [rows] kRowDense / kRowPattern
+    std::vector<std::int32_t> row_slot_; ///< [rows] dense slot index, or -1
     std::vector<RowPattern> row_pattern_;  ///< [rows] pattern payloads
-    std::vector<Message> byz_msgs_;      ///< [rows * n] dense delivery cells
-    std::vector<std::uint8_t> byz_present_;  ///< [rows * n]
+    std::vector<Message> byz_msgs_;      ///< [slots * n] dense delivery cells
+    std::vector<std::uint8_t> byz_present_;  ///< [slots * n]
     std::size_t rows_in_use_ = 0;
+    std::size_t slots_in_use_ = 0;
 };
 
 /// Adapts a RoundBuffer behind the virtual DeliverySource interface — the
@@ -161,6 +169,12 @@ private:
     const RoundBuffer& buf_;
 };
 
+/// Sorted (word, count) histogram — the recycled flat replacement for the
+/// old std::map word tallies. Entries are unique words in ascending order;
+/// clear() keeps capacity, so a warm engine builds these with zero
+/// allocation per round.
+using WordHistogram = std::vector<std::pair<Word, Count>>;
+
 /// One (kind, phase) bucket of the round's honest-broadcast histogram.
 /// val/flag counts are filled eagerly; coin prefix sums and word histograms
 /// are built lazily on the round's first query that needs them.
@@ -176,8 +190,8 @@ struct TallyBucket {
     /// whose broadcast matched this bucket; size n+1.
     mutable std::vector<std::int64_t> coin_prefix;
     mutable bool have_words = false;
-    mutable std::map<Word, Count> words;       ///< all matching messages
-    mutable std::map<Word, Count> words_flag;  ///< flag != 0 only
+    mutable WordHistogram words;       ///< all matching messages
+    mutable WordHistogram words_flag;  ///< flag != 0 only
 };
 
 /// Engine-level shared tallies over one round. rebuild() runs once per round
@@ -197,16 +211,32 @@ public:
 
     /// Lazy builders (per round, shared across receivers).
     const std::vector<std::int64_t>& coin_prefix(const TallyBucket& b) const;
-    const std::map<Word, Count>& word_counts(const TallyBucket& b,
-                                             bool require_flag) const;
+    const WordHistogram& word_counts(const TallyBucket& b, bool require_flag) const;
 
+    /// Whole per-receiver Byzantine val-count delta plane for one query
+    /// signature (array of size n, indexed by receiver); nullptr when the
+    /// round has no Byzantine rows. Built once per signature with a
+    /// difference sweep over pattern rows — O(n + rows), not O(n * rows).
+    /// Batch protocols hoist this out of their receive loop.
+    const std::array<Count, 2>* val_delta_plane(MsgKind kind, Phase phase,
+                                                bool require_flag) const;
     /// Per-receiver Byzantine val-count deltas for one query signature;
     /// nullptr when the round has no Byzantine rows.
     const std::array<Count, 2>* val_deltas(MsgKind kind, Phase phase,
                                            bool require_flag, NodeId receiver) const;
+    /// Whole per-receiver Byzantine coin-sum delta plane over senders in
+    /// [first, last); nullptr when the round has no Byzantine rows.
+    const std::int64_t* coin_delta_plane(MsgKind kind, Phase phase, bool check_phase,
+                                         NodeId first, NodeId last) const;
     /// Per-receiver Byzantine coin-sum delta over senders in [first, last).
     std::int64_t coin_delta(MsgKind kind, Phase phase, bool check_phase,
                             NodeId first, NodeId last, NodeId receiver) const;
+
+    /// Byzantine-row word deltas delivered to `receiver` for `kind` (any
+    /// phase), as a sorted histogram in recycled scratch storage — valid
+    /// until the next call. No per-query allocation once warm.
+    const WordHistogram& byz_word_deltas(MsgKind kind, bool require_flag,
+                                         NodeId receiver) const;
 
 private:
     struct ValCache {
@@ -234,6 +264,7 @@ private:
     mutable std::size_t val_caches_in_use_ = 0;
     mutable std::vector<CoinCache> coin_caches_;
     mutable std::size_t coin_caches_in_use_ = 0;
+    mutable WordHistogram byz_words_scratch_;  ///< recycled by byz_word_deltas
 };
 
 /// Receiver-specific view of one round's deliveries — concrete and final so
@@ -320,9 +351,6 @@ private:
     /// ascending word order (defined in round_buffer.cpp).
     template <typename Fn>
     void walk_words(MsgKind kind, bool require_flag, Fn&& consider) const;
-
-    /// Per-receiver Byzantine-row word deltas for `kind` (any phase).
-    std::map<Word, Count> byz_word_deltas(MsgKind kind, bool require_flag) const;
 
     const RoundBuffer* buf_ = nullptr;
     const RoundTally* tally_ = nullptr;

@@ -145,6 +145,24 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
     const auto alg3_schedule = [](const Scenario& s) {
         return core::AgreementParams::compute(s.n, s.t, s.tuning).schedule;
     };
+    const auto alg3_batch = [](const Scenario& s, const std::vector<Bit>& inputs,
+                               const SeedTree& seeds, core::AgreementMode mode) {
+        ProtocolBundle b;
+        const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
+        b.batch = core::make_algorithm3_batch(params, mode, inputs, seeds);
+        b.phases = params.phases;
+        b.schedule = params.schedule;
+        b.default_max_rounds = mode == core::AgreementMode::LasVegas
+                                   ? 32 * core::max_rounds_whp(params) + 256
+                                   : core::max_rounds_whp(params);
+        return b;
+    };
+    const auto alg3_batch_reinit = [](const Scenario& s, const std::vector<Bit>& inputs,
+                                      const SeedTree& seeds, core::AgreementMode mode,
+                                      ProtocolBundle& b) {
+        const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
+        core::reinit_algorithm3_batch(params, mode, inputs, seeds, *b.batch);
+    };
 
     add({ProtocolKind::Ours,
          "ours",
@@ -165,6 +183,13 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const auto p = core::AgreementParams::compute(s.n, s.t, s.tuning);
              return BudgetHint{p.phases, core::max_rounds_whp(p)};
+         },
+         [alg3_batch](const Scenario& s, const std::vector<Bit>& in, const SeedTree& sd) {
+             return alg3_batch(s, in, sd, core::AgreementMode::WhpFixedPhases);
+         },
+         [alg3_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
+                             const SeedTree& sd, ProtocolBundle& b) {
+             alg3_batch_reinit(s, in, sd, core::AgreementMode::WhpFixedPhases, b);
          }});
 
     add({ProtocolKind::OursLasVegas,
@@ -186,6 +211,13 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const auto p = core::AgreementParams::compute(s.n, s.t, s.tuning);
              return BudgetHint{p.phases, 32 * core::max_rounds_whp(p) + 256};
+         },
+         [alg3_batch](const Scenario& s, const std::vector<Bit>& in, const SeedTree& sd) {
+             return alg3_batch(s, in, sd, core::AgreementMode::LasVegas);
+         },
+         [alg3_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
+                             const SeedTree& sd, ProtocolBundle& b) {
+             alg3_batch_reinit(s, in, sd, core::AgreementMode::LasVegas, b);
          }});
 
     const auto chor_coan_nodes = [](const Scenario& s, const std::vector<Bit>& inputs,
@@ -210,6 +242,29 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
         base::reinit_chor_coan_nodes(params, core::AgreementMode::WhpFixedPhases,
                                      inputs, seeds, b.nodes);
     };
+    const auto chor_coan_batch = [](const Scenario& s, const std::vector<Bit>& inputs,
+                                    const SeedTree& seeds, bool rushing) {
+        ProtocolBundle b;
+        const auto params = rushing
+                                ? base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning)
+                                : base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
+        b.batch = base::make_chor_coan_batch(params, core::AgreementMode::WhpFixedPhases,
+                                             inputs, seeds);
+        b.phases = params.phases;
+        b.schedule = params.schedule;
+        b.default_max_rounds = base::max_rounds_whp(params);
+        return b;
+    };
+    const auto chor_coan_batch_reinit = [](const Scenario& s,
+                                           const std::vector<Bit>& inputs,
+                                           const SeedTree& seeds, bool rushing,
+                                           ProtocolBundle& b) {
+        const auto params = rushing
+                                ? base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning)
+                                : base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
+        base::reinit_chor_coan_batch(params, core::AgreementMode::WhpFixedPhases,
+                                     inputs, seeds, *b.batch);
+    };
 
     add({ProtocolKind::ChorCoanRushing,
          "chor-coan-rushing",
@@ -231,6 +286,12 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const auto p = base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning);
              return BudgetHint{p.phases, base::max_rounds_whp(p)};
+         },
+         [chor_coan_batch](const Scenario& s, const std::vector<Bit>& in,
+                           const SeedTree& sd) { return chor_coan_batch(s, in, sd, true); },
+         [chor_coan_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
+                                  const SeedTree& sd, ProtocolBundle& b) {
+             chor_coan_batch_reinit(s, in, sd, true, b);
          }});
 
     add({ProtocolKind::ChorCoanClassic,
@@ -253,6 +314,12 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const auto p = base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
              return BudgetHint{p.phases, base::max_rounds_whp(p)};
+         },
+         [chor_coan_batch](const Scenario& s, const std::vector<Bit>& in,
+                           const SeedTree& sd) { return chor_coan_batch(s, in, sd, false); },
+         [chor_coan_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
+                                  const SeedTree& sd, ProtocolBundle& b) {
+             chor_coan_batch_reinit(s, in, sd, false, b);
          }});
 
     add({ProtocolKind::RabinDealer,
@@ -285,6 +352,24 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const auto p = base::RabinDealerParams::compute(s.n, s.t, 0, s.tuning.gamma);
              return BudgetHint{p.phases, base::max_rounds_whp(p)};
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const auto params = base::RabinDealerParams::compute(
+                 s.n, s.t, seeds.seed(StreamPurpose::DealerCoin), s.tuning.gamma);
+             b.batch = base::make_rabin_dealer_batch(
+                 params, core::AgreementMode::WhpFixedPhases, inputs, seeds);
+             b.phases = params.phases;
+             b.default_max_rounds = base::max_rounds_whp(params);
+             return b;
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             // The dealer seed is per-trial; recompute params with it.
+             const auto params = base::RabinDealerParams::compute(
+                 s.n, s.t, seeds.seed(StreamPurpose::DealerCoin), s.tuning.gamma);
+             base::reinit_rabin_dealer_batch(params, core::AgreementMode::WhpFixedPhases,
+                                             inputs, seeds, *b.batch);
          }});
 
     add({ProtocolKind::LocalCoin,
@@ -314,6 +399,21 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              return BudgetHint{s.local_coin_phases,
                                static_cast<Round>(2 * (s.local_coin_phases + 2))};
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const base::LocalCoinParams params{s.n, s.t, s.local_coin_phases};
+             b.batch = base::make_local_coin_batch(
+                 params, core::AgreementMode::WhpFixedPhases, inputs, seeds);
+             b.phases = params.phases;
+             b.default_max_rounds = 2 * (params.phases + 2);
+             return b;
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             const base::LocalCoinParams params{s.n, s.t, s.local_coin_phases};
+             base::reinit_local_coin_batch(params, core::AgreementMode::WhpFixedPhases,
+                                           inputs, seeds, *b.batch);
          }});
 
     add({ProtocolKind::BenOr,
@@ -341,6 +441,19 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              return BudgetHint{s.local_coin_phases,
                                static_cast<Round>(2 * (s.local_coin_phases + 2))};
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds) {
+             ProtocolBundle b;
+             const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
+             b.batch = base::make_ben_or_batch(params, inputs, seeds);
+             b.phases = params.phases;
+             b.default_max_rounds = 2 * (params.phases + 2);
+             return b;
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree& seeds,
+            ProtocolBundle& b) {
+             const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
+             base::reinit_ben_or_batch(params, inputs, seeds, *b.batch);
          }});
 
     add({ProtocolKind::PhaseKing,
@@ -368,6 +481,19 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const base::PhaseKingParams p{s.n, s.t};
              return BudgetHint{p.phases(), static_cast<Round>(p.total_rounds() + 2)};
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree&) {
+             ProtocolBundle b;
+             const base::PhaseKingParams params{s.n, s.t};
+             b.batch = base::make_phase_king_batch(params, inputs);
+             b.phases = params.phases();
+             b.default_max_rounds = params.total_rounds() + 2;
+             return b;
+         },
+         [](const Scenario& s, const std::vector<Bit>& inputs, const SeedTree&,
+            ProtocolBundle& b) {
+             base::reinit_phase_king_batch(base::PhaseKingParams{s.n, s.t}, inputs,
+                                           *b.batch);
          }});
 
     add({ProtocolKind::SamplingMajority,
@@ -397,7 +523,12 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [](const Scenario& s) {
              const auto p = base::SamplingMajorityParams::compute(s.n, s.t, s.sampling_kappa);
              return BudgetHint{p.rounds, static_cast<Round>(p.rounds + 1)};
-         }});
+         },
+         // No native batch: sampling-majority's receive is per-receiver
+         // randomized (two random senders per node), so batching would only
+         // save the dispatch; it rides the PerNodeBatch adapter.
+         nullptr,
+         nullptr});
 }
 
 // --------------------------------------------------------- built-in adversaries
@@ -694,6 +825,7 @@ std::string Scenario::describe() const {
         out += " max_rounds=" + std::to_string(max_rounds_override);
     if (record_transcript) out += " transcript=true";
     if (reference_delivery) out += " reference=true";
+    if (!use_batch) out += " batch=false";
     return out;
 }
 
@@ -711,6 +843,10 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
         throw ContractViolation("scenario key '" + key +
                                 "' expects a non-negative integer, got '" + value + "'");
     }
+}
+
+bool parse_onoff(const std::string& value) {
+    return value == "true" || value == "1" || value == "yes" || value == "on";
 }
 
 double parse_f64(const std::string& key, const std::string& value) {
@@ -768,14 +904,16 @@ Scenario Scenario::parse(const std::string& spec) {
         } else if (key == "max_rounds") {
             s.max_rounds_override = static_cast<Round>(parse_u64(key, value));
         } else if (key == "transcript") {
-            s.record_transcript = value == "true" || value == "1" || value == "yes";
+            s.record_transcript = parse_onoff(value);
         } else if (key == "reference") {
-            s.reference_delivery = value == "true" || value == "1" || value == "yes";
+            s.reference_delivery = parse_onoff(value);
+        } else if (key == "batch") {
+            s.use_batch = parse_onoff(value);
         } else {
             throw ContractViolation(
                 "unknown scenario key '" + key +
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
-                "beta, phases, kappa, max_rounds, transcript, reference");
+                "beta, phases, kappa, max_rounds, transcript, reference, batch");
         }
     }
     return s;

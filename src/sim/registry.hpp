@@ -32,10 +32,13 @@
 
 namespace adba::sim {
 
-/// What a protocol factory hands the engine: the node set plus the budgets
-/// and (optional) committee schedule the adversary factories consume.
+/// What a protocol factory hands the engine: the node set (per-node form)
+/// OR the native batch plane (batch form), plus the budgets and (optional)
+/// committee schedule the adversary factories consume. Exactly one of
+/// `nodes`/`batch` is populated, depending on which factory built it.
 struct ProtocolBundle {
     std::vector<std::unique_ptr<net::HonestNode>> nodes;
+    std::unique_ptr<net::BatchProtocol> batch;
     Round default_max_rounds = 0;
     Count phases = 0;
     std::optional<core::BlockSchedule> schedule;
@@ -83,6 +86,20 @@ struct ProtocolEntry {
 
     /// Default phase/round budgets at the scenario's parameters.
     std::function<BudgetHint(const Scenario&)> budgets;
+
+    /// Native SoA batch factory: fills a bundle whose `batch` steps the
+    /// whole population under one dispatch per beat (bit-identical to
+    /// make_nodes + the PerNodeBatch adapter, pinned by the equivalence
+    /// suite). Null = no native batch; runners fall back to per-node.
+    std::function<ProtocolBundle(const Scenario&, const std::vector<Bit>&,
+                                 const SeedTree&)>
+        make_batch;
+
+    /// Trial-reuse fast path for the batch form (same contract as
+    /// reinit_nodes, re-arming `bundle.batch` in place).
+    std::function<void(const Scenario&, const std::vector<Bit>&, const SeedTree&,
+                       ProtocolBundle&)>
+        reinit_batch;
 };
 
 /// Capability descriptor + factory for one adversary strategy.

@@ -42,9 +42,20 @@ public:
         const SeedTree seeds(seed);
         make_inputs(s.inputs, s.n, seeds, inputs_);
 
+        // Native batch plane when the scenario wants it and the protocol
+        // ships one; otherwise the per-node path (wrapped in the engine's
+        // pooled PerNodeBatch adapter). Both are bit-identical by contract.
+        const bool batched = s.use_batch && plan_.protocol->make_batch != nullptr;
         if (!have_bundle_) {
-            bundle_ = plan_.protocol->make_nodes(s, inputs_, seeds);
+            bundle_ = batched ? plan_.protocol->make_batch(s, inputs_, seeds)
+                              : plan_.protocol->make_nodes(s, inputs_, seeds);
             have_bundle_ = true;
+        } else if (batched) {
+            if (plan_.protocol->reinit_batch) {
+                plan_.protocol->reinit_batch(s, inputs_, seeds, bundle_);
+            } else {
+                bundle_.batch = plan_.protocol->make_batch(s, inputs_, seeds).batch;
+            }
         } else if (plan_.protocol->reinit_nodes) {
             plan_.protocol->reinit_nodes(s, inputs_, seeds, bundle_);
         } else {
@@ -61,13 +72,22 @@ public:
         cfg.record_transcript = s.record_transcript;
         cfg.reference_delivery = s.reference_delivery;
 
-        if (engine_) {
+        if (batched) {
+            if (engine_) {
+                engine_->reset(cfg, std::move(bundle_.batch), *adversary);
+            } else {
+                engine_.emplace(cfg, std::move(bundle_.batch), *adversary);
+            }
+        } else if (engine_) {
             engine_->reset(cfg, std::move(bundle_.nodes), *adversary);
         } else {
             engine_.emplace(cfg, std::move(bundle_.nodes), *adversary);
         }
         const net::RunResult run = engine_->run();
-        bundle_.nodes = engine_->take_nodes();
+        if (batched)
+            bundle_.batch = engine_->take_batch();
+        else
+            bundle_.nodes = engine_->take_nodes();
 
         TrialResult res;
         res.agreement = run.agreement();

@@ -58,12 +58,18 @@ struct Scenario {
     /// identical — the equivalence tests pin this — but markedly slower;
     /// exists for oracle comparisons and debugging.
     bool reference_delivery = false;
+    /// Step the protocol through its native SoA batch plane when the
+    /// registry entry provides one (scenario key `batch`, CLI `--batch`).
+    /// `batch=false` forces the per-node adapter — the reference protocol
+    /// stepping the native batches are pinned against. Orthogonal to
+    /// `reference`, which selects the delivery probing path.
+    bool use_batch = true;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// protocol/adversary/input names through the registries (registry.hpp).
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
-    /// phases, kappa, max_rounds, transcript, reference. Unknown keys or
-    /// names throw ContractViolation with the accepted alternatives.
+    /// phases, kappa, max_rounds, transcript, reference, batch. Unknown
+    /// keys or names throw ContractViolation with the accepted alternatives.
     static Scenario parse(const std::string& spec);
 
     /// Canonical spec string; `Scenario::parse(s.describe()) == s`.

@@ -76,7 +76,8 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
     queried_.insert(key);
     const auto it = kv_.find(key);
     if (it == kv_.end()) return fallback;
-    return it->second == "true" || it->second == "1" || it->second == "yes";
+    return it->second == "true" || it->second == "1" || it->second == "yes" ||
+           it->second == "on";
 }
 
 std::vector<std::int64_t> Cli::get_int_list(const std::string& key,

@@ -29,6 +29,8 @@ public:
     std::string get(const std::string& key, const std::string& fallback) const;
     std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
     double get_double(const std::string& key, double fallback) const;
+    /// True for "true"/"1"/"yes"/"on" (so `--batch=on|off` style toggles
+    /// work); any other present value is false.
     bool get_bool(const std::string& key, bool fallback) const;
 
     /// Comma-separated integer list, e.g. `--t=4,8,16`.

@@ -267,7 +267,9 @@ TEST(Engine, RunIsSingleShot) {
 
 TEST(Engine, ConfigValidation) {
     NullAdversary adv;
-    EXPECT_THROW(Engine({0, 0, 1, false}, {}, adv), ContractViolation);
+    EXPECT_THROW(Engine({0, 0, 1, false},
+                        std::vector<std::unique_ptr<HonestNode>>{}, adv),
+                 ContractViolation);
     EXPECT_THROW(Engine({2, 0, 0, false}, make_echo_nodes(2, 1, nullptr), adv),
                  ContractViolation);
     EXPECT_THROW(Engine({3, 0, 1, false}, make_echo_nodes(2, 1, nullptr), adv),

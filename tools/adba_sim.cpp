@@ -14,7 +14,8 @@
 //
 // Flags: --protocol --adversary --inputs --n --t --q --trials --seed
 //        --threads --csv_dir --scenario --alpha --gamma --beta --phases
-//        --kappa --max_rounds --transcript --las_vegas --fallback --list
+//        --kappa --max_rounds --transcript --reference --batch=on|off
+//        --las_vegas --fallback --list
 // Unknown flags fail loudly (Cli strict mode).
 #include <cstdio>
 #include <iostream>
@@ -148,6 +149,10 @@ int run_binary(const Cli& cli) {
         s.max_rounds_override = static_cast<Round>(cli.get_int("max_rounds", 0));
     if (cli.has("transcript"))
         s.record_transcript = cli.get_bool("transcript", false);
+    if (cli.has("reference")) s.reference_delivery = cli.get_bool("reference", false);
+    // --batch=on|off: native SoA batch stepping vs the per-node reference
+    // path (mirrors the scenario key `batch`).
+    if (cli.has("batch")) s.use_batch = cli.get_bool("batch", true);
 
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail CI when the freshly measured engine throughput regresses.
+
+Compares a fresh BENCH_engine.json against the committed baseline and exits
+non-zero when trials_per_sec at any common n drops by more than the
+tolerance (default 30%). The generous tolerance absorbs CI-runner hardware
+variance while still catching the order-of-magnitude regressions a botched
+delivery/batch-plane change produces; improvements never fail.
+
+Usage: check_bench_regression.py BASELINE FRESH [--tolerance=0.30]
+"""
+
+import json
+import sys
+
+
+def entries_by_n(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {e["n"]: e for e in doc.get("entries", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = 0.30
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+
+    baseline = entries_by_n(args[0])
+    fresh = entries_by_n(args[1])
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print("check_bench_regression: no common n entries between "
+              f"{args[0]} and {args[1]}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for n in common:
+        base_tps = baseline[n]["trials_per_sec"]
+        fresh_tps = fresh[n]["trials_per_sec"]
+        floor = base_tps * (1.0 - tolerance)
+        status = "ok" if fresh_tps >= floor else "REGRESSION"
+        print(f"n={n:5d}  baseline {base_tps:10.1f} trials/s  "
+              f"fresh {fresh_tps:10.1f} trials/s  floor {floor:10.1f}  {status}")
+        if fresh_tps < floor:
+            failed = True
+
+    if failed:
+        print(f"\nFAIL: trials_per_sec dropped more than {tolerance:.0%} below "
+              "the committed baseline at one or more sizes.", file=sys.stderr)
+        return 1
+    print(f"\nOK: all sizes within {tolerance:.0%} of the committed baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
