@@ -16,6 +16,7 @@
 #include "bench/common.hpp"
 #include "sim/macro.hpp"
 #include "sim/registry.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
@@ -139,14 +140,16 @@ void experiment(const Cli& cli) {
 
     Table tab("E10: full-fidelity trial cost (worst-case adversary, split inputs)");
     tab.set_header({"n", "t", "mean rounds", "mean msgs/trial"});
-    for (const auto& o : sim::run_sweep(grid, 0xE10, trials)) {
+    const auto outcomes = sim::run_sweep(grid, 0xE10, trials);
+    for (const auto& o : outcomes) {
         tab.add_row({Table::num(std::uint64_t{o.row.scenario.n}),
                      Table::num(std::uint64_t{o.row.scenario.t}),
                      Table::num(o.agg.rounds.mean(), 1),
                      Table::num(o.agg.messages.mean(), 0)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e10_engine_cost");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e10_engine_cost");
 }
 
 void BM_engine_trial(benchmark::State& state) {

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -33,7 +34,8 @@ void experiment(const Cli& cli) {
     Table tab("E12: multi-valued agreement across inputs x adversaries");
     tab.set_header({"inputs", "adversary", "agree %", "validity", "real-value %",
                     "mean rounds"});
-    for (const auto& o : sim::run_mv_sweep(grid, 0xE12, trials)) {
+    const auto outcomes = sim::run_mv_sweep(grid, 0xE12, trials);
+    for (const auto& o : outcomes) {
         const auto& agg = o.agg;
         tab.add_row({sim::to_string(o.row.scenario.inputs),
                      sim::to_string(o.row.scenario.adversary),
@@ -44,7 +46,8 @@ void experiment(const Cli& cli) {
                      Table::num(agg.rounds.mean(), 1)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e12_multivalued");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e12_multivalued");
 
     // Overhead vs the plain binary protocol on the matching instance: a
     // unanimous binary run locks immediately, as does the unanimous

@@ -14,6 +14,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
@@ -63,7 +64,8 @@ void experiment(const Cli& cli) {
                      Table::num(an::rounds_lower_bound(double(n), double(q)), 2)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e13_crash_lower_bound");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e13_crash_lower_bound");
     std::printf(
         "Shape check vs paper: crash faults alone produce rounds growing with q\n"
         "(Theorem 1's message: the adaptive lower bound does not need Byzantine\n"

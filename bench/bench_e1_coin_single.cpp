@@ -12,6 +12,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -47,29 +48,35 @@ void experiment(const Cli& cli) {
         t1.add_row(std::move(row));
     }
     t1.print(std::cout);
-    benchutil::maybe_write_csv(cli, t1, "e1a_p_common");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(t1.title(), outcomes),
+                               "e1a_p_common");
 
     Table t2("E1b: P(value=1 | common) under the FORCE-BIT attack at f = sqrt(n)/2");
     t2.set_header({"n", "no attack", "force 1", "force 0", "Def.2(B) band"});
+    std::vector<std::pair<std::string, sim::CoinAggregate>> b_cells;
     for (NodeId n : ns) {
         const auto f = static_cast<Count>(std::lround(0.5 * std::sqrt(double(n))));
         std::vector<std::string> row{Table::num(std::uint64_t{n})};
         {
             const sim::CoinScenario s{n, n, 0, adv::CoinAttack::Split, 0};
-            row.push_back(
-                Table::num(sim::run_coin_trials(s, 0xE1B + n, trials).p_one_given_common(), 3));
+            const auto agg = sim::run_coin_trials(s, 0xE1B + n, trials);
+            row.push_back(Table::num(agg.p_one_given_common(), 3));
+            b_cells.emplace_back("n=" + std::to_string(n) + " no-attack", agg);
         }
         for (Bit target : {Bit{1}, Bit{0}}) {
             const sim::CoinScenario s{n, n, f, adv::CoinAttack::ForceBit, target};
-            row.push_back(
-                Table::num(sim::run_coin_trials(s, 0xE1C + n + target, trials)
-                               .p_one_given_common(), 3));
+            const auto agg = sim::run_coin_trials(s, 0xE1C + n + target, trials);
+            row.push_back(Table::num(agg.p_one_given_common(), 3));
+            b_cells.emplace_back("n=" + std::to_string(n) + " force-" +
+                                     std::to_string(int(target)),
+                                 agg);
         }
         row.push_back("within (0,1)");
         t2.add_row(std::move(row));
     }
     t2.print(std::cout);
-    benchutil::maybe_write_csv(cli, t2, "e1b_force_bit");
+    benchutil::maybe_write_csv(cli, sim::csv_table(t2.title(), b_cells),
+                               "e1b_force_bit");
     std::printf(
         "Shape check vs paper: P(common) at the theorem budget is a constant\n"
         "(~0.32 = 2*Phi(-1), independent of n; proof floor 1/6) and collapses\n"

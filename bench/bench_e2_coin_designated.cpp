@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -40,7 +41,8 @@ void experiment(const Cli& cli) {
         t.add_row(std::move(row));
     }
     t.print(std::cout);
-    benchutil::maybe_write_csv(cli, t, "e2_designated_coin");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(t.title(), outcomes),
+                               "e2_designated_coin");
     std::printf(
         "Shape check vs paper: every row shows the same profile — constant\n"
         "commonness through f = 0.5*sqrt(k), collapse by f = 2*sqrt(k) — i.e.\n"

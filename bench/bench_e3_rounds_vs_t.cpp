@@ -20,6 +20,7 @@
 #include "analysis/related_work.hpp"
 #include "bench/common.hpp"
 #include "sim/registry.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/math.hpp"
 #include "support/table.hpp"
@@ -56,7 +57,7 @@ void experiment(const Cli& cli) {
     grid.adversary_of = sim::strongest_adversary;
     // Registry resilience metadata drops the cells a protocol cannot run
     // (phase-king at t >= n/4 here) instead of a hand-rolled predicate.
-    grid.filter = sim::compatible;
+    grid.filter = [](const sim::Scenario& s) { return sim::compatible(s); };
     const auto outcomes = sim::run_sweep(grid, 0xE3, trials);
 
     auto cell = [&](Count t, sim::ProtocolKind p) -> const sim::Aggregate* {
@@ -100,7 +101,8 @@ void experiment(const Cli& cli) {
         t1.add_row(std::move(row));
     }
     t1.print(std::cout);
-    benchutil::maybe_write_csv(cli, t1, "e3_rounds_vs_t");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(t1.title(), outcomes),
+                               "e3_rounds_vs_t");
     std::printf("agreement failures across all cells: %u (Theorem 2 expects 0 w.h.p.)\n",
                 failures);
     std::printf(

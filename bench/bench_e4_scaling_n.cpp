@@ -16,21 +16,21 @@
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
 #include "sim/macro.hpp"
+#include "sim/report.hpp"
 #include "support/table.hpp"
 
 namespace {
 
 using namespace adba;
 
-double macro_mean(sim::MacroScheduleKind schedule, std::uint64_t n, std::uint64_t t,
-                  int trials) {
+sim::MacroAggregate macro_cell(sim::MacroScheduleKind schedule, std::uint64_t n,
+                               std::uint64_t t, int trials) {
     sim::MacroScenario m;
     m.n = n;
     m.t = t;
     m.q = t;
     m.schedule = schedule;
-    return sim::run_macro_trials(m, 0xE4 + n, static_cast<Count>(trials))
-        .rounds.mean();
+    return sim::run_macro_trials(m, 0xE4 + n, static_cast<Count>(trials));
 }
 
 template <typename TofN>
@@ -39,13 +39,20 @@ void regime_table(const Cli& cli, const char* title, const char* slug, TofN t_of
     Table t(title);
     t.set_header({"n", "t", "ours (macro)", "cc-rushing (macro)", "ratio",
                   "thy ours", "thy cc", "thy LB"});
+    std::vector<std::pair<std::string, sim::MacroAggregate>> cells;
     for (std::uint64_t lg = 12; lg <= 20; lg += 2) {
         const std::uint64_t n = 1ull << lg;
         auto tt = static_cast<std::uint64_t>(t_of_n(static_cast<double>(n)));
         if (3 * tt >= n) tt = n / 3 - 1;
-        const double ours = macro_mean(sim::MacroScheduleKind::Ours, n, tt, trials);
-        const double cc = macro_mean(sim::MacroScheduleKind::ChorCoanRushing, n, tt,
-                                     trials);
+        const auto ours_agg = macro_cell(sim::MacroScheduleKind::Ours, n, tt, trials);
+        const auto cc_agg =
+            macro_cell(sim::MacroScheduleKind::ChorCoanRushing, n, tt, trials);
+        const double ours = ours_agg.rounds.mean();
+        const double cc = cc_agg.rounds.mean();
+        const std::string base =
+            "n=" + std::to_string(n) + " t=" + std::to_string(tt) + " ";
+        cells.emplace_back(base + "ours(macro)", ours_agg);
+        cells.emplace_back(base + "cc-rushing(macro)", cc_agg);
         t.add_row({Table::num(n), Table::num(tt), Table::num(ours, 1),
                    Table::num(cc, 1), Table::num(ours / cc, 2),
                    Table::num(an::rounds_ours(double(n), double(tt)), 1),
@@ -53,7 +60,7 @@ void regime_table(const Cli& cli, const char* title, const char* slug, TofN t_of
                    Table::num(an::rounds_lower_bound(double(n), double(tt)), 2)});
     }
     t.print(os);
-    benchutil::maybe_write_csv(cli, t, slug);
+    benchutil::maybe_write_csv(cli, sim::csv_table(t.title(), cells), slug);
 }
 
 void experiment(const Cli& cli) {

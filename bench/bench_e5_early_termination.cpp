@@ -10,6 +10,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -36,7 +37,8 @@ void experiment(const Cli& cli) {
     Table tab("E5: rounds vs actual corruptions q (worst-case adversary, split inputs)");
     tab.set_header({"q", "mean rounds", "p90 rounds", "max rounds", "mean corruptions",
                     "thy min(q^2logn/n, q/logn)", "agree %"});
-    for (const auto& o : sim::run_sweep(grid, 0xE5, trials)) {
+    const auto outcomes = sim::run_sweep(grid, 0xE5, trials);
+    for (const auto& o : outcomes) {
         const auto& agg = o.agg;
         const Count q = *o.row.scenario.q;
         tab.add_row({Table::num(std::uint64_t{q}), Table::num(agg.rounds.mean(), 1),
@@ -48,7 +50,8 @@ void experiment(const Cli& cli) {
                                     agg.trials, 1)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e5_early_termination");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e5_early_termination");
     std::printf(
         "Shape check vs paper: rounds grow with q, not with the budget t — at\n"
         "q=0 the very first committee coin ends the run (6 rounds flat); the\n"

@@ -11,6 +11,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -33,7 +34,8 @@ void experiment(const Cli& cli) {
     Table tab("E6: measured messages/bits vs theory");
     tab.set_header({"n", "t", "protocol", "mean rounds", "mean msgs", "mean Mbits",
                     "thy msgs n^2*R", "thy LB n*t"});
-    for (const auto& o : sim::run_sweep(grid, 0xE6, trials)) {
+    const auto outcomes = sim::run_sweep(grid, 0xE6, trials);
+    for (const auto& o : outcomes) {
         const auto& s = o.row.scenario;
         const double r = o.agg.rounds.mean();
         tab.add_row({Table::num(std::uint64_t{s.n}), Table::num(std::uint64_t{s.t}),
@@ -44,7 +46,8 @@ void experiment(const Cli& cli) {
                      Table::num(double(s.n) * s.t, 0)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e6_messages");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e6_messages");
     std::printf(
         "Shape check vs paper: measured messages sit just under n^2 x rounds\n"
         "(halting nodes stop broadcasting), i.e. message complexity is rounds-\n"

@@ -10,6 +10,7 @@
 
 #include "analysis/bounds.hpp"
 #include "bench/common.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -33,7 +34,8 @@ void experiment(const Cli& cli) {
     Table tab("E7: termination-round distribution of the Las Vegas variant");
     tab.set_header({"t", "agree %", "halted %", "mean", "p50", "p90", "p99", "max",
                     "thy E[rounds]"});
-    for (const auto& o : sim::run_sweep(grid, 0xE7, trials)) {
+    const auto outcomes = sim::run_sweep(grid, 0xE7, trials);
+    for (const auto& o : outcomes) {
         const auto& agg = o.agg;
         const Count t = o.row.scenario.t;
         tab.add_row({Table::num(std::uint64_t{t}),
@@ -48,7 +50,8 @@ void experiment(const Cli& cli) {
                      Table::num(an::rounds_ours(double(n), double(t)), 1)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e7_las_vegas");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e7_las_vegas");
     std::printf(
         "Shape check vs paper: 100%% agreement and termination at every t (the\n"
         "Las Vegas guarantee); the distribution is tight around the budget-bound\n"

@@ -9,6 +9,7 @@
 
 #include "bench/common.hpp"
 #include "sim/registry.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -32,7 +33,7 @@ void experiment(const Cli& cli) {
     grid.base.inputs = sim::InputPattern::Split;
     for (const auto* e : sim::AdversaryRegistry::instance().list())
         grid.adversaries.push_back(e->kind);
-    grid.filter = sim::compatible;
+    grid.filter = [](const sim::Scenario& s) { return sim::compatible(s); };
     const auto outcomes = sim::run_sweep(grid, 0xE8, trials);
 
     Table tab("E8a: Algorithm 3 under every adversary class");
@@ -50,7 +51,8 @@ void experiment(const Cli& cli) {
                      Table::num(agg.corruptions.mean(), 1)});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e8a_adversary_ablation");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes),
+                               "e8a_adversary_ablation");
 
     // The comparison family, selected from the registry BY NAME — adding a
     // comparator here is a string, not an enum edit.
@@ -75,7 +77,8 @@ void experiment(const Cli& cli) {
                       Table::num(agg.rounds.mean(), 1), entry.summary});
     }
     tab2.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab2, "e8b_protocol_family");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab2.title(), outcomes2),
+                               "e8b_protocol_family");
     std::printf(
         "Shape check vs paper: agreement holds at 100%% against every class;\n"
         "only the schedule-aware rushing attack stretches the run — static and\n"

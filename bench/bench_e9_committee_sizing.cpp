@@ -11,6 +11,7 @@
 
 #include "bench/common.hpp"
 #include "core/params.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/table.hpp"
 
@@ -40,7 +41,8 @@ void experiment(const Cli& cli) {
     Table tab("E9a: alpha sweep at maximal t (worst-case adversary, split inputs)");
     tab.set_header({"alpha", "phases c", "committee s", "agree %", "mean rounds",
                     "analysis needs"});
-    for (const auto& o : sim::run_sweep(grid_a, 0xE9A, trials)) {
+    const auto outcomes_a = sim::run_sweep(grid_a, 0xE9A, trials);
+    for (const auto& o : outcomes_a) {
         const double alpha = o.row.scenario.tuning.alpha;
         const auto params = core::AgreementParams::compute(n, t, o.row.scenario.tuning);
         const auto& agg = o.agg;
@@ -52,7 +54,8 @@ void experiment(const Cli& cli) {
                      alpha >= 18.0 ? "alpha-4*sqrt(alpha)>=1 holds" : "below paper's constant"});
     }
     tab.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab, "e9a_alpha_sweep");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab.title(), outcomes_a),
+                               "e9a_alpha_sweep");
 
     sim::SweepGrid grid_b;
     grid_b.base.n = n;
@@ -64,7 +67,8 @@ void experiment(const Cli& cli) {
 
     Table tab2("E9b: validity fast path (Lemma 2) — unanimous inputs, any adversary");
     tab2.set_header({"adversary", "agree %", "validity", "mean rounds"});
-    for (const auto& o : sim::run_sweep(grid_b, 0xE9B, trials / 2)) {
+    const auto outcomes_b = sim::run_sweep(grid_b, 0xE9B, trials / 2);
+    for (const auto& o : outcomes_b) {
         const auto& agg = o.agg;
         tab2.add_row({sim::to_string(o.row.scenario.adversary),
                       Table::num(100.0 * (agg.trials - agg.agreement_failures) /
@@ -73,7 +77,8 @@ void experiment(const Cli& cli) {
                       Table::num(agg.rounds.mean(), 1)});
     }
     tab2.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab2, "e9b_validity_fast_path");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab2.title(), outcomes_b),
+                               "e9b_validity_fast_path");
 
     sim::SweepGrid grid_c;
     grid_c.base.n = n;
@@ -89,7 +94,8 @@ void experiment(const Cli& cli) {
 
     Table tab3("E9c: gamma phase-floor at tiny t (floor = ceil(gamma*log2 n) phases)");
     tab3.set_header({"gamma", "phases at t=1", "agree %", "mean rounds"});
-    for (const auto& o : sim::run_sweep(grid_c, 0xE9C, trials / 2)) {
+    const auto outcomes_c = sim::run_sweep(grid_c, 0xE9C, trials / 2);
+    for (const auto& o : outcomes_c) {
         const auto params = core::AgreementParams::compute(n, 1, o.row.scenario.tuning);
         const auto& agg = o.agg;
         tab3.add_row({Table::num(o.row.scenario.tuning.gamma, 1),
@@ -99,7 +105,8 @@ void experiment(const Cli& cli) {
                       Table::num(agg.rounds.mean(), 1)});
     }
     tab3.print(std::cout);
-    benchutil::maybe_write_csv(cli, tab3, "e9c_gamma_floor");
+    benchutil::maybe_write_csv(cli, sim::sweep_csv_table(tab3.title(), outcomes_c),
+                               "e9c_gamma_floor");
     std::printf(
         "Shape check: E9a shows the measured w.h.p. boundary — small alpha gives\n"
         "the adversary enough budget-per-phase to ruin everything at this scale;\n"

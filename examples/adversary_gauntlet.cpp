@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     grid.base.inputs = sim::InputPattern::Split;
     for (const auto* e : sim::AdversaryRegistry::instance().list())
         grid.adversaries.push_back(e->kind);
-    grid.filter = sim::compatible;  // drops protocol-specific attackers
+    grid.filter = [](const sim::Scenario& s) { return sim::compatible(s); };  // drops protocol-specific attackers
 
     Table table("Adversary gauntlet (ours, split inputs)");
     table.set_header({"adversary", "agree %", "validity", "mean rounds", "p90 rounds",

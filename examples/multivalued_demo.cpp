@@ -42,12 +42,14 @@ int main(int argc, char** argv) {
 
     Table tab("Multi-valued agreement scenarios");
     tab.set_header({"scenario", "agree %", "validity", "real-value %", "mean rounds"});
+    std::string last_spec;
     for (const auto& c : cases) {
         sim::MvScenario s;
         s.n = n;
         s.t = t;
         s.inputs = c.inputs;
         s.adversary = c.adversary;
+        last_spec = s.describe();  // round-trips: MvScenario::parse(last_spec) == s
         const auto agg = sim::run_mv_trials(s, 0x3D, trials);
         tab.add_row({c.story,
                      Table::num(100.0 * (agg.trials - agg.agreement_failures) /
@@ -57,7 +59,10 @@ int main(int argc, char** argv) {
                      Table::num(agg.rounds.mean(), 1)});
     }
     tab.print(std::cout);
-    std::printf("See bench_e12_multivalued for the full sweep and the\n"
-                "quorum-boundary attack analysis.\n");
+    std::printf("Every row is a plain scenario spec, e.g.\n"
+                "  adba_sim --workload=mv --scenario=\"%s\"\n"
+                "See bench_e12_multivalued for the full sweep and the\n"
+                "quorum-boundary attack analysis.\n",
+                last_spec.c_str());
     return 0;
 }

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     grid.base.inputs = sim::InputPattern::Split;
     for (const auto* e : entries) grid.protocols.push_back(e->kind);
     grid.adversary_of = sim::strongest_adversary;
-    grid.filter = sim::compatible;  // registry resilience + pairing rules
+    grid.filter = [](const sim::Scenario& s) { return sim::compatible(s); };  // registry resilience + pairing rules
     const auto outcomes = sim::run_sweep(grid, 0xACE, trials);
 
     std::printf("n=%u, t=%u, split inputs, %u trials per protocol, %u threads.\n", n, t,

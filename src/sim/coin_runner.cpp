@@ -7,16 +7,15 @@
 #include "net/engine.hpp"
 #include "rand/seed_tree.hpp"
 #include "support/contracts.hpp"
+#include "support/table.hpp"
 
 namespace adba::sim {
 
-namespace {
-
 /// Per-chunk reusable coin-trial state (pooled nodes + engine); run() is
 /// bit-identical to the one-shot run_coin_trial path.
-class CoinArena {
+class CoinWorkload::Arena {
 public:
-    explicit CoinArena(const CoinScenario& s) : s_(s) {
+    explicit Arena(const CoinScenario& s) : s_(s) {
         ADBA_EXPECTS(s.designated >= 1 && s.designated <= s.n);
     }
 
@@ -59,11 +58,42 @@ private:
     std::optional<net::Engine> engine_;
 };
 
-}  // namespace
+void CoinWorkload::accumulate(CoinAggregate& agg, const CoinTrial& r) {
+    if (r.common) {
+        ++agg.common;
+        if (r.value == 1) ++agg.common_ones;
+    }
+    if (r.attack_feasible) ++agg.attack_feasible;
+}
+
+std::vector<std::string> CoinWorkload::csv_header() {
+    return {"trials", "p_common", "p_one_given_common", "attack_feasible_pct"};
+}
+
+std::vector<std::string> CoinWorkload::csv_row(const CoinAggregate& agg) {
+    const double feasible =
+        agg.trials == 0 ? 0.0
+                        : 100.0 * static_cast<double>(agg.attack_feasible) /
+                              static_cast<double>(agg.trials);
+    return {Table::num(static_cast<std::uint64_t>(agg.trials)),
+            Table::num(agg.p_common(), 4), Table::num(agg.p_one_given_common(), 4),
+            Table::num(feasible, 2)};
+}
+
+std::optional<std::string> why_incompatible(const CoinScenario& s) {
+    if (s.n == 0) return std::string("coin scenario needs n > 0");
+    if (s.designated < 1 || s.designated > s.n)
+        return "coin scenario needs 1 <= k <= n designated flippers (got k=" +
+               std::to_string(s.designated) + ", n=" + std::to_string(s.n) +
+               "); drop k to default to n (Algorithm 1)";
+    return std::nullopt;
+}
+
+bool compatible(const CoinScenario& s) { return !why_incompatible(s).has_value(); }
 
 CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed) {
-    CoinArena arena(s);
-    return arena.run(seed);
+    if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
+    return run_one_trial<CoinWorkload>(s, seed);
 }
 
 void CoinAggregate::merge(const CoinAggregate& other) {
@@ -75,20 +105,8 @@ void CoinAggregate::merge(const CoinAggregate& other) {
 
 CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
                               Count trials, const ExecutorConfig& exec) {
-    return parallel_reduce<CoinAggregate>(trials, exec, [&](Count begin, Count end) {
-        CoinAggregate part;
-        part.trials = end - begin;
-        CoinArena arena(s);
-        for (Count i = begin; i < end; ++i) {
-            const CoinTrial t = arena.run(mix64(base_seed + 0x9e3779b1ULL * i));
-            if (t.common) {
-                ++part.common;
-                if (t.value == 1) ++part.common_ones;
-            }
-            if (t.attack_feasible) ++part.attack_feasible;
-        }
-        return part;
-    });
+    if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
+    return run_trials<CoinWorkload>(s, base_seed, trials, exec);
 }
 
 double CoinAggregate::p_common() const {
@@ -97,6 +115,22 @@ double CoinAggregate::p_common() const {
 
 double CoinAggregate::p_one_given_common() const {
     return common == 0 ? 0.0 : static_cast<double>(common_ones) / common;
+}
+
+adv::CoinAttack parse_coin_attack(const std::string& name) {
+    if (name == "split") return adv::CoinAttack::Split;
+    if (name == "force-bit" || name == "forcebit" || name == "force")
+        return adv::CoinAttack::ForceBit;
+    throw ContractViolation("unknown coin attack '" + name +
+                            "'; known: split, force-bit");
+}
+
+std::string to_string(adv::CoinAttack attack) {
+    switch (attack) {
+        case adv::CoinAttack::Split: return "split";
+        case adv::CoinAttack::ForceBit: return "force-bit";
+    }
+    return "?";
 }
 
 }  // namespace adba::sim

@@ -4,9 +4,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "adversary/coin_ruin.hpp"
 #include "sim/executor.hpp"
+#include "sim/workload.hpp"
 #include "support/types.hpp"
 
 namespace adba::sim {
@@ -17,6 +20,8 @@ struct CoinScenario {
     Count f = 0;            ///< adaptive corruption budget
     adv::CoinAttack attack = adv::CoinAttack::Split;
     Bit forced_bit = 0;
+
+    friend bool operator==(const CoinScenario&, const CoinScenario&) = default;
 };
 
 struct CoinTrial {
@@ -41,9 +46,40 @@ struct CoinAggregate {
     void merge(const CoinAggregate& other);
 };
 
-/// Parallel over the executor; bit-identical at any thread count (per-trial
-/// seeds are an index-only function of base_seed).
+/// Common-coin workload: the standalone Algorithm 1/2 trial stack as a
+/// workload.hpp trait. The scenario doubles as the plan — there is nothing
+/// to hoist beyond the value itself.
+struct CoinWorkload {
+    using Scenario = CoinScenario;
+    using Result = CoinTrial;
+    using Aggregate = CoinAggregate;
+    using Plan = CoinScenario;
+    class Arena;  ///< pooled coin nodes + engine (coin_runner.cpp)
+    static constexpr std::uint64_t kSeedStride = 0x9e3779b1ULL;
+    static constexpr const char* kName = "coin";
+
+    static Plan make_plan(const Scenario& s) { return s; }
+    static void accumulate(Aggregate& agg, const Result& r);
+
+    static std::vector<std::string> csv_header();
+    static std::vector<std::string> csv_row(const Aggregate& agg);
+};
+
+/// Runs on the workload-generic kernel (sim/workload.hpp); bit-identical at
+/// any thread count (per-trial seeds are an index-only function of
+/// base_seed). Throws ContractViolation with the why_incompatible message
+/// on an infeasible scenario.
 CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
                               Count trials, const ExecutorConfig& exec = {});
+
+/// Coin feasibility: needs n > 0 and 1 <= k <= n flippers. Returns an
+/// actionable message (the adba_sim/driver-facing counterpart of the
+/// arena's precondition asserts), nullopt when the scenario can run.
+std::optional<std::string> why_incompatible(const CoinScenario& s);
+bool compatible(const CoinScenario& s);
+
+/// Name <-> enum helpers for the coin-attack axis (adba_sim --workload=coin).
+adv::CoinAttack parse_coin_attack(const std::string& name);
+std::string to_string(adv::CoinAttack attack);
 
 }  // namespace adba::sim

@@ -5,6 +5,7 @@
 #include "baselines/chor_coan.hpp"
 #include "rand/rng.hpp"
 #include "support/contracts.hpp"
+#include "support/table.hpp"
 
 namespace adba::sim {
 
@@ -34,98 +35,139 @@ core::BlockSchedule schedule_for(const MacroScenario& s, Count& phases_out) {
     return {};
 }
 
+}  // namespace
+
 /// Once-per-sweep product of a MacroScenario: the committee schedule and
 /// phase budget are seed-independent, so trial loops compute them once.
-struct MacroPlan {
+struct MacroWorkload::Plan {
+    MacroScenario scenario;
     core::BlockSchedule sched;
     Count phases = 0;
 
-    explicit MacroPlan(const MacroScenario& s) {
-        ADBA_EXPECTS(s.n >= 4 && s.n <= 0xFFFFFFFFULL);
-        ADBA_EXPECTS_MSG(3 * s.t < s.n, "requires t < n/3");
-        ADBA_EXPECTS(s.q <= s.t);
+    explicit Plan(const MacroScenario& s) : scenario(s) {
+        if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
         sched = schedule_for(s, phases);
     }
 };
 
-MacroResult run_macro_trial(const MacroScenario& s, const MacroPlan& plan,
-                            std::uint64_t seed) {
-    const Count phases = plan.phases;
-    const core::BlockSchedule& sched = plan.sched;
+/// Macro trials need no pooled engine state; the arena exists to satisfy
+/// the kernel contract and to pin the plan reference.
+class MacroWorkload::Arena {
+public:
+    explicit Arena(const Plan& plan) : plan_(plan) {}
 
-    Xoshiro256 rng(mix64(seed ^ 0x6d6163726f2d3031ULL));
-    std::vector<std::uint32_t> byz_in(sched.num_blocks, 0);  // corrupted per committee
-    std::uint64_t used = 0;
+    MacroResult run(std::uint64_t seed) const {
+        const MacroScenario& s = plan_.scenario;
+        const Count phases = plan_.phases;
+        const core::BlockSchedule& sched = plan_.sched;
 
-    MacroResult out;
-    out.phase_budget = phases;
-    out.committee_size = sched.block;
+        Xoshiro256 rng(mix64(seed ^ 0x6d6163726f2d3031ULL));
+        std::vector<std::uint32_t> byz_in(sched.num_blocks, 0);  // corrupted per committee
+        std::uint64_t used = 0;
 
-    for (Phase p = 0; p < phases; ++p) {
-        const Count k = sched.committee_of_phase(p);
-        const NodeId csize = sched.size(k);
-        ADBA_ENSURES(byz_in[k] <= csize);
-        const std::uint32_t honest_members = csize - byz_in[k];
+        MacroResult out;
+        out.phase_budget = phases;
+        out.committee_size = sched.block;
 
-        // Round 2's committee flips (split inputs keep round 1 quorum-free;
-        // see header).
-        std::int64_t sum = 0;
-        for (std::uint32_t i = 0; i < honest_members; ++i) sum += rng.sign();
-        std::uint64_t pos = (static_cast<std::uint64_t>(honest_members) +
-                             static_cast<std::uint64_t>(sum)) / 2;
-        std::uint64_t neg = honest_members - pos;
+        for (Phase p = 0; p < phases; ++p) {
+            const Count k = sched.committee_of_phase(p);
+            const NodeId csize = sched.size(k);
+            ADBA_ENSURES(byz_in[k] <= csize);
+            const std::uint32_t honest_members = csize - byz_in[k];
 
-        // Adversary's greedy SPLIT ruin: corrupt majority-sign flippers
-        // until the equivocation margin covers the surviving sum.
-        std::int64_t m = byz_in[k];
-        std::uint64_t cost = 0;
-        bool feasible = true;
-        while (!(sum >= -m && sum <= m - 1)) {
-            if (sum >= 0 && pos > 0) {
-                --pos;
-                --sum;
-            } else if (sum < 0 && neg > 0) {
-                --neg;
-                ++sum;
-            } else {
-                feasible = false;
-                break;
+            // Round 2's committee flips (split inputs keep round 1
+            // quorum-free; see header).
+            std::int64_t sum = 0;
+            for (std::uint32_t i = 0; i < honest_members; ++i) sum += rng.sign();
+            std::uint64_t pos = (static_cast<std::uint64_t>(honest_members) +
+                                 static_cast<std::uint64_t>(sum)) / 2;
+            std::uint64_t neg = honest_members - pos;
+
+            // Adversary's greedy SPLIT ruin: corrupt majority-sign flippers
+            // until the equivocation margin covers the surviving sum.
+            std::int64_t m = byz_in[k];
+            std::uint64_t cost = 0;
+            bool feasible = true;
+            while (!(sum >= -m && sum <= m - 1)) {
+                if (sum >= 0 && pos > 0) {
+                    --pos;
+                    --sum;
+                } else if (sum < 0 && neg > 0) {
+                    --neg;
+                    ++sum;
+                } else {
+                    feasible = false;
+                    break;
+                }
+                ++m;
+                ++cost;
             }
-            ++m;
-            ++cost;
-        }
 
-        if (feasible && used + cost <= s.q) {
-            used += cost;
-            byz_in[k] += static_cast<std::uint32_t>(cost);
+            if (feasible && used + cost <= s.q) {
+                used += cost;
+                byz_in[k] += static_cast<std::uint32_t>(cost);
+                out.phases_run = p + 1;
+                continue;  // phase ruined; honest values re-split balanced
+            }
+
+            // Good phase p: the common coin unifies every honest value.
+            // Phase p+1 decides and finishes (quorum blocking costs
+            // t-used+1 > q-used, never affordable); the flush phase p+2
+            // completes termination. The micro engine counts 2(p+3) rounds
+            // for this ending.
             out.phases_run = p + 1;
-            continue;  // phase ruined; honest values re-split balanced
+            out.rounds = 2 * (static_cast<std::uint64_t>(p) + 3);
+            out.agreement = true;
+            out.corruptions = used;
+            return out;
         }
 
-        // Good phase p: the common coin unifies every honest value. Phase
-        // p+1 decides and finishes (quorum blocking costs t-used+1 > q-used,
-        // never affordable); the flush phase p+2 completes termination. The
-        // micro engine counts 2(p+3) rounds for this ending.
-        out.phases_run = p + 1;
-        out.rounds = 2 * (static_cast<std::uint64_t>(p) + 3);
-        out.agreement = true;
+        // Phase budget exhausted with every phase ruined: the honest values
+        // are still split — the w.h.p. failure event.
+        out.phases_run = phases;
+        out.rounds = 2 * static_cast<std::uint64_t>(phases);
+        out.agreement = false;
         out.corruptions = used;
         return out;
     }
 
-    // Phase budget exhausted with every phase ruined: the honest values are
-    // still split — the w.h.p. failure event.
-    out.phases_run = phases;
-    out.rounds = 2 * static_cast<std::uint64_t>(phases);
-    out.agreement = false;
-    out.corruptions = used;
-    return out;
+private:
+    const Plan& plan_;
+};
+
+MacroWorkload::Plan MacroWorkload::make_plan(const MacroScenario& s) {
+    return Plan(s);
 }
 
-}  // namespace
+void MacroWorkload::accumulate(MacroAggregate& agg, const MacroResult& r) {
+    agg.rounds.add(static_cast<double>(r.rounds));
+    agg.phases.add(static_cast<double>(r.phases_run));
+    agg.corruptions.add(static_cast<double>(r.corruptions));
+    if (!r.agreement) ++agg.agreement_failures;
+}
+
+std::vector<std::string> MacroWorkload::csv_header() {
+    return {"trials",     "agree_pct",  "rounds_mean",      "rounds_p90",
+            "rounds_max", "phases_mean", "corruptions_mean"};
+}
+
+std::vector<std::string> MacroWorkload::csv_row(const MacroAggregate& agg) {
+    const double ok = agg.trials == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(agg.trials -
+                                                        agg.agreement_failures) /
+                                static_cast<double>(agg.trials);
+    return {Table::num(static_cast<std::uint64_t>(agg.trials)),
+            Table::num(ok, 2),
+            Table::num(agg.rounds.mean(), 3),
+            Table::num(agg.rounds.quantile(0.9), 3),
+            Table::num(agg.rounds.max(), 0),
+            Table::num(agg.phases.mean(), 3),
+            Table::num(agg.corruptions.mean(), 3)};
+}
 
 MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
-    return run_macro_trial(s, MacroPlan(s), seed);
+    return run_one_trial<MacroWorkload>(MacroWorkload::make_plan(s), seed);
 }
 
 void MacroAggregate::merge(const MacroAggregate& other) {
@@ -138,21 +180,7 @@ void MacroAggregate::merge(const MacroAggregate& other) {
 
 MacroAggregate run_macro_trials(const MacroScenario& s, std::uint64_t base_seed,
                                 Count trials, const ExecutorConfig& exec) {
-    const MacroPlan plan(s);  // schedule + phase budget once per sweep
-    return parallel_reduce<MacroAggregate>(trials, exec, [&](Count begin, Count end) {
-        MacroAggregate part;
-        part.trials = end - begin;
-        part.rounds.reserve(end - begin);
-        for (Count i = begin; i < end; ++i) {
-            const MacroResult r =
-                run_macro_trial(s, plan, mix64(base_seed + 0x9e3779b97f4a7c15ULL * i));
-            part.rounds.add(static_cast<double>(r.rounds));
-            part.phases.add(static_cast<double>(r.phases_run));
-            part.corruptions.add(static_cast<double>(r.corruptions));
-            if (!r.agreement) ++part.agreement_failures;
-        }
-        return part;
-    });
+    return run_trials<MacroWorkload>(s, base_seed, trials, exec);
 }
 
 std::string to_string(MacroScheduleKind k) {
@@ -162,6 +190,34 @@ std::string to_string(MacroScheduleKind k) {
         case MacroScheduleKind::ChorCoanClassic: return "cc-classic(macro)";
     }
     return "?";
+}
+
+std::optional<std::string> why_incompatible(const MacroScenario& s) {
+    if (s.n < 4 || s.n > 0xFFFFFFFFULL)
+        return "macro scenario needs 4 <= n <= 4294967295 (2^32 - 1) (got n=" +
+               std::to_string(s.n) + ")";
+    if (3 * s.t >= s.n)
+        return "macro schedules require t < n/3 (got n=" + std::to_string(s.n) +
+               ", t=" + std::to_string(s.t) + ")";
+    if (s.q > s.t)
+        return "actual corruptions q must not exceed the budget t (q=" +
+               std::to_string(s.q) + ", t=" + std::to_string(s.t) + ")";
+    return std::nullopt;
+}
+
+bool compatible(const MacroScenario& s) { return !why_incompatible(s).has_value(); }
+
+MacroScheduleKind parse_macro_schedule(const std::string& name) {
+    if (name == "ours" || name == "ours(macro)" || name == "alg3")
+        return MacroScheduleKind::Ours;
+    if (name == "cc-rushing" || name == "cc-rushing(macro)" ||
+        name == "chor-coan-rushing")
+        return MacroScheduleKind::ChorCoanRushing;
+    if (name == "cc-classic" || name == "cc-classic(macro)" ||
+        name == "chor-coan-classic")
+        return MacroScheduleKind::ChorCoanClassic;
+    throw ContractViolation("unknown macro schedule '" + name +
+                            "'; known: ours, cc-rushing, cc-classic");
 }
 
 }  // namespace adba::sim

@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/params.hpp"
 #include "sim/executor.hpp"
+#include "sim/workload.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
 
@@ -65,11 +67,39 @@ struct MacroAggregate {
     void merge(const MacroAggregate& other);
 };
 
-/// Parallel over the executor; per-trial seeds depend only on
+/// Macro workload: the asymptotic simulator as a workload.hpp trait. The
+/// plan hoists the (seed-independent) committee schedule and phase budget.
+struct MacroWorkload {
+    using Scenario = MacroScenario;
+    using Result = MacroResult;
+    using Aggregate = MacroAggregate;
+    struct Plan;   ///< schedule + phase budget, hoisted once (macro.cpp)
+    class Arena;   ///< stateless beyond the plan reference (macro.cpp)
+    static constexpr std::uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+    static constexpr const char* kName = "macro";
+
+    static Plan make_plan(const Scenario& s);
+    static void accumulate(Aggregate& agg, const Result& r);
+    static void reserve(Aggregate& agg, Count trials) { agg.rounds.reserve(trials); }
+
+    static std::vector<std::string> csv_header();
+    static std::vector<std::string> csv_row(const Aggregate& agg);
+};
+
+/// Runs on the workload-generic kernel; per-trial seeds depend only on
 /// (base_seed, index), so results are bit-identical at any thread count.
 MacroAggregate run_macro_trials(const MacroScenario& s, std::uint64_t base_seed,
                                 Count trials, const ExecutorConfig& exec = {});
 
 std::string to_string(MacroScheduleKind k);
+
+/// Name -> enum for the macro schedule axis (adba_sim --workload=macro);
+/// accepts the to_string forms and bare ours / cc-rushing / cc-classic.
+MacroScheduleKind parse_macro_schedule(const std::string& name);
+
+/// Macro feasibility: 4 <= n <= 2^32 - 1, t < n/3, q <= t. Returns an
+/// actionable message; make_plan throws it as a ContractViolation.
+std::optional<std::string> why_incompatible(const MacroScenario& s);
+bool compatible(const MacroScenario& s);
 
 }  // namespace adba::sim

@@ -7,6 +7,7 @@
 #include "rand/seed_tree.hpp"
 #include "sim/registry.hpp"
 #include "support/contracts.hpp"
+#include "support/table.hpp"
 
 namespace adba::sim {
 
@@ -40,30 +41,13 @@ void make_mv_inputs(MvInputPattern pattern, NodeId n, const SeedTree& seeds,
     }
 }
 
-/// Once-per-sweep product of an MvScenario: resolved adversary entry plus
-/// the (seed-independent) multi-valued parameters and round cap.
-struct MvPlan {
-    MvScenario scenario;
-    core::MultiValuedParams params;
-    Round cap = 0;
-    const MvAdversaryEntry* adversary = nullptr;
-
-    explicit MvPlan(const MvScenario& s) : scenario(s) {
-        ADBA_EXPECTS(s.n > 0);
-        const auto mode = s.las_vegas ? core::AgreementMode::LasVegas
-                                      : core::AgreementMode::WhpFixedPhases;
-        params = core::MultiValuedParams::compute(s.n, s.t, s.tuning, s.fallback, mode);
-        cap = s.las_vegas ? 32 * core::max_rounds_whp(params) + 256
-                          : core::max_rounds_whp(params);
-        adversary = &MvAdversaryRegistry::instance().at(s.adversary);
-    }
-};
+}  // namespace
 
 /// Per-chunk reusable mv-trial state (pooled Turpin-Coan nodes + engine);
 /// run() is bit-identical to the one-shot run_mv_trial path.
-class MvArena {
+class MvWorkload::Arena {
 public:
-    explicit MvArena(const MvPlan& plan) : plan_(plan) {}
+    explicit Arena(const MvScenarioPlan& plan) : plan_(plan) {}
 
     MvTrialResult run(std::uint64_t seed) {
         const MvScenario& s = plan_.scenario;
@@ -83,11 +67,15 @@ public:
         const auto& raw = raw_;
 
         auto adversary = plan_.adversary->make_adversary(s, plan_.params, seeds);
+        net::EngineConfig cfg;
+        cfg.n = s.n;
+        cfg.budget = s.t;
+        cfg.max_rounds = plan_.cap;
+        cfg.reference_delivery = s.reference_delivery;
         if (engine_) {
-            engine_->reset({s.n, s.t, plan_.cap, false}, std::move(nodes_), *adversary);
+            engine_->reset(cfg, std::move(nodes_), *adversary);
         } else {
-            engine_.emplace(net::EngineConfig{s.n, s.t, plan_.cap, false},
-                            std::move(nodes_), *adversary);
+            engine_.emplace(cfg, std::move(nodes_), *adversary);
         }
         const net::RunResult run = engine_->run();
         nodes_ = engine_->take_nodes();
@@ -120,19 +108,50 @@ public:
     }
 
 private:
-    const MvPlan& plan_;
+    const MvScenarioPlan& plan_;
     std::vector<net::Word> inputs_;
     std::vector<const core::TurpinCoanNode*> raw_;
     std::vector<std::unique_ptr<net::HonestNode>> nodes_;
     std::optional<net::Engine> engine_;
 };
 
-}  // namespace
+MvScenarioPlan MvWorkload::make_plan(const MvScenario& s) { return validate(s); }
+
+void MvWorkload::accumulate(MvAggregate& agg, const MvTrialResult& r) {
+    if (!r.agreement) ++agg.agreement_failures;
+    if (!r.validity_ok) ++agg.validity_failures;
+    if (!r.all_halted) ++agg.not_halted;
+    if (r.decided_real) ++agg.decided_real;
+    agg.rounds.add(static_cast<double>(r.rounds));
+}
+
+std::vector<std::string> MvWorkload::csv_header() {
+    return {"trials",      "agree_pct",      "validity_failures", "not_halted",
+            "real_value_pct", "rounds_mean", "rounds_p90",        "rounds_max"};
+}
+
+std::vector<std::string> MvWorkload::csv_row(const MvAggregate& agg) {
+    const auto pct = [&](Count c) {
+        return agg.trials == 0 ? 0.0
+                               : 100.0 * static_cast<double>(c) /
+                                     static_cast<double>(agg.trials);
+    };
+    return {Table::num(static_cast<std::uint64_t>(agg.trials)),
+            Table::num(pct(agg.trials - agg.agreement_failures), 2),
+            Table::num(static_cast<std::uint64_t>(agg.validity_failures)),
+            Table::num(static_cast<std::uint64_t>(agg.not_halted)),
+            Table::num(pct(agg.decided_real), 2),
+            Table::num(agg.rounds.mean(), 3),
+            Table::num(agg.rounds.quantile(0.9), 3),
+            Table::num(agg.rounds.max(), 0)};
+}
+
+MvTrialResult run_mv_trial(const MvScenarioPlan& plan, std::uint64_t seed) {
+    return run_one_trial<MvWorkload>(plan, seed);
+}
 
 MvTrialResult run_mv_trial(const MvScenario& s, std::uint64_t seed) {
-    const MvPlan plan(s);
-    MvArena arena(plan);
-    return arena.run(seed);
+    return run_one_trial<MvWorkload>(MvWorkload::make_plan(s), seed);
 }
 
 void MvAggregate::merge(const MvAggregate& other) {
@@ -146,22 +165,7 @@ void MvAggregate::merge(const MvAggregate& other) {
 
 MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials,
                           const ExecutorConfig& exec) {
-    const MvPlan plan(s);  // params + registry lookup once per sweep
-    return parallel_reduce<MvAggregate>(trials, exec, [&](Count begin, Count end) {
-        MvAggregate part;
-        part.trials = end - begin;
-        part.rounds.reserve(end - begin);
-        MvArena arena(plan);
-        for (Count i = begin; i < end; ++i) {
-            const auto r = arena.run(mix64(base_seed + 0x9e37ULL * i));
-            if (!r.agreement) ++part.agreement_failures;
-            if (!r.validity_ok) ++part.validity_failures;
-            if (!r.all_halted) ++part.not_halted;
-            if (r.decided_real) ++part.decided_real;
-            part.rounds.add(static_cast<double>(r.rounds));
-        }
-        return part;
-    });
+    return run_trials<MvWorkload>(s, base_seed, trials, exec);
 }
 
 std::string to_string(MvInputPattern p) {

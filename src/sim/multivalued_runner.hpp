@@ -1,6 +1,10 @@
 // Trial runner for the multi-valued (Turpin-Coan over Algorithm 3) stack.
 // Separate from the binary runner because inputs, outputs, and agreement
-// evaluation are over words, not bits.
+// evaluation are over words, not bits — but it is the same Monte-Carlo
+// machine, so it rides the workload-generic kernel (sim/workload.hpp) and
+// has full scenario parity with the binary stack: parse/describe
+// round-tripping, a hoisted plan, the `q` corruption cap, and the
+// `reference`/`batch` engine toggles.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +13,7 @@
 
 #include "core/multivalued.hpp"
 #include "sim/executor.hpp"
+#include "sim/workload.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
 
@@ -33,12 +38,35 @@ enum class MvAdversaryKind : std::uint8_t {
 
 struct MvScenario {
     NodeId n = 0;
-    Count t = 0;
+    Count t = 0;            ///< protocol fault tolerance / engine budget
+    std::optional<Count> q; ///< actual corruptions cap (default: t)
     MvInputPattern inputs = MvInputPattern::TwoBlocks;
     MvAdversaryKind adversary = MvAdversaryKind::WorstCaseInner;
     core::Tuning tuning;
     net::Word fallback = 0;
     bool las_vegas = false;  ///< inner protocol in Las Vegas mode
+    /// Drive the engine's reference delivery path (virtual per-sender
+    /// probing) instead of the flat plane — the same oracle toggle the
+    /// binary scenario carries (`reference=true`).
+    bool reference_delivery = false;
+    /// Scenario key `batch`. The Turpin-Coan node set ships no native SoA
+    /// batch yet, so both settings step through the pooled PerNodeBatch
+    /// adapter today; the key is carried (and round-tripped) so specs stay
+    /// portable with the binary stack and forward-compatible with a native
+    /// mv batch.
+    bool use_batch = true;
+
+    /// Builds a scenario from a `key=value ...` spec string, resolving
+    /// adversary/input names through MvAdversaryRegistry. Keys: adversary,
+    /// inputs, n, t, q, alpha, gamma, beta, fallback, las_vegas, reference,
+    /// batch. Unknown keys or names throw ContractViolation with the
+    /// accepted alternatives.
+    static MvScenario parse(const std::string& spec);
+
+    /// Canonical spec string; `MvScenario::parse(s.describe()) == s`.
+    std::string describe() const;
+
+    friend bool operator==(const MvScenario&, const MvScenario&) = default;
 };
 
 struct MvTrialResult {
@@ -51,7 +79,15 @@ struct MvTrialResult {
     Round rounds = 0;
 };
 
+struct MvScenarioPlan;  // resolved mv registry entry + hoisted parameters
+                        // (sim/registry.hpp); product of validate(MvScenario)
+
 MvTrialResult run_mv_trial(const MvScenario& s, std::uint64_t seed);
+
+/// Runs one trial against a pre-validated plan — no registry lookups or
+/// parameter recomputation on the hot path. Bit-identical to
+/// run_mv_trial(s, seed).
+MvTrialResult run_mv_trial(const MvScenarioPlan& plan, std::uint64_t seed);
 
 struct MvAggregate {
     Count trials = 0;
@@ -65,7 +101,26 @@ struct MvAggregate {
     void merge(const MvAggregate& other);
 };
 
-/// Parallel over the executor; bit-identical at any thread count.
+/// Multi-valued workload: the Turpin-Coan trial stack as a workload.hpp
+/// trait.
+struct MvWorkload {
+    using Scenario = MvScenario;
+    using Result = MvTrialResult;
+    using Aggregate = MvAggregate;
+    using Plan = MvScenarioPlan;
+    class Arena;  ///< pooled Turpin-Coan nodes + engine (multivalued_runner.cpp)
+    static constexpr std::uint64_t kSeedStride = 0x9e37ULL;
+    static constexpr const char* kName = "mv";
+
+    static Plan make_plan(const Scenario& s);  ///< validate(s), once per sweep
+    static void accumulate(Aggregate& agg, const Result& r);
+    static void reserve(Aggregate& agg, Count trials) { agg.rounds.reserve(trials); }
+
+    static std::vector<std::string> csv_header();
+    static std::vector<std::string> csv_row(const Aggregate& agg);
+};
+
+/// Runs on the workload-generic kernel; bit-identical at any thread count.
 MvAggregate run_mv_trials(const MvScenario& s, std::uint64_t base_seed, Count trials,
                           const ExecutorConfig& exec = {});
 

@@ -688,6 +688,10 @@ MvAdversaryRegistry& MvAdversaryRegistry::instance() {
 }
 
 MvAdversaryRegistry::MvAdversaryRegistry() : RegistryBase("mv-adversary") {
+    // Actual corruption cap: like the binary stack, `q` (default t) bounds
+    // what the adversary spends while the engine budget stays t.
+    const auto q_of = [](const MvScenario& s) { return s.q.value_or(s.t); };
+
     add({MvAdversaryKind::None,
          "none",
          "none",
@@ -702,10 +706,11 @@ MvAdversaryRegistry::MvAdversaryRegistry() : RegistryBase("mv-adversary") {
          "chaos",
          {},
          "fuzzed garbage incl. Turpin-Coan message kinds",
-         [](const MvScenario& s, const core::MultiValuedParams&, const SeedTree& seeds)
-             -> std::unique_ptr<net::Adversary> {
+         [q_of](const MvScenario& s, const core::MultiValuedParams&,
+                const SeedTree& seeds) -> std::unique_ptr<net::Adversary> {
              return std::make_unique<adv::ChaosAdversary>(
-                 adv::ChaosConfig{s.t, 0.3, 0.7}, seeds.stream(StreamPurpose::Adversary));
+                 adv::ChaosConfig{q_of(s), 0.3, 0.7},
+                 seeds.stream(StreamPurpose::Adversary));
          }});
 
     add({MvAdversaryKind::WorstCaseInner,
@@ -713,10 +718,10 @@ MvAdversaryRegistry::MvAdversaryRegistry() : RegistryBase("mv-adversary") {
          "worst-case(inner)",
          {"worst-case(inner)", "inner"},
          "full budget on the embedded Algorithm 3",
-         [](const MvScenario& s, const core::MultiValuedParams& params, const SeedTree&)
-             -> std::unique_ptr<net::Adversary> {
+         [q_of](const MvScenario& s, const core::MultiValuedParams& params,
+                const SeedTree&) -> std::unique_ptr<net::Adversary> {
              return std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
-                 s.t, s.t, params.binary.schedule, true, /*round_offset=*/2});
+                 s.t, q_of(s), params.binary.schedule, true, /*round_offset=*/2});
          }});
 
     add({MvAdversaryKind::PreludePlusWorstCase,
@@ -724,13 +729,13 @@ MvAdversaryRegistry::MvAdversaryRegistry() : RegistryBase("mv-adversary") {
          "prelude+worst-case",
          {"prelude-plus-worst-case", "prelude"},
          "half budget equivocating the prelude, half on the inner protocol",
-         [](const MvScenario& s, const core::MultiValuedParams& params,
-            const SeedTree& seeds) -> std::unique_ptr<net::Adversary> {
-             const Count half = s.t / 2;
+         [q_of](const MvScenario& s, const core::MultiValuedParams& params,
+                const SeedTree& seeds) -> std::unique_ptr<net::Adversary> {
+             const Count half = q_of(s) / 2;
              auto prelude = std::make_unique<adv::TcPreludeAdversary>(
                  half, seeds.stream(StreamPurpose::Adversary));
              auto inner = std::make_unique<adv::WorstCaseAdversary>(adv::WorstCaseConfig{
-                 s.t, s.t - half, params.binary.schedule, true, /*round_offset=*/2});
+                 s.t, q_of(s) - half, params.binary.schedule, true, /*round_offset=*/2});
              return std::make_unique<adv::SwitchAdversary>(std::move(prelude),
                                                            std::move(inner), 2);
          }});
@@ -776,6 +781,33 @@ ScenarioPlan validate(const Scenario& s) {
     if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
     return {s, &ProtocolRegistry::instance().at(s.protocol),
             &AdversaryRegistry::instance().at(s.adversary)};
+}
+
+std::optional<std::string> why_incompatible(const MvScenario& s) {
+    if (s.n == 0) return "multi-valued scenario needs n > 0";
+    if (3 * static_cast<std::uint64_t>(s.t) >= s.n)
+        return "the Turpin-Coan reduction requires t < n/3 (got n=" +
+               std::to_string(s.n) + ", t=" + std::to_string(s.t) + ")";
+    const Count q = s.q.value_or(s.t);
+    if (q > s.t)
+        return "actual corruptions q must not exceed the budget t (q=" +
+               std::to_string(q) + ", t=" + std::to_string(s.t) + ")";
+    return std::nullopt;
+}
+
+bool compatible(const MvScenario& s) { return !why_incompatible(s).has_value(); }
+
+MvScenarioPlan validate(const MvScenario& s) {
+    if (const auto why = why_incompatible(s)) throw ContractViolation(*why);
+    MvScenarioPlan plan;
+    plan.scenario = s;
+    const auto mode = s.las_vegas ? core::AgreementMode::LasVegas
+                                  : core::AgreementMode::WhpFixedPhases;
+    plan.params = core::MultiValuedParams::compute(s.n, s.t, s.tuning, s.fallback, mode);
+    plan.cap = s.las_vegas ? 32 * core::max_rounds_whp(plan.params) + 256
+                           : core::max_rounds_whp(plan.params);
+    plan.adversary = &MvAdversaryRegistry::instance().at(s.adversary);
+    return plan;
 }
 
 // -------------------------------------------------------- input-name tables
@@ -849,6 +881,26 @@ bool parse_onoff(const std::string& value) {
     return value == "true" || value == "1" || value == "yes" || value == "on";
 }
 
+/// THE spec tokenizer: splits a `key=value ...` string (tolerating trailing
+/// ','/';' per token) and hands lowercased keys to `apply`. Shared by
+/// Scenario::parse and MvScenario::parse so separator/error semantics can
+/// never diverge between the stacks.
+template <typename Apply>
+void for_each_spec_token(const std::string& spec, const Apply& apply) {
+    std::istringstream in(spec);
+    std::string token;
+    while (in >> token) {
+        while (!token.empty() && (token.back() == ',' || token.back() == ';'))
+            token.pop_back();
+        if (token.empty()) continue;
+        const auto eq = token.find('=');
+        if (eq == std::string::npos)
+            throw ContractViolation("scenario token '" + token +
+                                    "' is not of the form key=value");
+        apply(lower(token.substr(0, eq)), token.substr(eq + 1));
+    }
+}
+
 double parse_f64(const std::string& key, const std::string& value) {
     try {
         std::size_t pos = 0;
@@ -867,18 +919,7 @@ double parse_f64(const std::string& key, const std::string& value) {
 
 Scenario Scenario::parse(const std::string& spec) {
     Scenario s;
-    std::istringstream in(spec);
-    std::string token;
-    while (in >> token) {
-        while (!token.empty() && (token.back() == ',' || token.back() == ';'))
-            token.pop_back();
-        if (token.empty()) continue;
-        const auto eq = token.find('=');
-        if (eq == std::string::npos)
-            throw ContractViolation("scenario token '" + token +
-                                    "' is not of the form key=value");
-        const std::string key = lower(token.substr(0, eq));
-        const std::string value = token.substr(eq + 1);
+    for_each_spec_token(spec, [&s](const std::string& key, const std::string& value) {
         if (key == "protocol") {
             s.protocol = ProtocolRegistry::instance().at(value).kind;
         } else if (key == "adversary") {
@@ -915,7 +956,64 @@ Scenario Scenario::parse(const std::string& spec) {
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
                 "beta, phases, kappa, max_rounds, transcript, reference, batch");
         }
-    }
+    });
+    return s;
+}
+
+// --------------------------------------------- MvScenario parse / describe
+
+std::string MvScenario::describe() const {
+    static const MvScenario defaults;
+    std::string out = "adversary=" + MvAdversaryRegistry::instance().at(adversary).name +
+                      " inputs=" + to_string(inputs) + " n=" + std::to_string(n) +
+                      " t=" + std::to_string(t);
+    if (q) out += " q=" + std::to_string(*q);
+    if (tuning.alpha != defaults.tuning.alpha)
+        out += " alpha=" + fmt_double(tuning.alpha);
+    if (tuning.gamma != defaults.tuning.gamma)
+        out += " gamma=" + fmt_double(tuning.gamma);
+    if (tuning.beta != defaults.tuning.beta) out += " beta=" + fmt_double(tuning.beta);
+    if (fallback != defaults.fallback) out += " fallback=" + std::to_string(fallback);
+    if (las_vegas) out += " las_vegas=true";
+    if (reference_delivery) out += " reference=true";
+    if (!use_batch) out += " batch=false";
+    return out;
+}
+
+MvScenario MvScenario::parse(const std::string& spec) {
+    MvScenario s;
+    for_each_spec_token(spec, [&s](const std::string& key, const std::string& value) {
+        if (key == "adversary") {
+            s.adversary = MvAdversaryRegistry::instance().at(value).kind;
+        } else if (key == "inputs") {
+            s.inputs = parse_mv_input_pattern(value);
+        } else if (key == "n") {
+            s.n = static_cast<NodeId>(parse_u64(key, value));
+        } else if (key == "t") {
+            s.t = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "q") {
+            s.q = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "alpha") {
+            s.tuning.alpha = parse_f64(key, value);
+        } else if (key == "gamma") {
+            s.tuning.gamma = parse_f64(key, value);
+        } else if (key == "beta") {
+            s.tuning.beta = parse_f64(key, value);
+        } else if (key == "fallback") {
+            s.fallback = static_cast<net::Word>(parse_u64(key, value));
+        } else if (key == "las_vegas") {
+            s.las_vegas = parse_onoff(value);
+        } else if (key == "reference") {
+            s.reference_delivery = parse_onoff(value);
+        } else if (key == "batch") {
+            s.use_batch = parse_onoff(value);
+        } else {
+            throw ContractViolation(
+                "unknown multi-valued scenario key '" + key +
+                "'; valid keys: adversary, inputs, n, t, q, alpha, gamma, beta, "
+                "fallback, las_vegas, reference, batch");
+        }
+    });
     return s;
 }
 

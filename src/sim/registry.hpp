@@ -206,6 +206,16 @@ struct ScenarioPlan {
     const AdversaryEntry* adversary = nullptr;
 };
 
+/// The multi-valued analogue of ScenarioPlan: resolved mv-adversary entry
+/// plus the (seed-independent) Turpin-Coan parameters and round cap, hoisted
+/// once per sweep by validate(MvScenario).
+struct MvScenarioPlan {
+    MvScenario scenario;
+    core::MultiValuedParams params;
+    Round cap = 0;
+    const MvAdversaryEntry* adversary = nullptr;
+};
+
 /// THE feasibility/compatibility rule set — the one place the repository
 /// states them. Returns an actionable message when the scenario cannot run:
 /// protocol resilience violated (`supports(n, t)` false), q > t, adversary
@@ -213,12 +223,21 @@ struct ScenarioPlan {
 /// different protocol.
 std::optional<std::string> why_incompatible(const Scenario& s);
 
+/// Multi-valued feasibility: the Turpin-Coan reduction needs t < n/3 and
+/// q must not exceed the budget t.
+std::optional<std::string> why_incompatible(const MvScenario& s);
+
 /// True iff validate(s) would succeed. Sweep filters use this.
 bool compatible(const Scenario& s);
+bool compatible(const MvScenario& s);
 
 /// Resolves and checks the scenario; throws ContractViolation with the
 /// why_incompatible message on failure.
 ScenarioPlan validate(const Scenario& s);
+
+/// Resolves and checks the multi-valued scenario, hoisting the Turpin-Coan
+/// parameters and round cap into the plan.
+MvScenarioPlan validate(const MvScenario& s);
 
 /// Name <-> enum helpers for the remaining scenario axes (throw with the
 /// accepted-name list on unknown input).

@@ -7,16 +7,18 @@
 
 #include "sim/registry.hpp"
 #include "support/contracts.hpp"
+#include "support/table.hpp"
 
 // All protocol/adversary construction goes through the registries in
 // registry.cpp — this file only wires a validated scenario into the engine.
 // Adding a protocol or adversary is a registry entry, not a switch edit here.
 //
-// The Monte-Carlo hot loop runs through TrialArena: scenario validation,
-// registry lookups, the engine, the node set, and the input buffer are all
-// hoisted out of the per-trial path and re-armed in place (ProtocolEntry::
-// reinit_nodes + Engine::reset), so a warm trial performs no allocation
-// beyond what the adversary strategy itself needs.
+// The Monte-Carlo machinery itself (executor chunking, index-derived seeds,
+// pooled per-chunk arenas, in-order merge) lives in the workload-generic
+// kernel (sim/workload.hpp); this file defines only the BinaryWorkload
+// binding: the arena that re-arms one engine + one node set + one input
+// buffer per trial (ProtocolEntry::reinit_nodes + Engine::reset), so a warm
+// trial performs no allocation beyond what the adversary strategy needs.
 
 namespace adba::sim {
 
@@ -26,14 +28,12 @@ std::optional<core::BlockSchedule> schedule_of(const Scenario& s) {
     return e.schedule_of(s);
 }
 
-namespace {
-
 /// Per-chunk reusable trial state: pooled nodes, engine, and input buffer.
 /// run() is bit-identical to the one-shot run_trial path; the executor's
 /// thread-invariance tests double as the canary for stale pool state.
-class TrialArena {
+class BinaryWorkload::Arena {
 public:
-    explicit TrialArena(const ScenarioPlan& plan) : plan_(plan) {
+    explicit Arena(const ScenarioPlan& plan) : plan_(plan) {
         ADBA_EXPECTS(plan_.scenario.n > 0);
     }
 
@@ -111,17 +111,51 @@ private:
     std::optional<net::Engine> engine_;
 };
 
-}  // namespace
+ScenarioPlan BinaryWorkload::make_plan(const Scenario& s) {
+    ADBA_EXPECTS(s.n > 0);
+    return validate(s);
+}
+
+void BinaryWorkload::accumulate(Aggregate& agg, const TrialResult& r) {
+    agg.rounds.add(static_cast<double>(r.rounds));
+    agg.messages.add(static_cast<double>(r.metrics.honest_messages));
+    agg.bits.add(static_cast<double>(r.metrics.honest_bits));
+    agg.corruptions.add(static_cast<double>(r.metrics.corruptions));
+    if (!r.agreement) ++agg.agreement_failures;
+    if (!r.validity_ok) ++agg.validity_failures;
+    if (!r.all_halted) ++agg.not_halted;
+}
+
+std::vector<std::string> BinaryWorkload::csv_header() {
+    return {"trials",      "agree_pct",  "validity_failures", "not_halted",
+            "rounds_mean", "rounds_p90", "rounds_max",        "msgs_mean",
+            "bits_mean",   "corruptions_mean"};
+}
+
+std::vector<std::string> BinaryWorkload::csv_row(const Aggregate& agg) {
+    const double ok = agg.trials == 0
+                          ? 0.0
+                          : 100.0 * static_cast<double>(agg.trials -
+                                                        agg.agreement_failures) /
+                                static_cast<double>(agg.trials);
+    return {Table::num(static_cast<std::uint64_t>(agg.trials)),
+            Table::num(ok, 2),
+            Table::num(static_cast<std::uint64_t>(agg.validity_failures)),
+            Table::num(static_cast<std::uint64_t>(agg.not_halted)),
+            Table::num(agg.rounds.mean(), 3),
+            Table::num(agg.rounds.quantile(0.9), 3),
+            Table::num(agg.rounds.max(), 0),
+            Table::num(agg.messages.mean(), 1),
+            Table::num(agg.bits.mean(), 1),
+            Table::num(agg.corruptions.mean(), 3)};
+}
 
 TrialResult run_trial(const ScenarioPlan& plan, std::uint64_t seed) {
-    TrialArena arena(plan);
-    return arena.run(seed);
+    return run_one_trial<BinaryWorkload>(plan, seed);
 }
 
 TrialResult run_trial(const Scenario& s, std::uint64_t seed) {
-    ADBA_EXPECTS(s.n > 0);
-    const ScenarioPlan plan = validate(s);
-    return run_trial(plan, seed);
+    return run_one_trial<BinaryWorkload>(BinaryWorkload::make_plan(s), seed);
 }
 
 void Aggregate::merge(const Aggregate& other) {
@@ -137,25 +171,7 @@ void Aggregate::merge(const Aggregate& other) {
 
 Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
                      const ExecutorConfig& exec) {
-    ADBA_EXPECTS(s.n > 0);
-    const ScenarioPlan plan = validate(s);  // once per sweep, not per trial
-    return parallel_reduce<Aggregate>(trials, exec, [&](Count begin, Count end) {
-        Aggregate part;
-        part.trials = end - begin;
-        part.rounds.reserve(end - begin);
-        TrialArena arena(plan);
-        for (Count i = begin; i < end; ++i) {
-            const TrialResult r = arena.run(mix64(base_seed + 0x100000001b3ULL * i));
-            part.rounds.add(static_cast<double>(r.rounds));
-            part.messages.add(static_cast<double>(r.metrics.honest_messages));
-            part.bits.add(static_cast<double>(r.metrics.honest_bits));
-            part.corruptions.add(static_cast<double>(r.metrics.corruptions));
-            if (!r.agreement) ++part.agreement_failures;
-            if (!r.validity_ok) ++part.validity_failures;
-            if (!r.all_halted) ++part.not_halted;
-        }
-        return part;
-    });
+    return run_trials<BinaryWorkload>(s, base_seed, trials, exec);
 }
 
 std::string to_string(ProtocolKind k) { return ProtocolRegistry::instance().at(k).display; }

@@ -12,6 +12,7 @@
 #include "net/engine.hpp"
 #include "sim/executor.hpp"
 #include "sim/inputs.hpp"
+#include "sim/workload.hpp"
 #include "support/stats.hpp"
 #include "support/types.hpp"
 
@@ -115,15 +116,32 @@ struct Aggregate {
     void merge(const Aggregate& other);
 };
 
-/// Runs on the parallel executor; per-trial seeds depend only on
-/// (base_seed, trial index), so the aggregate is bit-identical at any
-/// thread count, including the serial `exec.threads = 1`.
-///
-/// The scenario is validated ONCE and each executor chunk runs its trials
-/// through a pooled arena (one engine + one node set + one input buffer,
-/// re-armed per trial), so the Monte-Carlo loop does no per-trial
-/// allocation or registry work. Arena re-arming is exact: results are
-/// bit-identical to calling run_trial(s, seed) per index.
+/// Binary-engine workload: the full-fidelity (protocol x adversary) trial
+/// stack as a workload.hpp trait. run_trials(Scenario, ...) below is the
+/// untemplated face of run_trials<BinaryWorkload>.
+struct BinaryWorkload {
+    using Scenario = sim::Scenario;
+    using Result = TrialResult;
+    using Aggregate = sim::Aggregate;
+    using Plan = ScenarioPlan;
+    class Arena;  ///< pooled engine + node set + input buffer (runner.cpp)
+    static constexpr std::uint64_t kSeedStride = 0x100000001b3ULL;
+    static constexpr const char* kName = "binary";
+
+    static Plan make_plan(const Scenario& s);  ///< validate(s), once per sweep
+    static void accumulate(Aggregate& agg, const Result& r);
+    static void reserve(Aggregate& agg, Count trials) { agg.rounds.reserve(trials); }
+
+    static std::vector<std::string> csv_header();
+    static std::vector<std::string> csv_row(const Aggregate& agg);
+};
+
+/// Runs on the workload-generic kernel (sim/workload.hpp): the scenario is
+/// validated ONCE and each executor chunk runs its trials through a pooled
+/// arena (one engine + one node set + one input buffer, re-armed per trial),
+/// so the Monte-Carlo loop does no per-trial allocation or registry work.
+/// Bit-identical to calling run_trial(s, seed) per index, at any thread
+/// count including the serial `exec.threads = 1`.
 Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,
                      const ExecutorConfig& exec = {});
 

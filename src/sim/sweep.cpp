@@ -11,18 +11,37 @@ namespace adba::sim {
 
 namespace {
 
-// Axis values with their "was this axis actually swept?" flag, so labels
-// only mention what varies (or what a bench explicitly pinned per-grid).
-template <typename T>
-struct Axis {
-    std::vector<T> values;
-    bool swept;
-};
+using detail::GridAxis;
+using detail::GridValue;
 
-template <typename T>
-Axis<T> resolve(const std::vector<T>& axis, T base_value) {
-    if (axis.empty()) return {{base_value}, false};
-    return {axis, true};
+/// Independent axis helper: a fixed value list (or the base value when the
+/// list is empty — not swept), each choice setting one field and labeling
+/// via `label_of` (empty result = silent). Pass `swept` explicitly when the
+/// not-swept case still supplies a one-element value list (the q axis).
+template <typename Row, typename T, typename Set, typename Label>
+GridAxis<Row> fixed_axis(const std::vector<T>& values, T base_value, Set set,
+                         Label label_of,
+                         std::optional<bool> swept_override = std::nullopt) {
+    const bool swept = swept_override.value_or(!values.empty());
+    std::vector<GridValue<Row>> choices;
+    for (const T& v : values.empty() ? std::vector<T>{base_value} : values)
+        choices.push_back({[set, v](Row& r) { set(r, v); }, label_of(v)});
+    return {[choices](const Row&) { return choices; }, swept};
+}
+
+/// Runs each row's trials at its stable seed, in enumeration order — the one
+/// sweep loop behind run_sweep / run_coin_sweep / run_mv_sweep.
+template <typename Outcome, typename Row, typename Runner>
+std::vector<Outcome> run_rows(const std::vector<Row>& rows, std::uint64_t base_seed,
+                              Count trials, const ExecutorConfig& exec,
+                              const Runner& runner) {
+    std::vector<Outcome> out;
+    out.reserve(rows.size());
+    for (const Row& row : rows)
+        out.push_back(
+            Outcome{row, runner(row.scenario, row_seed(base_seed, row.index), trials,
+                                exec)});
+    return out;
 }
 
 }  // namespace
@@ -36,174 +55,196 @@ AdversaryKind strongest_adversary(ProtocolKind protocol) {
 }
 
 std::vector<SweepRow> SweepGrid::rows() const {
-    const Axis<NodeId> axis_n = resolve(ns, base.n);
-    Axis<Count> axis_t = resolve(ts, base.t);
-    if (t_of_n) axis_t = {{}, true};  // derived per n below
-    const Axis<ProtocolKind> axis_p = resolve(protocols, base.protocol);
-    Axis<AdversaryKind> axis_a = resolve(adversaries, base.adversary);
-    if (adversary_of) axis_a = {{}, true};  // derived per protocol below
-    const Axis<InputPattern> axis_i = resolve(inputs, base.inputs);
-    const Axis<core::Tuning> axis_u = resolve(tunings, base.tuning);
+    using Row = SweepRow;
+    std::vector<GridAxis<Row>> axes;
 
-    // q axis: empty = inherit base.q once.
-    std::vector<std::optional<Count>> q_values;
-    const bool q_swept = !qs.empty();
-    if (q_swept) {
-        for (const Count q : qs) q_values.emplace_back(q);
+    axes.push_back(fixed_axis<Row>(
+        ns, base.n, [](Row& r, NodeId n) { r.scenario.n = n; },
+        [](NodeId n) { return "n=" + std::to_string(n); }));
+
+    // t axis: derived per n when t_of_n is set, a fixed list otherwise.
+    if (t_of_n) {
+        const auto derive = t_of_n;
+        axes.push_back({[derive](const Row& row) {
+                            const Count t = derive(row.scenario.n);
+                            return std::vector<GridValue<Row>>{
+                                {[t](Row& r) { r.scenario.t = t; },
+                                 "t=" + std::to_string(t)}};
+                        },
+                        true});
     } else {
-        q_values.emplace_back(base.q);
+        axes.push_back(fixed_axis<Row>(
+            ts, base.t, [](Row& r, Count t) { r.scenario.t = t; },
+            [](Count t) { return "t=" + std::to_string(t); }));
     }
 
-    std::vector<SweepRow> out;
-    std::size_t index = 0;
-    for (const NodeId n : axis_n.values) {
-        std::vector<Count> t_values = axis_t.values;
-        if (t_of_n) t_values = {t_of_n(n)};
-        for (const Count t : t_values) {
-            for (const auto& q : q_values) {
-                for (const ProtocolKind protocol : axis_p.values) {
-                    std::vector<AdversaryKind> a_values = axis_a.values;
-                    if (adversary_of) a_values = {adversary_of(protocol)};
-                    for (const AdversaryKind adversary : a_values) {
-                        for (const InputPattern input : axis_i.values) {
-                            for (const core::Tuning& tuning : axis_u.values) {
-                                SweepRow row;
-                                row.scenario = base;
-                                row.scenario.n = n;
-                                row.scenario.t = t;
-                                row.scenario.q = q;
-                                row.scenario.protocol = protocol;
-                                row.scenario.adversary = adversary;
-                                row.scenario.inputs = input;
-                                row.scenario.tuning = tuning;
-                                row.index = index++;
-
-                                std::string label;
-                                auto append = [&label](const std::string& part) {
-                                    if (!label.empty()) label += ' ';
-                                    label += part;
-                                };
-                                if (axis_n.swept) append("n=" + std::to_string(n));
-                                if (axis_t.swept) append("t=" + std::to_string(t));
-                                if (q_swept && q) append("q=" + std::to_string(*q));
-                                if (axis_p.swept) append(to_string(protocol));
-                                if (axis_a.swept) append(to_string(adversary));
-                                if (axis_i.swept) append(to_string(input));
-                                if (axis_u.swept)
-                                    append("alpha=" + Table::num(tuning.alpha, 1) +
-                                           ",gamma=" + Table::num(tuning.gamma, 1));
-                                row.label = label;
-
-                                if (filter && !filter(row.scenario)) continue;
-                                out.push_back(std::move(row));
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    // q axis: empty = inherit base.q once (silently).
+    std::vector<std::optional<Count>> q_values;
+    if (qs.empty()) {
+        q_values.push_back(base.q);
+    } else {
+        for (const Count q : qs) q_values.emplace_back(q);
     }
-    return out;
+    axes.push_back(fixed_axis<Row>(
+        q_values, base.q, [](Row& r, std::optional<Count> q) { r.scenario.q = q; },
+        [](std::optional<Count> q) {
+            return q ? "q=" + std::to_string(*q) : std::string();
+        },
+        /*swept=*/!qs.empty()));
+
+    axes.push_back(fixed_axis<Row>(
+        protocols, base.protocol,
+        [](Row& r, ProtocolKind p) { r.scenario.protocol = p; },
+        [](ProtocolKind p) { return to_string(p); }));
+
+    // adversary axis: derived per protocol when adversary_of is set.
+    if (adversary_of) {
+        const auto derive = adversary_of;
+        axes.push_back({[derive](const Row& row) {
+                            const AdversaryKind a = derive(row.scenario.protocol);
+                            return std::vector<GridValue<Row>>{
+                                {[a](Row& r) { r.scenario.adversary = a; },
+                                 to_string(a)}};
+                        },
+                        true});
+    } else {
+        axes.push_back(fixed_axis<Row>(
+            adversaries, base.adversary,
+            [](Row& r, AdversaryKind a) { r.scenario.adversary = a; },
+            [](AdversaryKind a) { return to_string(a); }));
+    }
+
+    axes.push_back(fixed_axis<Row>(
+        inputs, base.inputs, [](Row& r, InputPattern i) { r.scenario.inputs = i; },
+        [](InputPattern i) { return to_string(i); }));
+
+    axes.push_back(fixed_axis<Row>(
+        tunings, base.tuning,
+        [](Row& r, const core::Tuning& u) { r.scenario.tuning = u; },
+        [](const core::Tuning& u) {
+            return "alpha=" + Table::num(u.alpha, 1) + ",gamma=" +
+                   Table::num(u.gamma, 1);
+        }));
+
+    Row base_row;
+    base_row.scenario = base;
+    const auto& keep = filter;
+    return detail::enumerate_grid(base_row, axes, [&keep](const Row& r) {
+        return !keep || keep(r.scenario);
+    });
 }
 
 std::vector<SweepOutcome> run_sweep(const SweepGrid& grid, std::uint64_t base_seed,
                                     Count trials, const ExecutorConfig& exec) {
-    std::vector<SweepOutcome> out;
-    for (const SweepRow& row : grid.rows()) {
-        Aggregate agg = run_trials(row.scenario, row_seed(base_seed, row.index),
-                                   trials, exec);
-        out.push_back(SweepOutcome{row, std::move(agg)});
-    }
-    return out;
+    return run_rows<SweepOutcome>(
+        grid.rows(), base_seed, trials, exec,
+        [](const Scenario& s, std::uint64_t seed, Count n, const ExecutorConfig& e) {
+            return run_trials(s, seed, n, e);
+        });
 }
 
 std::vector<CoinSweepRow> CoinSweepGrid::rows() const {
+    using Row = CoinSweepRow;
     ADBA_EXPECTS_MSG(!ns.empty(), "coin sweep needs at least one network size");
     ADBA_EXPECTS_MSG(!f_ratios.empty() || !fs.empty(),
                      "coin sweep needs a budget axis (f_ratios or fs)");
     ADBA_EXPECTS_MSG(f_ratios.empty() || fs.empty(),
                      "give the budget either as ratios or explicit values, not both");
-    std::vector<CoinSweepRow> out;
-    std::size_t index = 0;
-    for (const NodeId n : ns) {
-        const std::vector<NodeId> k_values = ks.empty() ? std::vector<NodeId>{n} : ks;
-        for (const NodeId k : k_values) {
-            const double sqrt_k = std::sqrt(static_cast<double>(k));
-            const std::size_t budgets = f_ratios.empty() ? fs.size() : f_ratios.size();
-            for (std::size_t b = 0; b < budgets; ++b) {
-                const std::size_t row_index = index++;
-                if (k > n) continue;  // skipped, but the index slot is consumed
-                CoinSweepRow row;
-                if (f_ratios.empty()) {
-                    row.scenario.f = fs[b];
-                    row.f_ratio = sqrt_k > 0.0 ? fs[b] / sqrt_k : 0.0;
-                } else {
-                    row.f_ratio = f_ratios[b];
-                    row.scenario.f =
-                        static_cast<Count>(std::lround(f_ratios[b] * sqrt_k));
-                }
-                row.scenario.n = n;
-                row.scenario.designated = k;
-                row.scenario.attack = attack;
-                row.scenario.forced_bit = forced_bit;
-                row.index = row_index;
-                row.label = "n=" + std::to_string(n) + " k=" + std::to_string(k) +
-                            " f=" + std::to_string(row.scenario.f);
-                out.push_back(std::move(row));
-            }
-        }
-    }
-    return out;
+
+    std::vector<GridAxis<Row>> axes;
+    axes.push_back(fixed_axis<Row>(
+        ns, NodeId{0}, [](Row& r, NodeId n) { r.scenario.n = n; },
+        [](NodeId n) { return "n=" + std::to_string(n); }));
+
+    // k axis: empty = all n nodes flip (Algorithm 1) — derived from n.
+    const std::vector<NodeId>& ks_ref = ks;
+    axes.push_back({[&ks_ref](const Row& row) {
+                        std::vector<GridValue<Row>> choices;
+                        const std::vector<NodeId> k_values =
+                            ks_ref.empty() ? std::vector<NodeId>{row.scenario.n}
+                                           : ks_ref;
+                        for (const NodeId k : k_values)
+                            choices.push_back(
+                                {[k](Row& r) { r.scenario.designated = k; },
+                                 "k=" + std::to_string(k)});
+                        return choices;
+                    },
+                    true});
+
+    // Budget axis: ratios scale with sqrt(k) of the committee the k axis
+    // chose; explicit budgets are used verbatim (f_ratio back-derived).
+    const std::vector<double>& ratios_ref = f_ratios;
+    const std::vector<Count>& fs_ref = fs;
+    axes.push_back({[&ratios_ref, &fs_ref](const Row& row) {
+                        const double sqrt_k =
+                            std::sqrt(static_cast<double>(row.scenario.designated));
+                        std::vector<GridValue<Row>> choices;
+                        if (ratios_ref.empty()) {
+                            for (const Count f : fs_ref) {
+                                const double ratio = sqrt_k > 0.0 ? f / sqrt_k : 0.0;
+                                choices.push_back({[f, ratio](Row& r) {
+                                                       r.scenario.f = f;
+                                                       r.f_ratio = ratio;
+                                                   },
+                                                   "f=" + std::to_string(f)});
+                            }
+                        } else {
+                            for (const double ratio : ratios_ref) {
+                                const auto f = static_cast<Count>(
+                                    std::lround(ratio * sqrt_k));
+                                choices.push_back({[f, ratio](Row& r) {
+                                                       r.scenario.f = f;
+                                                       r.f_ratio = ratio;
+                                                   },
+                                                   "f=" + std::to_string(f)});
+                            }
+                        }
+                        return choices;
+                    },
+                    true});
+
+    Row base_row;
+    base_row.scenario.attack = attack;
+    base_row.scenario.forced_bit = forced_bit;
+    // k > n rows are skipped, but their index slots are consumed.
+    return detail::enumerate_grid(base_row, axes, [](const Row& r) {
+        return r.scenario.designated <= r.scenario.n;
+    });
 }
 
 std::vector<CoinSweepOutcome> run_coin_sweep(const CoinSweepGrid& grid,
                                              std::uint64_t base_seed, Count trials,
                                              const ExecutorConfig& exec) {
-    std::vector<CoinSweepOutcome> out;
-    for (const CoinSweepRow& row : grid.rows()) {
-        CoinAggregate agg = run_coin_trials(row.scenario,
-                                            row_seed(base_seed, row.index), trials,
-                                            exec);
-        out.push_back(CoinSweepOutcome{row, agg});
-    }
-    return out;
+    return run_rows<CoinSweepOutcome>(
+        grid.rows(), base_seed, trials, exec,
+        [](const CoinScenario& s, std::uint64_t seed, Count n,
+           const ExecutorConfig& e) { return run_coin_trials(s, seed, n, e); });
 }
 
 std::vector<MvSweepRow> MvSweepGrid::rows() const {
-    const Axis<MvInputPattern> axis_i = resolve(inputs, base.inputs);
-    const Axis<MvAdversaryKind> axis_a = resolve(adversaries, base.adversary);
-    std::vector<MvSweepRow> out;
-    std::size_t index = 0;
-    for (const MvInputPattern input : axis_i.values) {
-        for (const MvAdversaryKind adversary : axis_a.values) {
-            MvSweepRow row;
-            row.scenario = base;
-            row.scenario.inputs = input;
-            row.scenario.adversary = adversary;
-            row.index = index++;
-            std::string label;
-            if (axis_i.swept) label += to_string(input);
-            if (axis_a.swept) {
-                if (!label.empty()) label += ' ';
-                label += to_string(adversary);
-            }
-            row.label = std::move(label);
-            out.push_back(std::move(row));
-        }
-    }
-    return out;
+    using Row = MvSweepRow;
+    std::vector<GridAxis<Row>> axes;
+    axes.push_back(fixed_axis<Row>(
+        inputs, base.inputs, [](Row& r, MvInputPattern i) { r.scenario.inputs = i; },
+        [](MvInputPattern i) { return to_string(i); }));
+    axes.push_back(fixed_axis<Row>(
+        adversaries, base.adversary,
+        [](Row& r, MvAdversaryKind a) { r.scenario.adversary = a; },
+        [](MvAdversaryKind a) { return to_string(a); }));
+
+    Row base_row;
+    base_row.scenario = base;
+    return detail::enumerate_grid(base_row, axes, [](const Row&) { return true; });
 }
 
 std::vector<MvSweepOutcome> run_mv_sweep(const MvSweepGrid& grid,
                                          std::uint64_t base_seed, Count trials,
                                          const ExecutorConfig& exec) {
-    std::vector<MvSweepOutcome> out;
-    for (const MvSweepRow& row : grid.rows()) {
-        MvAggregate agg = run_mv_trials(row.scenario, row_seed(base_seed, row.index),
-                                        trials, exec);
-        out.push_back(MvSweepOutcome{row, std::move(agg)});
-    }
-    return out;
+    return run_rows<MvSweepOutcome>(
+        grid.rows(), base_seed, trials, exec,
+        [](const MvScenario& s, std::uint64_t seed, Count n, const ExecutorConfig& e) {
+            return run_mv_trials(s, seed, n, e);
+        });
 }
 
 }  // namespace adba::sim

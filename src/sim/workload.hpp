@@ -1,0 +1,111 @@
+// The workload-generic Monte-Carlo trial kernel.
+//
+// Every trial stack in this repository — binary engine trials, standalone
+// common-coin trials, multi-valued (Turpin-Coan) trials, and the macro
+// asymptotic simulator — is the same machine: validate a scenario once,
+// split [0, trials) into executor chunks, run each chunk's trials in index
+// order through a pooled per-chunk arena with index-derived seeds, and merge
+// the partial aggregates in chunk order so the result is bit-identical at
+// any thread count. This header owns that machine ONCE; the four stacks are
+// thin workload definitions on top of it (see src/sim/README.md for the
+// full contract and how to add a fifth workload).
+//
+// A workload W provides:
+//
+//   typename W::Scenario   pure-value scenario (equality-comparable)
+//   typename W::Result     outcome of one trial
+//   typename W::Aggregate  merge()-able aggregate with a `Count trials` field
+//   typename W::Plan       once-per-sweep resolved product of a scenario
+//                          (registry entries, derived parameters, round caps)
+//   typename W::Arena      per-chunk pooled trial state; constructed from a
+//                          Plan, `Result run(std::uint64_t seed)` must be a
+//                          pure function of (plan, seed) — re-armed state
+//                          included (the thread-invariance tests are the
+//                          canary for stale pool state)
+//   W::kSeedStride         per-trial seed stride: trial i runs at
+//                          mix64(base_seed + kSeedStride * i). Frozen per
+//                          workload — changing it silently re-randomizes
+//                          every recorded experiment.
+//   W::make_plan(scenario) validation + hoisting, called once per run/sweep
+//   W::accumulate(agg, r)  folds one trial result into a chunk partial
+//   W::reserve(agg, n)     optional pre-sizing of sample buffers
+//
+// plus reporting metadata used by the uniform CSV schema (sim/report.hpp):
+//   W::kName, W::csv_header(), W::csv_row(agg).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "rand/rng.hpp"
+#include "sim/executor.hpp"
+#include "support/types.hpp"
+
+namespace adba::sim {
+
+/// Runs one trial through a fresh arena; the one-shot (non-pooled) path.
+/// Bit-identical to what a pooled arena produces for the same (plan, seed).
+template <typename W>
+typename W::Result run_one_trial(const typename W::Plan& plan, std::uint64_t seed) {
+    typename W::Arena arena(plan);
+    return arena.run(seed);
+}
+
+/// THE Monte-Carlo executor loop. Per-trial seeds depend only on
+/// (base_seed, trial index), chunk boundaries depend only on (trials,
+/// chunk), chunks run their trials in index order through one pooled arena,
+/// and partials merge in chunk-index order — so the aggregate is
+/// bit-identical at any thread count, including serial. This is the only
+/// pooled-arena chunk loop in src/sim/; workloads must not grow their own.
+template <typename W>
+typename W::Aggregate run_trials(const typename W::Plan& plan, std::uint64_t base_seed,
+                                 Count trials, const ExecutorConfig& exec = {}) {
+    return parallel_reduce<typename W::Aggregate>(
+        trials, exec, [&](Count begin, Count end) {
+            typename W::Aggregate part;
+            part.trials = end - begin;
+            if constexpr (requires { W::reserve(part, Count{}); })
+                W::reserve(part, end - begin);
+            typename W::Arena arena(plan);
+            for (Count i = begin; i < end; ++i)
+                W::accumulate(part, arena.run(mix64(base_seed + W::kSeedStride * i)));
+            return part;
+        });
+}
+
+/// Scenario-level convenience: validate/hoist once, then run the kernel.
+/// (Constrained away when the workload's scenario doubles as its plan —
+/// the plan overload above then takes the scenario directly.)
+template <typename W>
+    requires(!std::is_same_v<typename W::Plan, typename W::Scenario>)
+typename W::Aggregate run_trials(const typename W::Scenario& s, std::uint64_t base_seed,
+                                 Count trials, const ExecutorConfig& exec = {}) {
+    const typename W::Plan plan = W::make_plan(s);
+    return run_trials<W>(plan, base_seed, trials, exec);
+}
+
+// ------------------------------------------------------- workload directory
+
+/// Metadata for one registered workload — the `adba_sim --workload=` axis
+/// and the capability table in README.md.
+struct WorkloadInfo {
+    std::string name;  ///< canonical CLI key: binary, coin, mv, macro
+    std::vector<std::string> aliases;
+    std::string scenario;   ///< scenario type, e.g. "Scenario"
+    std::string grid;       ///< sweep grid type, or "-" when none
+    std::string summary;    ///< one-line note for capability tables
+};
+
+/// The four built-in workloads, in kernel-registration order.
+const std::vector<WorkloadInfo>& workloads();
+
+/// Lookup by canonical name or alias (case-insensitive); nullptr if unknown.
+const WorkloadInfo* find_workload(const std::string& name_or_alias);
+
+/// Like find_workload but throws ContractViolation with the known-name list
+/// and a did-you-mean suggestion for near misses.
+const WorkloadInfo& workload_at(const std::string& name_or_alias);
+
+}  // namespace adba::sim

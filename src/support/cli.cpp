@@ -27,6 +27,20 @@ std::size_t levenshtein(const std::string& a, const std::string& b) {
 
 }  // namespace
 
+std::string closest_match(const std::string& key,
+                          const std::vector<std::string>& candidates) {
+    std::string best;
+    std::size_t best_dist = 3;  // only suggest close matches
+    for (const auto& candidate : candidates) {
+        const std::size_t d = levenshtein(key, candidate);
+        if (d < best_dist) {
+            best_dist = d;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
 Cli::Cli(int argc, char** argv) {
     if (argc > 0) passthrough_.emplace_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -104,15 +118,8 @@ void Cli::check_unused() const {
         if (queried_.count(key)) continue;
         if (!msg.empty()) msg += "; ";
         msg += "unrecognized flag --" + key;
-        std::string best;
-        std::size_t best_dist = 3;  // only suggest close matches
-        for (const auto& known : queried_) {
-            const std::size_t d = levenshtein(key, known);
-            if (d < best_dist) {
-                best_dist = d;
-                best = known;
-            }
-        }
+        const std::string best = closest_match(
+            key, std::vector<std::string>(queried_.begin(), queried_.end()));
         if (!best.empty()) msg += " (did you mean --" + best + "?)";
     }
     if (msg.empty()) return;

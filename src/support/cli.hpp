@@ -18,6 +18,12 @@
 
 namespace adba {
 
+/// The closest candidate within edit distance 2 of `key`, or empty when
+/// nothing is close — the "did you mean ...?" helper behind Cli strict mode,
+/// also used for registry/workload name errors.
+std::string closest_match(const std::string& key,
+                          const std::vector<std::string>& candidates);
+
 /// Parsed command-line options with typed, defaulted accessors.
 class Cli {
 public:

@@ -1,27 +1,35 @@
 // adba_sim — the one entry point for every registered scenario.
 //
-// Runs any (protocol x adversary x input) combination the registries know
-// about, selected by name, instead of recompiling one of the bespoke bench
-// binaries:
+// Runs any workload the kernel knows about (--workload=binary|coin|mv|macro,
+// aliases accepted) with any (protocol x adversary x input) combination the
+// registries know about, selected by name, instead of recompiling one of
+// the bespoke bench binaries:
 //
 //   adba_sim --list
 //   adba_sim --protocol=ours --adversary=worst-case --n=128 --t=40 --trials=50
 //   adba_sim --protocol=phase-king --n=33               # adversary defaults to
 //                                                       # the protocol's strongest
 //   adba_sim --scenario="protocol=ours adversary=chaos n=64 t=21 q=10"
-//   adba_sim --protocol=turpin-coan --adversary=prelude+worst-case \
+//   adba_sim --workload=mv --adversary=prelude+worst-case \
 //            --inputs=near-quorum --n=96 --t=31         # multi-valued stack
+//   adba_sim --workload=mv --scenario="adversary=inner inputs=two-blocks n=64 t=21"
+//   adba_sim --workload=coin --n=256 --k=64 --f=4       # standalone common coin
+//   adba_sim --workload=macro --n=65536 --t=256         # asymptotic simulator
 //
-// Flags: --protocol --adversary --inputs --n --t --q --trials --seed
-//        --threads --csv_dir --scenario --alpha --gamma --beta --phases
-//        --kappa --max_rounds --transcript --reference --batch=on|off
-//        --las_vegas --fallback --list
-// Unknown flags fail loudly (Cli strict mode).
+// Flags: --workload --protocol --adversary --inputs --n --t --q --trials
+//        --seed --threads --csv_dir --scenario --alpha --gamma --beta
+//        --phases --kappa --max_rounds --transcript --reference
+//        --batch=on|off --las_vegas --fallback --k --f --attack --forced_bit
+//        --schedule --list
+// Unknown flags (and unknown workload/protocol/adversary names) fail loudly
+// with did-you-mean suggestions (Cli strict mode + registry lookups).
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "sim/macro.hpp"
 #include "sim/registry.hpp"
+#include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -40,7 +48,13 @@ int list_capabilities() {
     const auto& protocols = sim::ProtocolRegistry::instance();
     const auto& adversaries = sim::AdversaryRegistry::instance();
 
-    Table pt("Registered protocols");
+    Table wt("Workloads (--workload=...)");
+    wt.set_header({"name", "aliases", "scenario", "sweep grid", "summary"});
+    for (const auto& w : sim::workloads())
+        wt.add_row({w.name, join(w.aliases), w.scenario, w.grid, w.summary});
+    wt.print(std::cout);
+
+    Table pt("Registered protocols (--workload=binary)");
     pt.set_header({"name", "aliases", "resilience", "strongest adversary", "schedule",
                    "summary"});
     for (const auto* e : protocols.list())
@@ -62,7 +76,7 @@ int list_capabilities() {
     }
     at.print(std::cout);
 
-    Table mt("Multi-valued adversaries (--protocol=turpin-coan)");
+    Table mt("Multi-valued adversaries (--workload=mv)");
     mt.set_header({"name", "aliases", "summary"});
     for (const auto* e : sim::MvAdversaryRegistry::instance().list())
         mt.add_row({e->name, join(e->aliases), e->summary});
@@ -70,7 +84,10 @@ int list_capabilities() {
 
     std::printf("Input patterns: all-zero, all-one, split, random "
                 "(multi-valued: all-same, two-blocks, all-distinct, random, "
-                "near-quorum).\n");
+                "near-quorum).\n"
+                "Coin attacks (--workload=coin): split, force-bit. "
+                "Macro schedules (--workload=macro): ours, cc-rushing, "
+                "cc-classic.\n");
     return 0;
 }
 
@@ -86,24 +103,36 @@ double pct(Count good, Count total) {
 
 int run_multivalued(const Cli& cli) {
     sim::MvScenario s;
-    s.n = static_cast<NodeId>(cli.get_int("n", 96));
-    s.t = static_cast<Count>(cli.get_int("t", (s.n - 1) / 3));
-    s.inputs = sim::parse_mv_input_pattern(cli.get("inputs", "two-blocks"));
-    s.adversary =
-        sim::MvAdversaryRegistry::instance().at(cli.get("adversary", "worst-case-inner"))
-            .kind;
-    s.las_vegas = cli.get_bool("las_vegas", false);
-    s.fallback = static_cast<net::Word>(cli.get_int("fallback", 0));
+    if (cli.has("scenario")) s = sim::MvScenario::parse(cli.get("scenario", ""));
+    if (cli.has("n") || s.n == 0) s.n = static_cast<NodeId>(cli.get_int("n", 96));
+    if (cli.has("t"))
+        s.t = static_cast<Count>(cli.get_int("t", 0));
+    else if (!cli.has("scenario"))
+        s.t = (s.n - 1) / 3;
+    if (cli.has("q")) s.q = static_cast<Count>(cli.get_int("q", 0));
+    if (cli.has("inputs")) s.inputs = sim::parse_mv_input_pattern(cli.get("inputs", ""));
+    if (cli.has("adversary"))
+        s.adversary =
+            sim::MvAdversaryRegistry::instance().at(cli.get("adversary", "")).kind;
+    if (cli.has("alpha")) s.tuning.alpha = cli.get_double("alpha", s.tuning.alpha);
+    if (cli.has("gamma")) s.tuning.gamma = cli.get_double("gamma", s.tuning.gamma);
+    if (cli.has("beta")) s.tuning.beta = cli.get_double("beta", s.tuning.beta);
+    if (cli.has("las_vegas")) s.las_vegas = cli.get_bool("las_vegas", false);
+    if (cli.has("fallback"))
+        s.fallback = static_cast<net::Word>(cli.get_int("fallback", 0));
+    if (cli.has("reference")) s.reference_delivery = cli.get_bool("reference", false);
+    if (cli.has("batch")) s.use_batch = cli.get_bool("batch", true);
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
     cli.check_unused();      // fail on typos BEFORE burning trial time
 
-    std::printf("multi-valued scenario: turpin-coan over alg3, n=%u t=%u inputs=%s "
-                "adversary=%s, %u trials, %u threads\n",
-                s.n, s.t, sim::to_string(s.inputs).c_str(),
-                sim::to_string(s.adversary).c_str(), trials, sim::default_threads());
+    // The spec round-trips: parse(describe(s)) == s (pinned in tests).
+    std::printf("mv scenario: %s\n", s.describe().c_str());
+    std::printf("turpin-coan over alg3, %u trials, %u threads\n", trials,
+                sim::default_threads());
 
+    // Infeasible scenarios throw the why_incompatible message here.
     const sim::MvAggregate agg = sim::run_mv_trials(s, seed, trials);
     Table table("adba_sim: multi-valued result");
     table.set_header({"inputs", "adversary", "agree %", "validity", "real-value %",
@@ -114,8 +143,80 @@ int run_multivalued(const Cli& cli) {
                    Table::num(pct(agg.decided_real, agg.trials), 1),
                    Table::num(agg.rounds.mean(), 1), Table::num(agg.rounds.max(), 0)});
     table.print(std::cout);
-    maybe_csv(cli, table, "adba_sim_mv");
+    maybe_csv(cli, sim::csv_table("adba_sim: multi-valued result",
+                                  {{s.describe(), agg}}),
+              "adba_sim_mv");
     return agg.validity_failures == 0 ? 0 : 1;
+}
+
+int run_coin(const Cli& cli) {
+    sim::CoinScenario s;
+    s.n = static_cast<NodeId>(cli.get_int("n", 256));
+    s.designated = static_cast<NodeId>(cli.get_int("k", s.n));  // == n: Algorithm 1
+    s.f = static_cast<Count>(cli.get_int("f", 0));
+    s.attack = sim::parse_coin_attack(cli.get("attack", "split"));
+    s.forced_bit = static_cast<Bit>(cli.get_int("forced_bit", 0));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 2000));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    cli.get("csv_dir", "");
+    cli.check_unused();
+
+    std::string label = "n=" + std::to_string(s.n) + " k=" +
+                        std::to_string(s.designated) + " f=" + std::to_string(s.f) +
+                        " attack=" + sim::to_string(s.attack);
+    if (s.attack == adv::CoinAttack::ForceBit)
+        label += " forced_bit=" + std::to_string(int(s.forced_bit));
+    std::printf("coin scenario: %s, %u trials, %u threads\n", label.c_str(), trials,
+                sim::default_threads());
+
+    // Infeasible (n, k) throws the why_incompatible message here.
+    const sim::CoinAggregate agg = sim::run_coin_trials(s, seed, trials);
+    Table table("adba_sim: common-coin result");
+    table.set_header({"n", "k", "f", "attack", "P(common)", "P(1|common)",
+                      "attack feasible %"});
+    table.add_row({Table::num(static_cast<std::uint64_t>(s.n)),
+                   Table::num(static_cast<std::uint64_t>(s.designated)),
+                   Table::num(static_cast<std::uint64_t>(s.f)),
+                   sim::to_string(s.attack), Table::num(agg.p_common(), 3),
+                   Table::num(agg.p_one_given_common(), 3),
+                   Table::num(pct(agg.attack_feasible, agg.trials), 1)});
+    table.print(std::cout);
+    maybe_csv(cli, sim::csv_table("adba_sim: common-coin result", {{label, agg}}),
+              "adba_sim_coin");
+    return 0;
+}
+
+int run_macro(const Cli& cli) {
+    sim::MacroScenario s;
+    s.n = static_cast<std::uint64_t>(cli.get_int("n", 1 << 16));
+    s.t = static_cast<std::uint64_t>(cli.get_int("t", 256));
+    s.q = cli.has("q") ? static_cast<std::uint64_t>(cli.get_int("q", 0)) : s.t;
+    s.schedule = sim::parse_macro_schedule(cli.get("schedule", "ours"));
+    const auto trials = static_cast<Count>(cli.get_int("trials", 50));
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    cli.get("csv_dir", "");
+    cli.check_unused();
+
+    const std::string label = "n=" + std::to_string(s.n) + " t=" +
+                              std::to_string(s.t) + " q=" + std::to_string(s.q) +
+                              " " + sim::to_string(s.schedule);
+    std::printf("macro scenario: %s, %u trials, %u threads\n", label.c_str(), trials,
+                sim::default_threads());
+
+    const sim::MacroAggregate agg = sim::run_macro_trials(s, seed, trials);
+    Table table("adba_sim: macro result");
+    table.set_header({"schedule", "agree %", "mean rounds", "p90 rounds",
+                      "mean phases", "mean corruptions"});
+    table.add_row({sim::to_string(s.schedule),
+                   Table::num(pct(agg.trials - agg.agreement_failures, agg.trials), 1),
+                   Table::num(agg.rounds.mean(), 1),
+                   Table::num(agg.rounds.quantile(0.9), 1),
+                   Table::num(agg.phases.mean(), 1),
+                   Table::num(agg.corruptions.mean(), 1)});
+    table.print(std::cout);
+    maybe_csv(cli, sim::csv_table("adba_sim: macro result", {{label, agg}}),
+              "adba_sim_macro");
+    return 0;
 }
 
 int run_binary(const Cli& cli) {
@@ -177,7 +278,10 @@ int run_binary(const Cli& cli) {
                    Table::num(agg.rounds.max(), 0), Table::num(agg.messages.mean(), 0),
                    Table::num(agg.corruptions.mean(), 1)});
     table.print(std::cout);
-    maybe_csv(cli, table, "adba_sim_" + plan.protocol->name + "_" + plan.adversary->name);
+    maybe_csv(cli, sim::csv_table("adba_sim: " + plan.protocol->name + " vs " +
+                                      plan.adversary->name,
+                                  {{s.describe(), agg}}),
+              "adba_sim_" + plan.protocol->name + "_" + plan.adversary->name);
     return agg.validity_failures == 0 ? 0 : 1;
 }
 
@@ -192,9 +296,20 @@ int main(int argc, char** argv) {
             cli.check_unused();
             return rc;
         }
-        const std::string protocol = cli.get("protocol", "");
-        if (protocol == "turpin-coan" || protocol == "multivalued" || protocol == "mv")
-            return run_multivalued(cli);
+        std::string name = sim::workload_at(cli.get("workload", "binary")).name;
+        // Back-compat: --protocol=turpin-coan/multivalued/mv selected the mv
+        // stack before --workload existed. Only the binary driver reads
+        // --protocol, so query it only when routing there — passing it to
+        // the coin/macro/mv drivers must fail strict-mode, not be dropped.
+        if (name == "binary") {
+            const std::string protocol = cli.get("protocol", "");
+            if (protocol == "turpin-coan" || protocol == "multivalued" ||
+                protocol == "mv")
+                name = "mv";
+        }
+        if (name == "mv") return run_multivalued(cli);
+        if (name == "coin") return run_coin(cli);
+        if (name == "macro") return run_macro(cli);
         return run_binary(cli);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "adba_sim: error: %s\n", e.what());
