@@ -8,6 +8,8 @@
 //   --threads=N   worker threads for the Monte-Carlo executor
 //                 (default: hardware concurrency; results are bit-identical
 //                 at any thread count)
+//   --intra_threads=N  default intra-trial shard count (0 = auto policy;
+//                 results are bit-identical at any value)
 //   --trials=N    trials per scenario cell
 //   --csv_dir=DIR also dump each table as DIR/<slug>.csv
 #pragma once
@@ -28,6 +30,12 @@ namespace adba::benchutil {
 /// executor default and returns the resolved count. Call once at the top of
 /// main(), before any experiment runs.
 inline unsigned init_threads(const Cli& cli) { return sim::init_threads(cli); }
+
+/// Applies `--intra_threads` (default: the ADBA_INTRA_THREADS environment
+/// variable, else auto) as the process-wide intra-trial shard default.
+inline unsigned init_intra_threads(const Cli& cli) {
+    return sim::init_intra_threads(cli);
+}
 
 /// Hands the non-experiment arguments (argv[0] + --benchmark_* flags) to
 /// google-benchmark and runs the registered entries. Also the point where

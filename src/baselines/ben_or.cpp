@@ -143,13 +143,16 @@ void BenOrBatch::rearm(const BenOrParams& params, const std::vector<Bit>& inputs
 }
 
 void BenOrBatch::send_all(Round r, net::RoundBuffer& buf) {
-    const NodeId n = params_.n;
+    send_range(r, buf, 0, params_.n);
+}
+
+void BenOrBatch::send_range(Round r, net::RoundBuffer& buf, NodeId lo, NodeId hi) {
     const std::uint8_t* state = buf.state_plane();
     const bool round2 = (r % 2) != 0;
     net::Message m;
     m.phase = r / 2;
     m.kind = round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = lo; v < hi; ++v) {
         if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
         if (round2) {
             m.val = proposal_[v];
@@ -203,25 +206,36 @@ void BenOrBatch::apply_propose(NodeId v, Phase p, const std::array<Count, 2>& pr
 
 void BenOrBatch::receive_all(Round r, const net::RoundBuffer& buf,
                              const net::RoundTally& tally) {
+    receive_prepare(r, buf, tally);
+    receive_range(r, buf, tally, 0, params_.n);
+}
+
+void BenOrBatch::receive_prepare(Round r, const net::RoundBuffer&,
+                                 const net::RoundTally& tally) {
     const Phase p = r / 2;
-    const NodeId n = params_.n;
-    const std::uint8_t* state = buf.state_plane();
     const bool round2 = (r % 2) != 0;
     const net::MsgKind kind =
         round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
     // Honest quorum counts once per round; only Byzantine deltas vary.
     const net::TallyBucket* b = tally.find(kind, p);
-    std::array<Count, 2> base{0, 0};
-    if (b != nullptr) base = round2 ? b->val_flag_cnt : b->val_cnt;
-    const std::array<Count, 2>* delta = tally.val_delta_plane(kind, p, round2);
-    for (NodeId v = 0; v < n; ++v) {
+    prep_base_ = {0, 0};
+    if (b != nullptr) prep_base_ = round2 ? b->val_flag_cnt : b->val_cnt;
+    prep_delta_ = tally.val_delta_plane(kind, p, round2);
+}
+
+void BenOrBatch::receive_range(Round r, const net::RoundBuffer& buf,
+                               const net::RoundTally&, NodeId lo, NodeId hi) {
+    const Phase p = r / 2;
+    const std::uint8_t* state = buf.state_plane();
+    const bool round2 = (r % 2) != 0;
+    for (NodeId v = lo; v < hi; ++v) {
         if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v] ||
             flushing_[v])
             continue;
-        std::array<Count, 2> cnt = base;
-        if (delta != nullptr) {
-            cnt[0] += delta[v][0];
-            cnt[1] += delta[v][1];
+        std::array<Count, 2> cnt = prep_base_;
+        if (prep_delta_ != nullptr) {
+            cnt[0] += prep_delta_[v][0];
+            cnt[1] += prep_delta_[v][1];
         }
         if (round2)
             apply_propose(v, p, cnt);

@@ -77,6 +77,15 @@ public:
                      const net::RoundTally& tally) override;
     void receive_all(Round r, const net::RoundBuffer& buf,
                      const net::DeliverySource& src) override;
+    // Sharded beats: state planes and RNG streams are per-node, the honest
+    // quorum counts and Byzantine delta plane are hoisted in
+    // receive_prepare, so ranges step race-free (net/batch.hpp contract).
+    bool shardable() const override { return true; }
+    void send_range(Round r, net::RoundBuffer& buf, NodeId lo, NodeId hi) override;
+    void receive_prepare(Round r, const net::RoundBuffer& buf,
+                         const net::RoundTally& tally) override;
+    void receive_range(Round r, const net::RoundBuffer& buf,
+                       const net::RoundTally& tally, NodeId lo, NodeId hi) override;
     const std::uint8_t* halted_plane() const override { return halted_.data(); }
     Bit value(NodeId v) const override { return val_[v]; }
     bool decided(NodeId v) const override { return decided_[v] != 0; }
@@ -87,6 +96,9 @@ private:
     void apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop);
 
     BenOrParams params_;
+    // receive_prepare → receive_range handoff; valid for one beat only.
+    std::array<Count, 2> prep_base_{0, 0};
+    const std::array<Count, 2>* prep_delta_ = nullptr;
     std::vector<Bit> val_;
     std::vector<Bit> proposal_;
     std::vector<std::uint8_t> proposing_;

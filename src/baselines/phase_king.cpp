@@ -107,22 +107,26 @@ void PhaseKingBatch::rearm(const PhaseKingParams& params,
 }
 
 void PhaseKingBatch::send_all(Round r, net::RoundBuffer& buf) {
+    send_range(r, buf, 0, params_.n);
+}
+
+void PhaseKingBatch::send_range(Round r, net::RoundBuffer& buf, NodeId lo, NodeId hi) {
     const Phase k = r / 2;
-    const NodeId n = params_.n;
     const std::uint8_t* state = buf.state_plane();
     if ((r % 2) == 0) {
         net::Message m;
         m.kind = net::MsgKind::PhaseKingSend;
         m.phase = k;
-        for (NodeId v = 0; v < n; ++v) {
+        for (NodeId v = lo; v < hi; ++v) {
             if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
             m.val = val_[v];
             buf.set_broadcast(v, m);
         }
         return;
     }
-    // Only the king speaks in round 2.
+    // Only the king speaks in round 2 — and only the shard that holds it.
     const NodeId king = params_.king_of(k);
+    if (king < lo || king >= hi) return;
     if ((state[king] & net::RoundBuffer::kByzantine) != 0 || halted_[king]) return;
     net::Message m;
     m.kind = net::MsgKind::PhaseKingRuler;
@@ -151,28 +155,39 @@ void PhaseKingBatch::apply_king_round(NodeId v, Phase k, const net::Message* m) 
 
 void PhaseKingBatch::receive_all(Round r, const net::RoundBuffer& buf,
                                  const net::RoundTally& tally) {
+    receive_prepare(r, buf, tally);
+    receive_range(r, buf, tally, 0, params_.n);
+}
+
+void PhaseKingBatch::receive_prepare(Round r, const net::RoundBuffer&,
+                                     const net::RoundTally& tally) {
+    prep_base_ = {0, 0};
+    prep_delta_ = nullptr;
+    if ((r % 2) != 0) return;  // the king round needs no shared tallies
     const Phase k = r / 2;
-    const NodeId n = params_.n;
+    const net::TallyBucket* b = tally.find(net::MsgKind::PhaseKingSend, k);
+    if (b != nullptr) prep_base_ = b->val_cnt;
+    prep_delta_ = tally.val_delta_plane(net::MsgKind::PhaseKingSend, k, false);
+}
+
+void PhaseKingBatch::receive_range(Round r, const net::RoundBuffer& buf,
+                                   const net::RoundTally&, NodeId lo, NodeId hi) {
+    const Phase k = r / 2;
     const std::uint8_t* state = buf.state_plane();
     if ((r % 2) == 0) {
-        const net::TallyBucket* b = tally.find(net::MsgKind::PhaseKingSend, k);
-        const std::array<Count, 2> base =
-            b != nullptr ? b->val_cnt : std::array<Count, 2>{0, 0};
-        const std::array<Count, 2>* delta =
-            tally.val_delta_plane(net::MsgKind::PhaseKingSend, k, false);
-        for (NodeId v = 0; v < n; ++v) {
+        for (NodeId v = lo; v < hi; ++v) {
             if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
-            std::array<Count, 2> cnt = base;
-            if (delta != nullptr) {
-                cnt[0] += delta[v][0];
-                cnt[1] += delta[v][1];
+            std::array<Count, 2> cnt = prep_base_;
+            if (prep_delta_ != nullptr) {
+                cnt[0] += prep_delta_[v][0];
+                cnt[1] += prep_delta_[v][1];
             }
             apply_send_round(v, cnt);
         }
         return;
     }
     const NodeId king = params_.king_of(k);
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = lo; v < hi; ++v) {
         if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
         apply_king_round(v, k, buf.from(v, king));
     }

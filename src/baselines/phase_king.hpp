@@ -75,6 +75,15 @@ public:
                      const net::RoundTally& tally) override;
     void receive_all(Round r, const net::RoundBuffer& buf,
                      const net::DeliverySource& src) override;
+    // Sharded beats: no RNG at all, per-node planes only; the round-2 king
+    // broadcast fires exactly once — from the shard whose range holds the
+    // king. The king probe (buf.from) is a const read, safe from any shard.
+    bool shardable() const override { return true; }
+    void send_range(Round r, net::RoundBuffer& buf, NodeId lo, NodeId hi) override;
+    void receive_prepare(Round r, const net::RoundBuffer& buf,
+                         const net::RoundTally& tally) override;
+    void receive_range(Round r, const net::RoundBuffer& buf,
+                       const net::RoundTally& tally, NodeId lo, NodeId hi) override;
     const std::uint8_t* halted_plane() const override { return halted_.data(); }
     Bit value(NodeId v) const override { return val_[v]; }
     bool decided(NodeId /*v*/) const override { return false; }
@@ -85,6 +94,9 @@ private:
     void apply_king_round(NodeId v, Phase k, const net::Message* king_msg);
 
     PhaseKingParams params_;
+    // receive_prepare → receive_range handoff; valid for one beat only.
+    std::array<Count, 2> prep_base_{0, 0};
+    const std::array<Count, 2>* prep_delta_ = nullptr;
     std::vector<Bit> val_;
     std::vector<Bit> maj_;
     std::vector<Count> mult_;

@@ -36,9 +36,12 @@ void SkeletonBatch::rearm(const SkeletonConfig& cfg, BatchCoinSpec coin,
 }
 
 void SkeletonBatch::send_all(Round r, net::RoundBuffer& buf) {
+    send_range(r, buf, 0, cfg_.n);
+}
+
+void SkeletonBatch::send_range(Round r, net::RoundBuffer& buf, NodeId lo, NodeId hi) {
     const Phase p = r / 2;
     const bool round2 = (r % 2) != 0;
-    const NodeId n = cfg_.n;
     const std::uint8_t* state = buf.state_plane();
 
     // Committee membership is an ID range; hoist it out of the node loop
@@ -54,7 +57,7 @@ void SkeletonBatch::send_all(Round r, net::RoundBuffer& buf) {
     net::Message m;
     m.phase = p;
     m.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = lo; v < hi; ++v) {
         if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
         m.val = val_[v];
         m.flag = decided_[v] ? 1 : 0;
@@ -62,6 +65,8 @@ void SkeletonBatch::send_all(Round r, net::RoundBuffer& buf) {
         if (round2) {
             // Flip regardless of this node's own case: the flip is drawn
             // before any round-2 delivery is seen (Lemma 5 independence).
+            // Stream v is private to v, so a shard draws exactly what the
+            // serial sweep would.
             if (v >= flip_first && v < flip_last) m.coin = rng_[v].sign();
             if (flushing_[v]) halted_[v] = 1;  // second flush broadcast done
         }
@@ -122,8 +127,41 @@ void SkeletonBatch::apply_phase_end(NodeId v, Phase p) {
 
 void SkeletonBatch::receive_all(Round r, const net::RoundBuffer& buf,
                                 const net::RoundTally& tally) {
+    receive_prepare(r, buf, tally);
+    receive_range(r, buf, tally, 0, cfg_.n);
+}
+
+void SkeletonBatch::receive_prepare(Round r, const net::RoundBuffer&,
+                                    const net::RoundTally& tally) {
     const Phase p = r / 2;
-    const NodeId n = cfg_.n;
+    const bool round2 = (r % 2) != 0;
+    const net::MsgKind kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+    const net::TallyBucket* b = tally.find(kind, p);
+    prep_base_ = {0, 0};
+    if (b != nullptr) prep_base_ = round2 ? b->val_flag_cnt : b->val_cnt;
+    prep_delta_ = tally.val_delta_plane(kind, p, /*require_flag=*/round2);
+    prep_honest_coin_ = 0;
+    prep_coin_delta_ = nullptr;
+    if (round2 && coin_.kind == BatchCoinSpec::Kind::Committee) {
+        // Eager committee-coin hoist: the tally's lazy caches must not be
+        // built from concurrent shards, so prepare pays for them up front
+        // even when no node lands in case 3 — a cache build only, not an
+        // observable draw (coin values are unchanged).
+        const auto range = coin_.schedule.range(coin_.schedule.committee_of_phase(p));
+        for (std::size_t i = 0; i < tally.bucket_count(); ++i) {
+            const net::TallyBucket& cb = tally.bucket(i);
+            if (cb.kind != net::MsgKind::Vote2 || cb.phase != p) continue;
+            prep_honest_coin_ += tally.coin_range_sum(cb, range.first, range.second);
+        }
+        prep_coin_delta_ =
+            tally.coin_delta_plane(net::MsgKind::Vote2, p, /*check_phase=*/true,
+                                   range.first, range.second);
+    }
+}
+
+void SkeletonBatch::receive_range(Round r, const net::RoundBuffer& buf,
+                                  const net::RoundTally& tally, NodeId lo, NodeId hi) {
+    const Phase p = r / 2;
     const std::uint8_t* state = buf.state_plane();
     const auto skip = [&](NodeId v) {
         return (state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v] ||
@@ -133,17 +171,12 @@ void SkeletonBatch::receive_all(Round r, const net::RoundBuffer& buf,
     if ((r % 2) == 0) {
         // Round 1: one shared honest histogram + one delta plane serve all
         // receivers; the per-node work is two adds and the threshold test.
-        const net::TallyBucket* b = tally.find(net::MsgKind::Vote1, p);
-        const std::array<Count, 2> base =
-            b != nullptr ? b->val_cnt : std::array<Count, 2>{0, 0};
-        const std::array<Count, 2>* delta =
-            tally.val_delta_plane(net::MsgKind::Vote1, p, /*require_flag=*/false);
-        for (NodeId v = 0; v < n; ++v) {
+        for (NodeId v = lo; v < hi; ++v) {
             if (skip(v)) continue;
-            std::array<Count, 2> cnt = base;
-            if (delta != nullptr) {
-                cnt[0] += delta[v][0];
-                cnt[1] += delta[v][1];
+            std::array<Count, 2> cnt = prep_base_;
+            if (prep_delta_ != nullptr) {
+                cnt[0] += prep_delta_[v][0];
+                cnt[1] += prep_delta_[v][1];
             }
             apply_round1(v, cnt);
         }
@@ -151,52 +184,21 @@ void SkeletonBatch::receive_all(Round r, const net::RoundBuffer& buf,
     }
 
     // Round 2: decided counts the same way; the committee coin's honest
-    // contribution is receiver-independent, so it is hoisted out of the
-    // loop entirely and only the Byzantine delta varies per receiver.
-    const net::TallyBucket* b = tally.find(net::MsgKind::Vote2, p);
-    const std::array<Count, 2> base =
-        b != nullptr ? b->val_flag_cnt : std::array<Count, 2>{0, 0};
-    const std::array<Count, 2>* delta =
-        tally.val_delta_plane(net::MsgKind::Vote2, p, /*require_flag=*/true);
-
-    // Lazy coin prep: pay for it only when some node actually lands in
-    // case 3 (matches the per-node path's lazy tally builds).
-    bool coin_ready = false;
-    std::int64_t honest_coin = 0;
-    const std::int64_t* coin_delta = nullptr;
-    NodeId first = 0, last = 0;
-    if (coin_.kind == BatchCoinSpec::Kind::Committee) {
-        const auto range = coin_.schedule.range(coin_.schedule.committee_of_phase(p));
-        first = range.first;
-        last = range.second;
-    }
-
-    for (NodeId v = 0; v < n; ++v) {
+    // contribution is receiver-independent and already hoisted by
+    // receive_prepare, so only the Byzantine delta varies per receiver.
+    for (NodeId v = lo; v < hi; ++v) {
         if (skip(v)) continue;
-        std::array<Count, 2> cnt = base;
-        if (delta != nullptr) {
-            cnt[0] += delta[v][0];
-            cnt[1] += delta[v][1];
+        std::array<Count, 2> cnt = prep_base_;
+        if (prep_delta_ != nullptr) {
+            cnt[0] += prep_delta_[v][0];
+            cnt[1] += prep_delta_[v][1];
         }
         apply_round2(v, cnt, [&]() -> Bit {
             switch (coin_.kind) {
                 case BatchCoinSpec::Kind::Committee: {
-                    if (!coin_ready) {
-                        // Same arithmetic as ReceiveView::coin_sum: every
-                        // matching bucket's prefix over [first, last).
-                        for (std::size_t i = 0; i < tally.bucket_count(); ++i) {
-                            const net::TallyBucket& cb = tally.bucket(i);
-                            if (cb.kind != net::MsgKind::Vote2 || cb.phase != p)
-                                continue;
-                            const auto& prefix = tally.coin_prefix(cb);
-                            honest_coin += prefix[last] - prefix[first];
-                        }
-                        coin_delta = tally.coin_delta_plane(
-                            net::MsgKind::Vote2, p, /*check_phase=*/true, first, last);
-                        coin_ready = true;
-                    }
                     const std::int64_t sum =
-                        honest_coin + (coin_delta != nullptr ? coin_delta[v] : 0);
+                        prep_honest_coin_ +
+                        (prep_coin_delta_ != nullptr ? prep_coin_delta_[v] : 0);
                     return sum >= 0 ? Bit{1} : Bit{0};
                 }
                 case BatchCoinSpec::Kind::Dealer:

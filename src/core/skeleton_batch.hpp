@@ -63,6 +63,17 @@ public:
                      const net::RoundTally& tally) override;
     void receive_all(Round r, const net::RoundBuffer& buf,
                      const net::DeliverySource& src) override;
+    // Sharded beats: all per-node state (planes, RNG streams) is indexed by
+    // node, so ranges write disjointly; every shared tally query — including
+    // the committee coin — is hoisted into receive_prepare. Dealer coins must
+    // be pure functions of the phase (the registry's are), so they may be
+    // invoked from any shard.
+    bool shardable() const override { return true; }
+    void send_range(Round r, net::RoundBuffer& buf, NodeId lo, NodeId hi) override;
+    void receive_prepare(Round r, const net::RoundBuffer& buf,
+                         const net::RoundTally& tally) override;
+    void receive_range(Round r, const net::RoundBuffer& buf,
+                       const net::RoundTally& tally, NodeId lo, NodeId hi) override;
     const std::uint8_t* halted_plane() const override { return halted_.data(); }
     Bit value(NodeId v) const override { return val_[v]; }
     bool decided(NodeId v) const override { return decided_[v] != 0; }
@@ -80,6 +91,11 @@ private:
 
     SkeletonConfig cfg_;
     BatchCoinSpec coin_;
+    // receive_prepare → receive_range handoff; valid for one beat only.
+    std::array<Count, 2> prep_base_{0, 0};
+    const std::array<Count, 2>* prep_delta_ = nullptr;
+    std::int64_t prep_honest_coin_ = 0;
+    const std::int64_t* prep_coin_delta_ = nullptr;
     std::vector<Bit> val_;
     std::vector<std::uint8_t> decided_;
     std::vector<std::uint8_t> finish_;

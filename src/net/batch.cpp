@@ -4,6 +4,17 @@
 
 namespace adba::net {
 
+void BatchProtocol::send_range(Round, RoundBuffer&, NodeId, NodeId) {
+    ADBA_EXPECTS_MSG(false, "send_range called on a non-shardable batch");
+}
+
+void BatchProtocol::receive_prepare(Round, const RoundBuffer&, const RoundTally&) {}
+
+void BatchProtocol::receive_range(Round, const RoundBuffer&, const RoundTally&,
+                                  NodeId, NodeId) {
+    ADBA_EXPECTS_MSG(false, "receive_range called on a non-shardable batch");
+}
+
 void PerNodeBatch::rearm(std::vector<std::unique_ptr<HonestNode>> nodes) {
     nodes_ = std::move(nodes);
     for (const auto& p : nodes_) ADBA_EXPECTS(p != nullptr);

@@ -70,6 +70,39 @@ public:
     virtual void receive_all(Round r, const RoundBuffer& buf,
                              const DeliverySource& src) = 0;
 
+    // ---- intra-trial sharding (EngineConfig::intra) ----
+    //
+    // A shardable batch lets the engine split each beat into disjoint
+    // word-aligned node ranges executed concurrently (IntraDispatcher,
+    // net/tally_kernels.hpp), with a barrier per beat:
+    //
+    //   send beat    : send_range(r, buf, lo, hi) per shard;
+    //   receive beat : receive_prepare(r, buf, tally) once, serially —
+    //                  ALL shared tally queries (find, delta planes, coin
+    //                  sums) must be hoisted here, because the tally's
+    //                  lazy caches are not safe to build concurrently —
+    //                  then receive_range(r, buf, tally, lo, hi) per
+    //                  shard, touching only per-node state in [lo, hi).
+    //
+    // Per-node writes (value planes, halted bits, set_broadcast, per-node
+    // RNG draws) are disjoint across ranges, so sharded execution is
+    // race-free and bit-identical to send_all/receive_all at ANY shard
+    // count — tests/test_intra_shard.cpp pins this. A Dealer-style shared
+    // coin hook must be pure (thread-safe) for its batch to be shardable.
+
+    /// True when this batch implements the range protocol above. The
+    /// default (and PerNodeBatch, whose nodes build lazy per-view tallies)
+    /// is non-shardable; the engine then runs whole-population beats.
+    virtual bool shardable() const { return false; }
+    /// Send beat over senders [lo, hi); shardable batches only.
+    virtual void send_range(Round r, RoundBuffer& buf, NodeId lo, NodeId hi);
+    /// Serial pre-pass of the receive beat: hoist shared tally state.
+    virtual void receive_prepare(Round r, const RoundBuffer& buf,
+                                 const RoundTally& tally);
+    /// Receive beat over receivers [lo, hi); shardable batches only.
+    virtual void receive_range(Round r, const RoundBuffer& buf,
+                               const RoundTally& tally, NodeId lo, NodeId hi);
+
     /// Contiguous halted bitplane, one byte per node (1 = halted). Valid
     /// between beats; updated only inside send_all / receive_all.
     virtual const std::uint8_t* halted_plane() const = 0;

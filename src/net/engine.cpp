@@ -195,13 +195,28 @@ void Engine::account_sends() {
     }
 }
 
+IntraDispatcher* Engine::shard_dispatcher() const {
+    if (cfg_.intra == nullptr || cfg_.reference_delivery) return nullptr;
+    return batch_->shardable() ? cfg_.intra : nullptr;
+}
+
 void Engine::run_receives() {
     if (cfg_.reference_delivery) {
         const RoundBufferSource src(buf_);
         batch_->receive_all(round_, buf_, src);
         return;
     }
-    tally_.rebuild(buf_);
+    // Packed tally builds shard regardless of the protocol (the pack pass
+    // is protocol-agnostic); the scalar build stays serial — it is the
+    // byte-plane oracle.
+    tally_.rebuild(buf_, cfg_.simd_tally, cfg_.simd_tally ? cfg_.intra : nullptr);
+    if (IntraDispatcher* d = shard_dispatcher()) {
+        batch_->receive_prepare(round_, buf_, tally_);
+        d->run_shards(cfg_.n, [&](unsigned, NodeId lo, NodeId hi) {
+            batch_->receive_range(round_, buf_, tally_, lo, hi);
+        });
+        return;
+    }
     batch_->receive_all(round_, buf_, tally_);
 }
 
@@ -217,8 +232,16 @@ RunResult Engine::run() {
         buf_.begin_round();
 
         // Beat 1: honest sends (randomness for this round is drawn here).
-        // One dispatch for the whole population.
-        batch_->send_all(round_, buf_);
+        // One dispatch for the whole population, or one per shard when an
+        // intra-trial dispatcher is armed (per-node RNG streams are index-
+        // seeded, so the draw order inside a shard matches the serial one).
+        if (IntraDispatcher* d = shard_dispatcher()) {
+            d->run_shards(cfg_.n, [&](unsigned, NodeId lo, NodeId hi) {
+                batch_->send_range(round_, buf_, lo, hi);
+            });
+        } else {
+            batch_->send_all(round_, buf_);
+        }
 
         // Beat 2: the rushing adversary observes and acts.
         {

@@ -128,6 +128,16 @@ struct EngineConfig {
     /// per-sender tally loops — the reference path the flat plane is pinned
     /// against. Semantics identical, markedly slower.
     bool reference_delivery = false;
+    /// Build the round tally with the word-packed popcount kernels
+    /// (net/tally_kernels.hpp). `false` keeps the scalar byte-plane build —
+    /// the oracle the packed path is pinned against (scenario key `simd=`).
+    bool simd_tally = true;
+    /// Intra-trial shard dispatcher (owned by the caller, e.g. the arena's
+    /// sim::ShardPool; must outlive run()). When set, the send beat, the
+    /// packed tally build, and the receive beat split into the dispatcher's
+    /// word-aligned node ranges — provided the batch is shardable() and the
+    /// engine is not in reference_delivery mode. Null = serial beats.
+    IntraDispatcher* intra = nullptr;
 };
 
 /// Outcome of one simulated run.
@@ -191,6 +201,9 @@ private:
     bool is_halted(NodeId v) const;
 
     void common_reset(EngineConfig cfg, Adversary& adversary);
+    /// The dispatcher for protocol beats, or nullptr for serial execution
+    /// (no dispatcher configured, batch not shardable, or oracle mode).
+    IntraDispatcher* shard_dispatcher() const;
     std::optional<Message> do_corrupt(NodeId v);
     void do_deliver(NodeId byz_from, NodeId to, const Message& m);
     void account_sends();

@@ -125,39 +125,93 @@ Count RoundBuffer::apply_pattern(NodeId byz_from, const Message* low,
 
 // --------------------------------------------------------------- RoundTally
 
-void RoundTally::rebuild(const RoundBuffer& buf) {
+void RoundTally::rebuild(const RoundBuffer& buf, bool packed, IntraDispatcher* intra) {
     buf_ = &buf;
     buckets_in_use_ = 0;  // recycle bucket storage; no per-round allocation
     val_caches_in_use_ = 0;
     coin_caches_in_use_ = 0;
+    packed_ = packed;
+    if (packed)
+        rebuild_packed(buf, intra);
+    else
+        rebuild_scalar(buf);
+}
+
+/// Finds or creates the (kind, phase) bucket for the current round; in
+/// packed mode (words > 0) a fresh bucket gets a zeroed full-width match
+/// plane. Creation order IS the serial discovery order: scalar rebuild
+/// discovers by ascending sender, packed rebuild merges shard-local
+/// buckets in shard-index order, and shard s covers lower senders than
+/// shard s+1, so first occurrences arrive in the same order.
+TallyBucket& RoundTally::bucket_for(MsgKind kind, Phase phase, std::size_t words) {
+    for (std::size_t i = 0; i < buckets_in_use_; ++i)
+        if (buckets_[i].kind == kind && buckets_[i].phase == phase)
+            return buckets_[i];
+    if (buckets_.size() <= buckets_in_use_) buckets_.resize(buckets_in_use_ + 1);
+    TallyBucket& b = buckets_[buckets_in_use_++];
+    b.kind = kind;
+    b.phase = phase;
+    b.val_cnt = {0, 0};
+    b.val_flag_cnt = {0, 0};
+    b.total = 0;
+    b.have_coin_prefix = false;  // lazy storage keeps its capacity
+    b.have_words = false;
+    if (words > 0) b.match.assign(words, 0);
+    return b;
+}
+
+void RoundTally::rebuild_scalar(const RoundBuffer& buf) {
     const NodeId n = buf.n();
     const std::uint8_t* state = buf.state_plane();
     const Message* honest = buf.honest_plane();
     for (NodeId v = 0; v < n; ++v) {
         if (state[v] != RoundBuffer::kPresent) continue;
         const Message& m = honest[v];
-        TallyBucket* b = nullptr;
-        for (std::size_t i = 0; i < buckets_in_use_; ++i) {
-            if (buckets_[i].kind == m.kind && buckets_[i].phase == m.phase) {
-                b = &buckets_[i];
-                break;
-            }
+        TallyBucket& b = bucket_for(m.kind, m.phase, 0);
+        ++b.total;
+        ++b.val_cnt[m.val & 1];
+        if (m.flag != 0) ++b.val_flag_cnt[m.val & 1];
+    }
+}
+
+void RoundTally::rebuild_packed(const RoundBuffer& buf, IntraDispatcher* intra) {
+    const NodeId n = buf.n();
+    const std::size_t words = kern::word_count(n);
+    planes_.ensure(words);
+    const unsigned shards = intra != nullptr ? intra->shards() : 1;
+    if (pack_shards_.size() < shards) pack_shards_.resize(shards);
+
+    // Pack pass: every shard fills its own word span of the attribute
+    // planes and its own local bucket matches — disjoint writes, barrier
+    // on return.
+    kern::run_sharded(intra, n, [&](unsigned s, NodeId lo, NodeId hi) {
+        kern::pack_shard(buf, lo, hi, planes_, pack_shards_[s]);
+    });
+
+    // Serial merge in shard-index order (see bucket_for on ordering).
+    // Shard word spans are disjoint, so copies never overlap.
+    for (unsigned s = 0; s < shards; ++s) {
+        const kern::PackShard& sh = pack_shards_[s];
+        for (std::size_t i = 0; i < sh.buckets_in_use; ++i) {
+            const kern::PackShardBucket& lb = sh.buckets[i];
+            TallyBucket& b = bucket_for(lb.kind, lb.phase, words);
+            std::copy(lb.match.begin(), lb.match.end(),
+                      b.match.begin() + static_cast<std::ptrdiff_t>(sh.word_lo));
         }
-        if (b == nullptr) {
-            if (buckets_.size() <= buckets_in_use_)
-                buckets_.resize(buckets_in_use_ + 1);
-            b = &buckets_[buckets_in_use_++];
-            b->kind = m.kind;
-            b->phase = m.phase;
-            b->val_cnt = {0, 0};
-            b->val_flag_cnt = {0, 0};
-            b->total = 0;
-            b->have_coin_prefix = false;  // lazy storage keeps its capacity
-            b->have_words = false;
-        }
-        ++b->total;
-        ++b->val_cnt[m.val & 1];
-        if (m.flag != 0) ++b->val_flag_cnt[m.val & 1];
+    }
+
+    // Count reduction: popcounts over full-width planes. Exact integers —
+    // val_cnt[0] falls out of total because val & 1 is binary.
+    for (std::size_t i = 0; i < buckets_in_use_; ++i) {
+        TallyBucket& b = buckets_[i];
+        b.total = kern::popcount_words(b.match.data(), words);
+        b.val_cnt[1] = kern::popcount_and(b.match.data(), planes_.val.data(), words);
+        b.val_cnt[0] = b.total - b.val_cnt[1];
+        const Count flag_total =
+            kern::popcount_and(b.match.data(), planes_.flag.data(), words);
+        b.val_flag_cnt[1] = kern::popcount_and3(b.match.data(), planes_.flag.data(),
+                                                planes_.val.data(), words);
+        b.val_flag_cnt[0] = flag_total - b.val_flag_cnt[1];
     }
 }
 
@@ -192,6 +246,15 @@ const std::vector<std::int64_t>& RoundTally::coin_prefix(const TallyBucket& b) c
     return b.coin_prefix;
 }
 
+std::int64_t RoundTally::coin_range_sum(const TallyBucket& b, NodeId first,
+                                        NodeId last) const {
+    if (packed_)
+        return kern::coin_sum_range(planes_.coin_pos.data(), planes_.coin_neg.data(),
+                                    b.match.data(), first, last);
+    const auto& prefix = coin_prefix(b);
+    return prefix[last] - prefix[first];
+}
+
 namespace {
 
 /// Sorts a raw (word, 1)-pair list and merges duplicates in place: the
@@ -219,14 +282,27 @@ const WordHistogram& RoundTally::word_counts(const TallyBucket& b,
         b.words.clear();
         b.words_flag.clear();
         const NodeId n = buf_->n();
-        const std::uint8_t* state = buf_->state_plane();
         const Message* honest = buf_->honest_plane();
-        for (NodeId u = 0; u < n; ++u) {
-            if (state[u] != RoundBuffer::kPresent) continue;
-            const Message& m = honest[u];
-            if (m.kind != b.kind || m.phase != b.phase) continue;
-            b.words.emplace_back(m.word, Count{1});
-            if (m.flag != 0) b.words_flag.emplace_back(m.word, Count{1});
+        if (packed_) {
+            // Word-sliced collection: iterate set bits of the bucket's
+            // match plane (ctz per live sender) instead of branching on
+            // every sender's state/kind/phase bytes. Same senders in the
+            // same ascending order — identical histograms.
+            const std::size_t words = kern::word_count(n);
+            kern::for_each_set_bit(b.match.data(), words, [&](NodeId u) {
+                const Message& m = honest[u];
+                b.words.emplace_back(m.word, Count{1});
+                if (m.flag != 0) b.words_flag.emplace_back(m.word, Count{1});
+            });
+        } else {
+            const std::uint8_t* state = buf_->state_plane();
+            for (NodeId u = 0; u < n; ++u) {
+                if (state[u] != RoundBuffer::kPresent) continue;
+                const Message& m = honest[u];
+                if (m.kind != b.kind || m.phase != b.phase) continue;
+                b.words.emplace_back(m.word, Count{1});
+                if (m.flag != 0) b.words_flag.emplace_back(m.word, Count{1});
+            }
         }
         sort_aggregate(b.words);
         sort_aggregate(b.words_flag);
@@ -429,8 +505,7 @@ std::int64_t ReceiveView::coin_sum(MsgKind kind, Phase phase, bool check_phase,
     for (std::size_t i = 0; i < tally_->bucket_count(); ++i) {
         const TallyBucket& b = tally_->bucket(i);
         if (b.kind != kind || (check_phase && b.phase != phase)) continue;
-        const auto& prefix = tally_->coin_prefix(b);
-        sum += prefix[last] - prefix[first];
+        sum += tally_->coin_range_sum(b, first, last);
     }
     sum += tally_->coin_delta(kind, phase, check_phase, first, last, recv_);
     return sum;

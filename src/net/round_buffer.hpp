@@ -26,6 +26,14 @@
 //    tally queries). Polymorphism survives only behind DeliverySource, a thin
 //    virtual adapter used by scripted tests and by the engine's reference
 //    delivery path, which the equivalence suite pins the flat plane against.
+//
+//  The tally has two equivalent build modes (engine toggle
+//  EngineConfig::simd_tally, scenario key `simd=`): the scalar byte-plane
+//  sweep above (the reference oracle) and a word-packed mode
+//  (net/tally_kernels.hpp) where presence/val/flag/coin collapse to
+//  uint64_t bit planes, counts become popcounts-over-words, and the pack
+//  pass itself shards across an IntraDispatcher's word-aligned node
+//  ranges. Both modes produce bit-identical query results.
 #pragma once
 
 #include <array>
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/tally_kernels.hpp"
 #include "support/contracts.hpp"
 #include "support/types.hpp"
 
@@ -185,6 +194,11 @@ struct TallyBucket {
     std::array<Count, 2> val_flag_cnt{};  ///< by val & 1, flag != 0 only
     Count total = 0;
 
+    /// Packed-mode match plane: bit v set iff present sender v's broadcast
+    /// landed in this bucket. Filled eagerly by the packed rebuild (unused
+    /// and unsized in scalar mode); every packed query ANDs against it.
+    std::vector<std::uint64_t> match;
+
     mutable bool have_coin_prefix = false;
     /// coin_prefix[u] = sum of sanitized ±1 coins of honest senders < u
     /// whose broadcast matched this bucket; size n+1.
@@ -200,7 +214,15 @@ struct TallyBucket {
 /// O(1) after the first receiver pays the O(n + rows) aggregation.
 class RoundTally {
 public:
-    void rebuild(const RoundBuffer& buf);
+    /// Scalar rebuild — the byte-plane reference oracle.
+    void rebuild(const RoundBuffer& buf) { rebuild(buf, false, nullptr); }
+    /// Full form: `packed` selects the word-packed popcount build
+    /// (tally_kernels.hpp); `intra` shards the pack pass over word-aligned
+    /// node ranges (packed mode only; ignored when scalar). Query results
+    /// are bit-identical across all (packed, intra) combinations.
+    void rebuild(const RoundBuffer& buf, bool packed, IntraDispatcher* intra);
+    /// True when the current round was built in packed mode.
+    bool packed() const { return packed_; }
 
     const TallyBucket* find(MsgKind kind, Phase phase) const;
     /// Live buckets for the current round, in discovery order. Bucket
@@ -212,6 +234,13 @@ public:
     /// Lazy builders (per round, shared across receivers).
     const std::vector<std::int64_t>& coin_prefix(const TallyBucket& b) const;
     const WordHistogram& word_counts(const TallyBucket& b, bool require_flag) const;
+
+    /// Sanitized ±1 coin sum of bucket-matching honest senders in
+    /// [first, last): masked popcounts over the packed coin planes, or the
+    /// lazy prefix difference in scalar mode — one query API, two builds,
+    /// identical integers.
+    std::int64_t coin_range_sum(const TallyBucket& b, NodeId first,
+                                NodeId last) const;
 
     /// Whole per-receiver Byzantine val-count delta plane for one query
     /// signature (array of size n, indexed by receiver); nullptr when the
@@ -254,7 +283,14 @@ private:
         std::vector<std::int64_t> delta;  ///< [n]
     };
 
+    void rebuild_scalar(const RoundBuffer& buf);
+    void rebuild_packed(const RoundBuffer& buf, IntraDispatcher* intra);
+    TallyBucket& bucket_for(MsgKind kind, Phase phase, std::size_t words);
+
     const RoundBuffer* buf_ = nullptr;
+    bool packed_ = false;
+    kern::PackedPlanes planes_;            ///< packed mode; recycled
+    std::vector<kern::PackShard> pack_shards_;  ///< per-shard pack scratch
     // Buckets and query caches: entries are reused across rounds (vectors
     // and maps keep their storage); *_in_use_ marks how many are live for
     // the current round.

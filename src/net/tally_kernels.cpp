@@ -1,0 +1,75 @@
+#include "net/tally_kernels.hpp"
+
+#include <algorithm>
+
+#include "net/round_buffer.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::net::kern {
+
+void pack_shard(const RoundBuffer& buf, NodeId lo, NodeId hi,
+                PackedPlanes& planes, PackShard& shard) {
+    ADBA_EXPECTS(lo % kWordBits == 0);
+    shard.word_lo = lo / kWordBits;
+    shard.word_hi = (static_cast<std::size_t>(hi) + kWordBits - 1) / kWordBits;
+    shard.buckets_in_use = 0;
+    const std::size_t span = shard.word_hi - shard.word_lo;
+    const std::uint8_t* state = buf.state_plane();
+    const Message* honest = buf.honest_plane();
+    PackShardBucket* last = nullptr;
+    // Word-at-a-time: each 64-sender block accumulates its attribute bits
+    // in registers and stores each plane word exactly once — no per-sender
+    // read-modify-write traffic and no plane pre-zeroing. The attribute
+    // planes are filled branchlessly and unconditionally: every consumer
+    // ANDs them against a bucket's exact `match` plane, so bits packed from
+    // stale cells of silent/Byzantine senders are never observed, and the
+    // loop carries no data-dependent branches on payload bits (which the
+    // mispredictor chokes on for random votes/coins).
+    for (std::size_t w = shard.word_lo; w < shard.word_hi; ++w) {
+        const auto v0 = static_cast<NodeId>(w * kWordBits);
+        const NodeId v1 = std::min<NodeId>(hi, v0 + static_cast<NodeId>(kWordBits));
+        std::uint64_t val = 0;
+        std::uint64_t flag = 0;
+        std::uint64_t pos = 0;
+        std::uint64_t neg = 0;
+        for (NodeId v = v0; v < v1; ++v) {
+            const Message& m = honest[v];
+            const std::uint64_t bit = std::uint64_t{1} << (v - v0);
+            val |= bit & (0 - std::uint64_t{m.val & 1u});
+            flag |= bit & (0 - std::uint64_t{m.flag != 0});
+            pos |= bit & (0 - std::uint64_t{m.coin > 0});
+            neg |= bit & (0 - std::uint64_t{m.coin < 0});
+            if (state[v] != RoundBuffer::kPresent) continue;
+            // Exact membership plane. Lockstep protocols have 1-2 live
+            // (kind, phase) signatures per round, so runs of senders land
+            // in the same bucket and the linear scan is flat.
+            PackShardBucket* b = last;
+            if (b == nullptr || b->kind != m.kind || b->phase != m.phase) {
+                b = nullptr;
+                for (std::size_t i = 0; i < shard.buckets_in_use; ++i) {
+                    if (shard.buckets[i].kind == m.kind &&
+                        shard.buckets[i].phase == m.phase) {
+                        b = &shard.buckets[i];
+                        break;
+                    }
+                }
+                if (b == nullptr) {
+                    if (shard.buckets.size() <= shard.buckets_in_use)
+                        shard.buckets.resize(shard.buckets_in_use + 1);
+                    b = &shard.buckets[shard.buckets_in_use++];
+                    b->kind = m.kind;
+                    b->phase = m.phase;
+                    b->match.assign(span, 0);  // recycled; zeroed per round
+                }
+                last = b;
+            }
+            b->match[w - shard.word_lo] |= bit;
+        }
+        planes.val[w] = val;
+        planes.flag[w] = flag;
+        planes.coin_pos[w] = pos;
+        planes.coin_neg[w] = neg;
+    }
+}
+
+}  // namespace adba::net::kern

@@ -1,0 +1,208 @@
+// Word-packed tally kernels + the intra-trial shard seam.
+//
+// The scalar RoundTally build walks the round's uint8_t state plane and
+// Message[] once per round — a byte-granular sweep whose throughput is
+// bounded by issue width, not memory bandwidth. This header packs the
+// binary per-sender attributes of a round (presence-in-bucket, val bit,
+// decided flag, coin sign) into uint64_t bit planes so that every
+// histogram / coin-sum query collapses to popcount-over-words: 64 senders
+// per instruction, streaming through (n/8)-byte planes instead of
+// 16-byte Messages. The scalar byte-plane code in round_buffer.cpp stays
+// as the reference oracle (scenario key `simd=off`); the equivalence
+// tests pin the two bit-identical — every count here is an exact integer,
+// so "vectorized" never means "approximate".
+//
+// Two pieces live here:
+//
+//  * IntraDispatcher — the engine-side seam for intra-trial parallelism.
+//    An implementation (sim::ShardPool) runs fn(shard, lo, hi) over
+//    word-aligned node ranges covering [0, n). Ranges depend only on
+//    (n, shards()), NEVER on how many OS threads execute them, so results
+//    are invariant to the worker count — the same bit-exactness discipline
+//    the cross-trial executor enforces. Word alignment makes concurrent
+//    packed-plane writes race-free: two shards never touch the same word.
+//
+//  * kern::* — the packing pass (shardable: each shard packs its own word
+//    span and discovers its own (kind, phase) buckets; RoundTally merges
+//    shard-local buckets in shard order, which preserves the serial
+//    ascending-first-occurrence bucket order) and the popcount reduction
+//    kernels RoundTally and ReceiveView call.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+#include "support/types.hpp"
+
+namespace adba::net {
+
+class RoundBuffer;
+
+/// Runs a beat callback over word-aligned node ranges. The engine uses one
+/// dispatcher per trial for the send beat, the tally pack and the receive
+/// beat (EngineConfig::intra); a null dispatcher means serial beats.
+///
+/// Contract: run_shards(n, fn) invokes fn(s, lo, hi) exactly once for each
+/// shard s in [0, shards()) with the ranges of kern::shard_node_range, and
+/// returns only after every invocation completed (barrier per beat). The
+/// callback must confine its writes to [lo, hi) state (node ranges are
+/// 64-aligned, so per-word packed writes are disjoint too).
+class IntraDispatcher {
+public:
+    virtual ~IntraDispatcher() = default;
+
+    /// Logical shard count per dispatch. Results must not depend on it
+    /// (tests pin shard-count invariance); only wall-clock should.
+    virtual unsigned shards() const = 0;
+    virtual void run_shards(
+        NodeId n, const std::function<void(unsigned, NodeId, NodeId)>& fn) = 0;
+};
+
+namespace kern {
+
+inline constexpr NodeId kWordBits = 64;
+
+/// Number of uint64_t words covering n one-bit-per-sender lanes.
+inline std::size_t word_count(NodeId n) {
+    return (static_cast<std::size_t>(n) + kWordBits - 1) / kWordBits;
+}
+
+/// Node range [lo, hi) of shard s of `shards` over n nodes. Ranges tile
+/// [0, n), are 64-aligned at every interior boundary, and depend only on
+/// (n, s, shards) — the determinism contract of IntraDispatcher.
+inline std::pair<NodeId, NodeId> shard_node_range(NodeId n, unsigned s,
+                                                  unsigned shards) {
+    const std::size_t words = word_count(n);
+    const std::size_t w_lo = words * s / shards;
+    const std::size_t w_hi = words * (s + 1) / shards;
+    const auto clamp = [n](std::size_t w) {
+        const std::size_t v = w * kWordBits;
+        return v < n ? static_cast<NodeId>(v) : n;
+    };
+    return {clamp(w_lo), clamp(w_hi)};
+}
+
+/// Runs fn(shard, lo, hi) through `intra` when present, else serially as
+/// one full-range shard — the single-call form every sharded beat uses.
+template <typename Fn>
+void run_sharded(IntraDispatcher* intra, NodeId n, Fn&& fn) {
+    if (intra != nullptr) {
+        intra->run_shards(n, fn);
+    } else {
+        fn(0u, NodeId{0}, n);
+    }
+}
+
+/// Round-wide packed attribute planes over senders (bit v of word v/64).
+/// A bit is set only for present honest broadcasts, so every plane is
+/// implicitly masked by presence; bucket-restricted counts AND with the
+/// bucket's match plane. Storage is recycled across rounds.
+struct PackedPlanes {
+    std::vector<std::uint64_t> val;       ///< broadcast present and (val & 1)
+    std::vector<std::uint64_t> flag;      ///< present and flag != 0
+    std::vector<std::uint64_t> coin_pos;  ///< present and coin > 0
+    std::vector<std::uint64_t> coin_neg;  ///< present and coin < 0
+
+    void ensure(std::size_t words) {
+        if (val.size() < words) {
+            val.resize(words);
+            flag.resize(words);
+            coin_pos.resize(words);
+            coin_neg.resize(words);
+        }
+    }
+};
+
+/// One shard's locally-discovered (kind, phase) bucket: match bits over the
+/// shard's own word span only (offset by PackShard::word_lo).
+struct PackShardBucket {
+    MsgKind kind{};
+    Phase phase = 0;
+    std::vector<std::uint64_t> match;
+};
+
+/// Recycled per-shard pack scratch; filled by pack_shard, merged serially
+/// by RoundTally::rebuild in shard-index order.
+struct PackShard {
+    std::size_t word_lo = 0;
+    std::size_t word_hi = 0;
+    std::vector<PackShardBucket> buckets;
+    std::size_t buckets_in_use = 0;
+};
+
+/// Packs senders [lo, hi) of `buf` into the global attribute planes (this
+/// shard's word span only — disjoint from every other shard's writes) and
+/// the shard-local bucket match planes. [lo, hi) must come from
+/// shard_node_range.
+void pack_shard(const RoundBuffer& buf, NodeId lo, NodeId hi,
+                PackedPlanes& planes, PackShard& shard);
+
+// ---- popcount reduction kernels -----------------------------------------
+
+inline Count popcount_words(const std::uint64_t* a, std::size_t words) {
+    Count c = 0;
+    for (std::size_t w = 0; w < words; ++w) c += static_cast<Count>(std::popcount(a[w]));
+    return c;
+}
+
+inline Count popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+    Count c = 0;
+    for (std::size_t w = 0; w < words; ++w)
+        c += static_cast<Count>(std::popcount(a[w] & b[w]));
+    return c;
+}
+
+inline Count popcount_and3(const std::uint64_t* a, const std::uint64_t* b,
+                           const std::uint64_t* c3, std::size_t words) {
+    Count c = 0;
+    for (std::size_t w = 0; w < words; ++w)
+        c += static_cast<Count>(std::popcount(a[w] & b[w] & c3[w]));
+    return c;
+}
+
+/// Sanitized ±1 coin sum over bucket-matching senders in [first, last):
+/// masked popcounts over the (coin_pos, coin_neg) planes — the packed
+/// equivalent of TallyBucket::coin_prefix[last] - coin_prefix[first].
+inline std::int64_t coin_sum_range(const std::uint64_t* pos,
+                                   const std::uint64_t* neg,
+                                   const std::uint64_t* match, NodeId first,
+                                   NodeId last) {
+    if (first >= last) return 0;
+    const std::size_t w0 = first / kWordBits;
+    const std::size_t w1 = (static_cast<std::size_t>(last) - 1) / kWordBits;
+    std::int64_t sum = 0;
+    for (std::size_t w = w0; w <= w1; ++w) {
+        std::uint64_t m = match[w];
+        if (w == w0) m &= ~std::uint64_t{0} << (first % kWordBits);
+        if (w == w1) {
+            const unsigned r = last - static_cast<NodeId>(w * kWordBits);
+            if (r < kWordBits) m &= (std::uint64_t{1} << r) - 1;
+        }
+        sum += std::popcount(pos[w] & m);
+        sum -= std::popcount(neg[w] & m);
+    }
+    return sum;
+}
+
+/// Invokes fn(sender) for every set bit in `words`, ascending — the
+/// word-sliced iteration behind the packed mv word histograms (ctz per
+/// live sender instead of a byte-plane branch per sender).
+template <typename Fn>
+void for_each_set_bit(const std::uint64_t* words, std::size_t word_count, Fn&& fn) {
+    for (std::size_t w = 0; w < word_count; ++w) {
+        std::uint64_t bits = words[w];
+        while (bits != 0) {
+            const unsigned i = static_cast<unsigned>(std::countr_zero(bits));
+            fn(static_cast<NodeId>(w * kWordBits + i));
+            bits &= bits - 1;
+        }
+    }
+}
+
+}  // namespace kern
+}  // namespace adba::net

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -12,6 +14,8 @@ namespace adba::sim {
 
 namespace {
 std::atomic<unsigned> g_default_threads{0};  // 0 = follow the hardware
+std::atomic<int> g_default_intra{-1};        // -1 = consult ADBA_INTRA_THREADS
+std::atomic<bool> g_intra_clamp_warned{false};
 }  // namespace
 
 unsigned hardware_threads() {
@@ -37,6 +41,145 @@ unsigned init_threads(const Cli& cli) {
     if (threads == 0) threads = 1;
     set_default_threads(threads);
     return threads;
+}
+
+unsigned default_intra_threads() {
+    int v = g_default_intra.load(std::memory_order_relaxed);
+    if (v < 0) {
+        int from_env = 0;
+        if (const char* e = std::getenv("ADBA_INTRA_THREADS"))
+            from_env = std::max(0, std::atoi(e));
+        g_default_intra.store(from_env, std::memory_order_relaxed);
+        v = from_env;
+    }
+    return static_cast<unsigned>(v);
+}
+
+void set_default_intra_threads(unsigned shards) {
+    g_default_intra.store(static_cast<int>(shards), std::memory_order_relaxed);
+}
+
+unsigned init_intra_threads(const Cli& cli) {
+    const std::int64_t raw = cli.get_int(
+        "intra_threads", static_cast<std::int64_t>(default_intra_threads()));
+    ADBA_EXPECTS_MSG(raw >= 0, "--intra_threads must be non-negative, got " +
+                                   std::to_string(raw));
+    const auto shards = static_cast<unsigned>(raw);
+    set_default_intra_threads(shards);
+    return shards;
+}
+
+unsigned intra_worker_cap(unsigned pool_width) {
+    return std::max(1u, hardware_threads() / std::max(1u, pool_width));
+}
+
+unsigned plan_intra_shards(Count requested, NodeId n) {
+    if (requested > 0) return static_cast<unsigned>(requested);
+    const unsigned dflt = default_intra_threads();
+    if (dflt > 0) return dflt;
+    // Auto policy: sharding pays only when one trial is large (the barrier
+    // costs microseconds per beat) and the trial pool leaves hardware idle
+    // (cross-trial parallelism is embarrassingly parallel and always wins
+    // when there are enough trials to feed it).
+    if (n < 2048) return 1;
+    const unsigned cap = intra_worker_cap(default_threads());
+    if (cap <= 1) return 1;
+    return std::min(8u, cap);
+}
+
+// -------------------------------------------------------------- ShardPool
+
+ShardPool::ShardPool(unsigned shards, unsigned pool_width)
+    : shards_(std::max(1u, shards)) {
+    const unsigned cap = intra_worker_cap(pool_width);
+    const unsigned threads = std::min(shards_, cap);
+    if (threads < shards_ && cap < shards_ &&
+        !g_intra_clamp_warned.exchange(true, std::memory_order_relaxed)) {
+        std::fprintf(stderr,
+                     "[adba] intra_threads clamped: %u shards share %u worker(s) "
+                     "(pool %u x hardware %u)\n",
+                     shards_, threads, pool_width, hardware_threads());
+    }
+    workers_.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ShardPool::~ShardPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ShardPool::drain(const std::function<void(unsigned, NodeId, NodeId)>& fn,
+                      NodeId n) {
+    while (true) {
+        const unsigned s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards_) return;
+        try {
+            const auto [lo, hi] = net::kern::shard_node_range(n, s, shards_);
+            fn(s, lo, hi);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (!error_) error_ = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            if (--remaining_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+void ShardPool::worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(unsigned, NodeId, NodeId)>* job = nullptr;
+        NodeId n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            job = job_;
+            n = n_;
+            ++active_;
+        }
+        drain(*job, n);
+        {
+            const std::lock_guard<std::mutex> lock(mu_);
+            // Quiescence: the caller returns only once no worker can touch
+            // next_shard_ again, so the next dispatch's cursor reset never
+            // races a stale fetch_add from this generation.
+            if (--active_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+void ShardPool::run_shards(NodeId n,
+                           const std::function<void(unsigned, NodeId, NodeId)>& fn) {
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        job_ = &fn;
+        n_ = n;
+        remaining_ = shards_;
+        error_ = nullptr;
+        next_shard_.store(0, std::memory_order_relaxed);
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    drain(fn, n);  // the calling thread participates
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return remaining_ == 0 && active_ == 0; });
+        job_ = nullptr;
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
 }
 
 namespace detail {

@@ -13,12 +13,19 @@
 // the executor tests enforce.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "net/tally_kernels.hpp"
 #include "support/cli.hpp"
 #include "support/types.hpp"
 
@@ -43,6 +50,80 @@ void set_default_threads(unsigned threads);
 /// serial) as the process-wide default and returns the resolved count. The
 /// one entry point bench binaries and examples share for the flag.
 unsigned init_threads(const Cli& cli);
+
+// ---- intra-trial sharding (nested-parallelism policy) ----
+//
+// Two independent axes: LOGICAL shards fix the node-range boundaries (part
+// of the deterministic merge contract — any shard count is bit-identical,
+// tests/test_intra_shard.cpp), OS WORKERS are however many threads actually
+// execute them. Workers are clamped so the trial pool times the intra pool
+// never oversubscribes the machine: a ShardPool built under a `pool_width`-
+// wide trial pool gets at most max(1, hardware/pool_width) threads, and on
+// a saturated pool the shards simply run serially on the calling thread.
+
+/// Process-wide default intra-trial shard count. 0 = auto policy (shard
+/// only when n is large and the trial pool leaves hardware headroom).
+/// Seeded lazily from the ADBA_INTRA_THREADS environment variable;
+/// `--intra_threads` / set_default_intra_threads override it.
+unsigned default_intra_threads();
+void set_default_intra_threads(unsigned shards);
+
+/// Applies `--intra_threads` as the process-wide default and returns the
+/// resolved count (0 = auto). Companion of init_threads.
+unsigned init_intra_threads(const Cli& cli);
+
+/// Worker budget left for intra-trial sharding once `pool_width` trial
+/// workers are running: max(1, hardware_threads() / max(1, pool_width)).
+unsigned intra_worker_cap(unsigned pool_width);
+
+/// Resolves a scenario's intra_threads request to a logical shard count.
+/// `requested` > 0 wins verbatim; else a non-zero process default wins;
+/// else auto: 1 (no sharding) unless n >= 2048 AND the trial pool leaves
+/// idle hardware, in which case min(8, intra_worker_cap(default_threads())).
+unsigned plan_intra_shards(Count requested, NodeId n);
+
+/// Persistent worker pool behind net::IntraDispatcher: the engine's beats
+/// fan out over `shards` word-aligned node ranges per dispatch, with a full
+/// quiescence barrier on return (no worker still touches pool state after
+/// run_shards returns, so back-to-back beats never race). The calling
+/// thread participates, so a pool clamped to one worker degrades to a
+/// serial loop — same results, no threads.
+class ShardPool final : public net::IntraDispatcher {
+public:
+    /// `shards` logical ranges, executed by min(shards, intra_worker_cap(
+    /// pool_width)) threads. Emits a one-line stderr warning (once per
+    /// process) when the clamp bites.
+    ShardPool(unsigned shards, unsigned pool_width);
+    ~ShardPool() override;
+    ShardPool(const ShardPool&) = delete;
+    ShardPool& operator=(const ShardPool&) = delete;
+
+    unsigned shards() const override { return shards_; }
+    /// Threads executing a dispatch, calling thread included.
+    unsigned workers() const { return static_cast<unsigned>(workers_.size()) + 1; }
+    void run_shards(NodeId n,
+                    const std::function<void(unsigned, NodeId, NodeId)>& fn) override;
+
+private:
+    void worker_loop();
+    /// Claims and runs shards until the cursor runs dry; returns whether
+    /// every claimed shard completed without throwing.
+    void drain(const std::function<void(unsigned, NodeId, NodeId)>& fn, NodeId n);
+
+    const unsigned shards_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< workers wait for a new generation
+    std::condition_variable done_cv_;  ///< caller waits for quiescence
+    std::uint64_t generation_ = 0;     ///< bumps once per run_shards
+    unsigned remaining_ = 0;           ///< shards not yet completed
+    unsigned active_ = 0;              ///< workers inside a claim loop
+    bool stop_ = false;
+    NodeId n_ = 0;
+    const std::function<void(unsigned, NodeId, NodeId)>* job_ = nullptr;
+    std::exception_ptr error_;
+    std::atomic<unsigned> next_shard_{0};
+    std::vector<std::thread> workers_;
+};
 
 namespace detail {
 

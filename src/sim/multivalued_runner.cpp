@@ -72,6 +72,7 @@ public:
         cfg.budget = s.t;
         cfg.max_rounds = plan_.cap;
         cfg.reference_delivery = s.reference_delivery;
+        cfg.simd_tally = s.use_simd;
         if (engine_) {
             engine_->reset(cfg, std::move(nodes_), *adversary);
         } else {

@@ -55,11 +55,16 @@ struct MvScenario {
     /// portable with the binary stack and forward-compatible with a native
     /// mv batch.
     bool use_batch = true;
+    /// Build round tallies with the word-packed popcount kernels (scenario
+    /// key `simd`); `simd=off` keeps the scalar byte-plane build — the
+    /// oracle toggle shared with the binary stack. The mv word histograms
+    /// are the word-sliced packed path this exercises.
+    bool use_simd = true;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// adversary/input names through MvAdversaryRegistry. Keys: adversary,
     /// inputs, n, t, q, alpha, gamma, beta, fallback, las_vegas, reference,
-    /// batch. Unknown keys or names throw ContractViolation with the
+    /// batch, simd. Unknown keys or names throw ContractViolation with the
     /// accepted alternatives.
     static MvScenario parse(const std::string& spec);
 

@@ -858,6 +858,10 @@ std::string Scenario::describe() const {
     if (record_transcript) out += " transcript=true";
     if (reference_delivery) out += " reference=true";
     if (!use_batch) out += " batch=false";
+    if (!use_shard) out += " shard=false";
+    if (!use_simd) out += " simd=false";
+    if (intra_threads != defaults.intra_threads)
+        out += " intra_threads=" + std::to_string(intra_threads);
     return out;
 }
 
@@ -950,11 +954,18 @@ Scenario Scenario::parse(const std::string& spec) {
             s.reference_delivery = parse_onoff(value);
         } else if (key == "batch") {
             s.use_batch = parse_onoff(value);
+        } else if (key == "shard") {
+            s.use_shard = parse_onoff(value);
+        } else if (key == "simd") {
+            s.use_simd = parse_onoff(value);
+        } else if (key == "intra_threads") {
+            s.intra_threads = static_cast<Count>(parse_u64(key, value));
         } else {
             throw ContractViolation(
                 "unknown scenario key '" + key +
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
-                "beta, phases, kappa, max_rounds, transcript, reference, batch");
+                "beta, phases, kappa, max_rounds, transcript, reference, batch, "
+                "shard, simd, intra_threads");
         }
     });
     return s;
@@ -977,6 +988,7 @@ std::string MvScenario::describe() const {
     if (las_vegas) out += " las_vegas=true";
     if (reference_delivery) out += " reference=true";
     if (!use_batch) out += " batch=false";
+    if (!use_simd) out += " simd=false";
     return out;
 }
 
@@ -1007,11 +1019,13 @@ MvScenario MvScenario::parse(const std::string& spec) {
             s.reference_delivery = parse_onoff(value);
         } else if (key == "batch") {
             s.use_batch = parse_onoff(value);
+        } else if (key == "simd") {
+            s.use_simd = parse_onoff(value);
         } else {
             throw ContractViolation(
                 "unknown multi-valued scenario key '" + key +
                 "'; valid keys: adversary, inputs, n, t, q, alpha, gamma, beta, "
-                "fallback, las_vegas, reference, batch");
+                "fallback, las_vegas, reference, batch, simd");
         }
     });
     return s;

@@ -71,6 +71,22 @@ public:
             s.max_rounds_override ? s.max_rounds_override : bundle_.default_max_rounds;
         cfg.record_transcript = s.record_transcript;
         cfg.reference_delivery = s.reference_delivery;
+        cfg.simd_tally = s.use_simd;
+        // Intra-trial sharding: resolve the scenario's request through the
+        // nested-parallelism policy once and keep one pool per arena (its
+        // workers persist across trials; rebuilding per trial would pay
+        // thread spawns on the hot path).
+        if (s.use_shard && batched) {
+            const unsigned shards = plan_intra_shards(s.intra_threads, s.n);
+            if (shards > 1) {
+                if (!shard_pool_ || shard_count_ != shards) {
+                    shard_pool_ =
+                        std::make_unique<ShardPool>(shards, default_threads());
+                    shard_count_ = shards;
+                }
+                cfg.intra = shard_pool_.get();
+            }
+        }
 
         if (batched) {
             if (engine_) {
@@ -109,6 +125,8 @@ private:
     ProtocolBundle bundle_;
     bool have_bundle_ = false;
     std::optional<net::Engine> engine_;
+    std::unique_ptr<ShardPool> shard_pool_;  ///< persists across trials
+    unsigned shard_count_ = 0;
 };
 
 ScenarioPlan BinaryWorkload::make_plan(const Scenario& s) {

@@ -65,12 +65,29 @@ struct Scenario {
     /// stepping the native batches are pinned against. Orthogonal to
     /// `reference`, which selects the delivery probing path.
     bool use_batch = true;
+    /// Allow intra-trial sharding of the engine beats (scenario key `shard`,
+    /// CLI `--shard`). Effective only for native batches (they are the
+    /// shardable ones) and when the policy resolves to >1 shard; `shard=off`
+    /// pins the serial whole-population beats — the stepping oracle for the
+    /// sharded path.
+    bool use_shard = true;
+    /// Build round tallies with the word-packed popcount kernels (scenario
+    /// key `simd`, CLI `--simd`); `simd=off` keeps the scalar byte-plane
+    /// build — the tally oracle the packed kernels are pinned against.
+    bool use_simd = true;
+    /// Intra-trial logical shard count (scenario key `intra_threads`).
+    /// 0 = policy default: the process-wide `--intra_threads` /
+    /// ADBA_INTRA_THREADS setting, else the auto heuristic
+    /// (plan_intra_shards). Any value yields bit-identical results; only
+    /// wall-clock changes.
+    Count intra_threads = 0;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// protocol/adversary/input names through the registries (registry.hpp).
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
-    /// phases, kappa, max_rounds, transcript, reference, batch. Unknown
-    /// keys or names throw ContractViolation with the accepted alternatives.
+    /// phases, kappa, max_rounds, transcript, reference, batch, shard,
+    /// simd, intra_threads. Unknown keys or names throw ContractViolation
+    /// with the accepted alternatives.
     static Scenario parse(const std::string& spec);
 
     /// Canonical spec string; `Scenario::parse(s.describe()) == s`.

@@ -17,9 +17,10 @@
 //   adba_sim --workload=macro --n=65536 --t=256         # asymptotic simulator
 //
 // Flags: --workload --protocol --adversary --inputs --n --t --q --trials
-//        --seed --threads --csv_dir --scenario --alpha --gamma --beta
-//        --phases --kappa --max_rounds --transcript --reference
-//        --batch=on|off --las_vegas --fallback --k --f --attack --forced_bit
+//        --seed --threads --intra_threads --csv_dir --scenario --alpha
+//        --gamma --beta --phases --kappa --max_rounds --transcript
+//        --reference --batch=on|off --shard=on|off --simd=on|off
+//        --las_vegas --fallback --k --f --attack --forced_bit
 //        --schedule --list
 // Unknown flags (and unknown workload/protocol/adversary names) fail loudly
 // with did-you-mean suggestions (Cli strict mode + registry lookups).
@@ -122,6 +123,7 @@ int run_multivalued(const Cli& cli) {
         s.fallback = static_cast<net::Word>(cli.get_int("fallback", 0));
     if (cli.has("reference")) s.reference_delivery = cli.get_bool("reference", false);
     if (cli.has("batch")) s.use_batch = cli.get_bool("batch", true);
+    if (cli.has("simd")) s.use_simd = cli.get_bool("simd", true);
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
@@ -252,8 +254,13 @@ int run_binary(const Cli& cli) {
         s.record_transcript = cli.get_bool("transcript", false);
     if (cli.has("reference")) s.reference_delivery = cli.get_bool("reference", false);
     // --batch=on|off: native SoA batch stepping vs the per-node reference
-    // path (mirrors the scenario key `batch`).
+    // path (mirrors the scenario key `batch`). --shard / --simd are the
+    // same shape for the intra-trial shard and packed-tally toggles;
+    // --intra_threads (read in main via init_intra_threads) sets the
+    // process-wide shard-count default the scenario key can override.
     if (cli.has("batch")) s.use_batch = cli.get_bool("batch", true);
+    if (cli.has("shard")) s.use_shard = cli.get_bool("shard", true);
+    if (cli.has("simd")) s.use_simd = cli.get_bool("simd", true);
 
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
@@ -291,6 +298,7 @@ int main(int argc, char** argv) {
     try {
         const Cli cli(argc, argv);
         sim::init_threads(cli);
+        sim::init_intra_threads(cli);
         if (cli.get_bool("list", false)) {
             const int rc = list_capabilities();
             cli.check_unused();

@@ -2,10 +2,19 @@
 """Fail CI when the freshly measured engine throughput regresses.
 
 Compares a fresh BENCH_engine.json against the committed baseline and exits
-non-zero when trials_per_sec at any common n drops by more than the
+non-zero when a tracked rate at any common n drops by more than the
 tolerance (default 30%). The generous tolerance absorbs CI-runner hardware
 variance while still catching the order-of-magnitude regressions a botched
 delivery/batch-plane change produces; improvements never fail.
+
+Three blocks are gated, each by the same rule:
+  entries         serial trials_per_sec per n
+  sharded         intra-trial-sharded trials_per_sec per n
+  tally_kernels   packed_gb_per_sec per n (the popcount tally build)
+
+A block that exists in the baseline but is missing (or empty) in the fresh
+measurement fails LOUDLY (exit 2): a silently vanished section would read
+as "no regression" exactly when the bench stopped measuring it.
 
 Usage: check_bench_regression.py BASELINE FRESH [--tolerance=0.30]
 """
@@ -13,11 +22,28 @@ Usage: check_bench_regression.py BASELINE FRESH [--tolerance=0.30]
 import json
 import sys
 
+# (json path to the entries list, rate field to gate)
+BLOCKS = [
+    (("entries",), "trials_per_sec"),
+    (("sharded", "entries"), "trials_per_sec"),
+    (("tally_kernels", "entries"), "packed_gb_per_sec"),
+]
 
-def entries_by_n(path):
+
+def load(path):
     with open(path) as fh:
-        doc = json.load(fh)
-    return {e["n"]: e for e in doc.get("entries", [])}
+        return json.load(fh)
+
+
+def block_by_n(doc, keys):
+    node = doc
+    for k in keys:
+        if not isinstance(node, dict) or k not in node:
+            return None
+        node = node[k]
+    if not isinstance(node, list):
+        return None
+    return {e["n"]: e for e in node}
 
 
 def main(argv):
@@ -30,30 +56,49 @@ def main(argv):
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
 
-    baseline = entries_by_n(args[0])
-    fresh = entries_by_n(args[1])
-    common = sorted(set(baseline) & set(fresh))
-    if not common:
-        print("check_bench_regression: no common n entries between "
-              f"{args[0]} and {args[1]}", file=sys.stderr)
-        return 2
+    base_doc = load(args[0])
+    fresh_doc = load(args[1])
 
     failed = False
-    for n in common:
-        base_tps = baseline[n]["trials_per_sec"]
-        fresh_tps = fresh[n]["trials_per_sec"]
-        floor = base_tps * (1.0 - tolerance)
-        status = "ok" if fresh_tps >= floor else "REGRESSION"
-        print(f"n={n:5d}  baseline {base_tps:10.1f} trials/s  "
-              f"fresh {fresh_tps:10.1f} trials/s  floor {floor:10.1f}  {status}")
-        if fresh_tps < floor:
-            failed = True
+    compared = 0
+    for keys, field in BLOCKS:
+        name = ".".join(keys)
+        baseline = block_by_n(base_doc, keys)
+        if not baseline:
+            print(f"[{name}] absent from baseline; skipped")
+            continue
+        fresh = block_by_n(fresh_doc, keys)
+        if not fresh:
+            print(f"check_bench_regression: block '{name}' present in "
+                  f"{args[0]} but missing/empty in {args[1]} — the bench "
+                  "stopped measuring it.", file=sys.stderr)
+            return 2
+        common = sorted(set(baseline) & set(fresh))
+        if not common:
+            print(f"check_bench_regression: no common n entries in block "
+                  f"'{name}' between {args[0]} and {args[1]}", file=sys.stderr)
+            return 2
+        for n in common:
+            base_rate = baseline[n][field]
+            fresh_rate = fresh[n][field]
+            floor = base_rate * (1.0 - tolerance)
+            status = "ok" if fresh_rate >= floor else "REGRESSION"
+            print(f"[{name}] n={n:5d}  baseline {base_rate:10.1f} {field}  "
+                  f"fresh {fresh_rate:10.1f}  floor {floor:10.1f}  {status}")
+            compared += 1
+            if fresh_rate < floor:
+                failed = True
 
+    if compared == 0:
+        print("check_bench_regression: nothing compared — baseline has no "
+              "gated blocks.", file=sys.stderr)
+        return 2
     if failed:
-        print(f"\nFAIL: trials_per_sec dropped more than {tolerance:.0%} below "
+        print(f"\nFAIL: a tracked rate dropped more than {tolerance:.0%} below "
               "the committed baseline at one or more sizes.", file=sys.stderr)
         return 1
-    print(f"\nOK: all sizes within {tolerance:.0%} of the committed baseline.")
+    print(f"\nOK: all tracked rates within {tolerance:.0%} of the committed "
+          "baseline.")
     return 0
 
 
