@@ -98,9 +98,12 @@ void run_sharded(IntraDispatcher* intra, NodeId n, Fn&& fn) {
 }
 
 /// Round-wide packed attribute planes over senders (bit v of word v/64).
-/// A bit is set only for present honest broadcasts, so every plane is
-/// implicitly masked by presence; bucket-restricted counts AND with the
-/// bucket's match plane. Storage is recycled across rounds.
+/// The attribute planes are UNMASKED: pack_shard fills them branchlessly
+/// for every sender slot, including absent/Byzantine ones, so they carry
+/// garbage bits from stale cells. Only a bucket's match plane encodes
+/// presence — every consumer must AND an attribute plane with a match
+/// plane before popcounting; never popcount an attribute plane alone.
+/// Storage is recycled across rounds.
 struct PackedPlanes {
     std::vector<std::uint64_t> val;       ///< broadcast present and (val & 1)
     std::vector<std::uint64_t> flag;      ///< present and flag != 0

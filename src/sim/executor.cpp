@@ -74,9 +74,20 @@ unsigned intra_worker_cap(unsigned pool_width) {
 }
 
 unsigned plan_intra_shards(Count requested, NodeId n) {
-    if (requested > 0) return static_cast<unsigned>(requested);
+    // Scenario files accept any Count, so an absurd request (billions of
+    // logical shards) must not reach ShardPool, where every beat's claim
+    // loop iterates shards_ times per thread. Anything past one shard per
+    // plane word is empty ranges; the hardware multiple keeps the ceiling
+    // above every sane explicit request (tests pin small verbatim values).
+    const auto clamp_shards = [n](Count s) {
+        const Count cap = std::max<Count>(
+            static_cast<Count>(net::kern::word_count(n)),
+            Count{8} * hardware_threads());
+        return static_cast<unsigned>(std::min(s, cap));
+    };
+    if (requested > 0) return clamp_shards(requested);
     const unsigned dflt = default_intra_threads();
-    if (dflt > 0) return dflt;
+    if (dflt > 0) return clamp_shards(dflt);
     // Auto policy: sharding pays only when one trial is large (the barrier
     // costs microseconds per beat) and the trial pool leaves hardware idle
     // (cross-trial parallelism is embarrassingly parallel and always wins
@@ -140,7 +151,15 @@ void ShardPool::worker_loop() {
         NodeId n = 0;
         {
             std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            // A generation can complete (all shards drained by the other
+            // participants) and disarm job_ before a notified worker ever
+            // acquires the mutex. generation_ != seen alone would let that
+            // stale worker bind the null job_ — or, once the next dispatch
+            // has re-armed the cursor, consume a shard of a generation it
+            // never saw. Requiring an armed job keeps it parked until the
+            // next run_shards publishes job_ and generation_ together.
+            work_cv_.wait(lock,
+                          [&] { return stop_ || (generation_ != seen && job_ != nullptr); });
             if (stop_) return;
             seen = generation_;
             job = job_;

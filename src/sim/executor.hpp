@@ -77,9 +77,12 @@ unsigned init_intra_threads(const Cli& cli);
 unsigned intra_worker_cap(unsigned pool_width);
 
 /// Resolves a scenario's intra_threads request to a logical shard count.
-/// `requested` > 0 wins verbatim; else a non-zero process default wins;
-/// else auto: 1 (no sharding) unless n >= 2048 AND the trial pool leaves
-/// idle hardware, in which case min(8, intra_worker_cap(default_threads())).
+/// `requested` > 0 wins; else a non-zero process default wins; else auto:
+/// 1 (no sharding) unless n >= 2048 AND the trial pool leaves idle
+/// hardware, in which case min(8, intra_worker_cap(default_threads())).
+/// Explicit values are clamped to max(word_count(n), 8 * hardware) —
+/// shards past one per plane word are empty ranges, and the ShardPool
+/// claim loop iterates the logical count per dispatch.
 unsigned plan_intra_shards(Count requested, NodeId n);
 
 /// Persistent worker pool behind net::IntraDispatcher: the engine's beats

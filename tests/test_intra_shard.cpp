@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -355,6 +357,22 @@ TEST(ShardPolicy, PlanIntraShardsPrecedence) {
     sim::set_default_intra_threads(saved);
 }
 
+TEST(ShardPolicy, AbsurdRequestsAreClamped) {
+    // A scenario can request any Count; the resolved logical shard count
+    // must stay bounded by max(word_count(n), 8 * hardware) so the pool's
+    // per-beat claim loop never iterates billions of empty ranges.
+    const Count absurd = std::numeric_limits<Count>::max();
+    const unsigned cap = std::max<unsigned>(
+        static_cast<unsigned>(net::kern::word_count(10)),
+        8u * sim::hardware_threads());
+    EXPECT_EQ(sim::plan_intra_shards(absurd, 10), cap);
+    // The same ceiling applies to a process-wide default.
+    const unsigned saved = sim::default_intra_threads();
+    sim::set_default_intra_threads(1u << 30);
+    EXPECT_LE(sim::plan_intra_shards(0, 10), cap);
+    sim::set_default_intra_threads(saved);
+}
+
 TEST(ShardPolicy, IntraWorkerCapNeverOversubscribes) {
     const unsigned hw = sim::hardware_threads();
     EXPECT_EQ(sim::intra_worker_cap(1), hw);
@@ -407,6 +425,26 @@ TEST(ShardPoolDispatch, ExceptionPropagatesAndPoolStaysUsable) {
     std::vector<int> hits(3, 0);
     pool.run_shards(100, [&](unsigned s, NodeId, NodeId) { ++hits[s]; });
     for (unsigned s = 0; s < 3; ++s) EXPECT_EQ(hits[s], 1);
+}
+
+TEST(ShardPoolDispatch, RapidDispatchesNeverWakeStaleWorkers) {
+    // Regression: with trivial per-shard work the calling thread routinely
+    // drains an entire generation before a notified worker acquires the
+    // mutex. Such a stale worker must park until the next generation is
+    // armed — not bind a disarmed (null) job or consume a shard of a
+    // generation it never saw. Hammer back-to-back dispatches and check
+    // every shard of every generation ran exactly once.
+    sim::ShardPool pool(4, 1);
+    for (int gen = 0; gen < 2000; ++gen) {
+        std::atomic<int> ran{0};
+        std::atomic<int> bad{0};
+        pool.run_shards(1, [&](unsigned s, NodeId, NodeId) {
+            if (s >= 4) bad.fetch_add(1, std::memory_order_relaxed);
+            ran.fetch_add(1, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(ran.load(), 4) << "generation " << gen;
+        ASSERT_EQ(bad.load(), 0) << "generation " << gen;
+    }
 }
 
 // ---------------------------------------------------------------------------
