@@ -177,12 +177,15 @@ void BenOrBatch::apply_report(NodeId v, const std::array<Count, 2>& cnt) {
     }
 }
 
-void BenOrBatch::apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop) {
+void BenOrBatch::apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop,
+                               bool checked) {
     const Count t = params_.t;
     // Two honest nodes cannot propose different values (both passed the
     // (n+t)/2 quorum), so at most one value exceeds t from honest senders.
-    ADBA_ENSURES_MSG(!(prop[0] > t && prop[1] > t),
-                     "conflicting Ben-Or proposals above t");
+    if (checked) {
+        ADBA_ENSURES_MSG(!(prop[0] > t && prop[1] > t),
+                         "conflicting Ben-Or proposals above t");
+    }
     for (Bit b : {Bit{0}, Bit{1}}) {
         if (prop[b] > 2 * t) {
             val_[v] = b;
@@ -238,7 +241,36 @@ void BenOrBatch::receive_range(Round r, const net::RoundBuffer& buf,
             cnt[1] += prep_delta_[v][1];
         }
         if (round2)
-            apply_propose(v, p, cnt);
+            apply_propose(v, p, cnt, /*checked=*/true);
+        else
+            apply_report(v, cnt);
+    }
+}
+
+void BenOrBatch::receive_sparse_prepare(Round r, const net::RoundBuffer&,
+                                        const net::RoundTally&,
+                                        const net::SparsePlane& sparse) {
+    const Phase p = r / 2;
+    const bool round2 = (r % 2) != 0;
+    const net::MsgKind kind =
+        round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
+    prep_sparse_query_ = sparse.query(kind, p, /*require_flag=*/round2);
+}
+
+void BenOrBatch::receive_sparse_range(Round r, const net::RoundBuffer& buf,
+                                      const net::RoundTally&,
+                                      const net::SparsePlane& sparse, NodeId lo,
+                                      NodeId hi) {
+    const Phase p = r / 2;
+    const std::uint8_t* state = buf.state_plane();
+    const bool round2 = (r % 2) != 0;
+    for (NodeId v = lo; v < hi; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v] ||
+            flushing_[v])
+            continue;
+        const std::array<Count, 2> cnt = sparse.val_estimates(prep_sparse_query_, v);
+        if (round2)
+            apply_propose(v, p, cnt, /*checked=*/sparse.dense());
         else
             apply_report(v, cnt);
     }
@@ -257,7 +289,8 @@ void BenOrBatch::receive_all(Round r, const net::RoundBuffer& buf,
         if ((r % 2) == 0)
             apply_report(v, view.val_counts(net::MsgKind::BenOrReport, p, false));
         else
-            apply_propose(v, p, view.val_counts(net::MsgKind::BenOrPropose, p, true));
+            apply_propose(v, p, view.val_counts(net::MsgKind::BenOrPropose, p, true),
+                          /*checked=*/true);
     }
 }
 

@@ -22,6 +22,7 @@
 
 #include "net/batch.hpp"
 #include "net/node.hpp"
+#include "net/sparse_plane.hpp"
 #include "rand/seed_tree.hpp"
 #include "support/types.hpp"
 
@@ -86,6 +87,18 @@ public:
                          const net::RoundTally& tally) override;
     void receive_range(Round r, const net::RoundBuffer& buf,
                        const net::RoundTally& tally, NodeId lo, NodeId hi) override;
+    // Sparse beats: report/propose quorums from sampled estimates. The
+    // "conflicting proposals above t" assertion is a theorem for exact
+    // counts only, so it relaxes under sub-dense sampling; dense sampling
+    // reproduces the flat integers and keeps it armed.
+    bool supports_sparse() const override { return true; }
+    void receive_sparse_prepare(Round r, const net::RoundBuffer& buf,
+                                const net::RoundTally& tally,
+                                const net::SparsePlane& sparse) override;
+    void receive_sparse_range(Round r, const net::RoundBuffer& buf,
+                              const net::RoundTally& tally,
+                              const net::SparsePlane& sparse, NodeId lo,
+                              NodeId hi) override;
     const std::uint8_t* halted_plane() const override { return halted_.data(); }
     Bit value(NodeId v) const override { return val_[v]; }
     bool decided(NodeId v) const override { return decided_[v] != 0; }
@@ -93,12 +106,16 @@ public:
 
 private:
     void apply_report(NodeId v, const std::array<Count, 2>& cnt);
-    void apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop);
+    /// `checked` arms the conflicting-proposals assertion — exact counts
+    /// only; sub-dense sampled estimates can trip it statistically.
+    void apply_propose(NodeId v, Phase p, const std::array<Count, 2>& prop,
+                       bool checked);
 
     BenOrParams params_;
     // receive_prepare → receive_range handoff; valid for one beat only.
     std::array<Count, 2> prep_base_{0, 0};
     const std::array<Count, 2>* prep_delta_ = nullptr;
+    net::SparsePlane::Query prep_sparse_query_;  ///< sparse beats only
     std::vector<Bit> val_;
     std::vector<Bit> proposal_;
     std::vector<std::uint8_t> proposing_;

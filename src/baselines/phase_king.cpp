@@ -193,6 +193,37 @@ void PhaseKingBatch::receive_range(Round r, const net::RoundBuffer& buf,
     }
 }
 
+void PhaseKingBatch::receive_sparse_prepare(Round r, const net::RoundBuffer&,
+                                            const net::RoundTally&,
+                                            const net::SparsePlane& sparse) {
+    prep_sparse_query_ = net::SparsePlane::Query{};
+    if ((r % 2) != 0) return;  // the king round probes one sender exactly
+    prep_sparse_query_ =
+        sparse.query(net::MsgKind::PhaseKingSend, r / 2, /*require_flag=*/false);
+}
+
+void PhaseKingBatch::receive_sparse_range(Round r, const net::RoundBuffer& buf,
+                                          const net::RoundTally&,
+                                          const net::SparsePlane& sparse, NodeId lo,
+                                          NodeId hi) {
+    const Phase k = r / 2;
+    const std::uint8_t* state = buf.state_plane();
+    if ((r % 2) == 0) {
+        for (NodeId v = lo; v < hi; ++v) {
+            if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+            apply_send_round(v, sparse.val_estimates(prep_sparse_query_, v));
+        }
+        return;
+    }
+    // The king probe is exact at any sampling degree: one sender, one O(1)
+    // buffer read — sampling it would save nothing and lose the coordinator.
+    const NodeId king = params_.king_of(k);
+    for (NodeId v = lo; v < hi; ++v) {
+        if ((state[v] & net::RoundBuffer::kByzantine) != 0 || halted_[v]) continue;
+        apply_king_round(v, k, buf.from(v, king));
+    }
+}
+
 void PhaseKingBatch::receive_all(Round r, const net::RoundBuffer& buf,
                                  const net::DeliverySource& src) {
     const Phase k = r / 2;

@@ -25,6 +25,7 @@
 
 #include "net/batch.hpp"
 #include "net/node.hpp"
+#include "net/sparse_plane.hpp"
 #include "rand/seed_tree.hpp"
 #include "support/types.hpp"
 
@@ -84,6 +85,18 @@ public:
                          const net::RoundTally& tally) override;
     void receive_range(Round r, const net::RoundBuffer& buf,
                        const net::RoundTally& tally, NodeId lo, NodeId hi) override;
+    // Sparse beats: round-1 majorities from sampled estimates; the round-2
+    // king probe is a single-sender read and stays exact at any degree
+    // (the one-coordinator analogue of the committee exact island). No
+    // threshold assertion exists here, so no relaxation is needed.
+    bool supports_sparse() const override { return true; }
+    void receive_sparse_prepare(Round r, const net::RoundBuffer& buf,
+                                const net::RoundTally& tally,
+                                const net::SparsePlane& sparse) override;
+    void receive_sparse_range(Round r, const net::RoundBuffer& buf,
+                              const net::RoundTally& tally,
+                              const net::SparsePlane& sparse, NodeId lo,
+                              NodeId hi) override;
     const std::uint8_t* halted_plane() const override { return halted_.data(); }
     Bit value(NodeId v) const override { return val_[v]; }
     bool decided(NodeId /*v*/) const override { return false; }
@@ -97,6 +110,7 @@ private:
     // receive_prepare → receive_range handoff; valid for one beat only.
     std::array<Count, 2> prep_base_{0, 0};
     const std::array<Count, 2>* prep_delta_ = nullptr;
+    net::SparsePlane::Query prep_sparse_query_;  ///< sparse beats only
     std::vector<Bit> val_;
     std::vector<Bit> maj_;
     std::vector<Count> mult_;

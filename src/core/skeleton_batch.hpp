@@ -28,6 +28,7 @@
 #include "core/params.hpp"
 #include "core/skeleton.hpp"
 #include "net/batch.hpp"
+#include "net/sparse_plane.hpp"
 #include "rand/rng.hpp"
 #include "rand/seed_tree.hpp"
 
@@ -74,6 +75,20 @@ public:
                          const net::RoundTally& tally) override;
     void receive_range(Round r, const net::RoundBuffer& buf,
                        const net::RoundTally& tally, NodeId lo, NodeId hi) override;
+    // Sparse beats: vote counts come from sampled per-receiver estimates;
+    // the committee coin stays EXACT (its sender range is the paper's
+    // polylog committee — cheap to hear in full), hoisted exactly as in
+    // receive_prepare. Dense sampling reproduces the flat integers, so the
+    // Lemma 3 assertion stays armed there and relaxes only under real
+    // sampling, where two t+1 estimates can statistically coexist.
+    bool supports_sparse() const override { return true; }
+    void receive_sparse_prepare(Round r, const net::RoundBuffer& buf,
+                                const net::RoundTally& tally,
+                                const net::SparsePlane& sparse) override;
+    void receive_sparse_range(Round r, const net::RoundBuffer& buf,
+                              const net::RoundTally& tally,
+                              const net::SparsePlane& sparse, NodeId lo,
+                              NodeId hi) override;
     const std::uint8_t* halted_plane() const override { return halted_.data(); }
     Bit value(NodeId v) const override { return val_[v]; }
     bool decided(NodeId v) const override { return decided_[v] != 0; }
@@ -83,9 +98,11 @@ private:
     /// Round-1 threshold update for node v given its (val 0, val 1) counts.
     void apply_round1(NodeId v, const std::array<Count, 2>& cnt);
     /// Round-2 update; `coin` is invoked only in case 3 (so RNG draws match
-    /// the per-node path exactly).
+    /// the per-node path exactly). `checked` arms the Lemma 3 assertion —
+    /// a theorem for exact counts, but not for sub-dense sampled estimates.
     template <typename CoinFn>
-    void apply_round2(NodeId v, const std::array<Count, 2>& cnt_dec, CoinFn&& coin);
+    void apply_round2(NodeId v, const std::array<Count, 2>& cnt_dec, bool checked,
+                      CoinFn&& coin);
     /// Post-round-2 wrapper logic (finish flush / fixed-phase exhaustion).
     void apply_phase_end(NodeId v, Phase p);
 
@@ -96,6 +113,7 @@ private:
     const std::array<Count, 2>* prep_delta_ = nullptr;
     std::int64_t prep_honest_coin_ = 0;
     const std::int64_t* prep_coin_delta_ = nullptr;
+    net::SparsePlane::Query prep_sparse_query_;  ///< sparse beats only
     std::vector<Bit> val_;
     std::vector<std::uint8_t> decided_;
     std::vector<std::uint8_t> finish_;

@@ -15,6 +15,16 @@ void BatchProtocol::receive_range(Round, const RoundBuffer&, const RoundTally&,
     ADBA_EXPECTS_MSG(false, "receive_range called on a non-shardable batch");
 }
 
+void BatchProtocol::receive_sparse_prepare(Round, const RoundBuffer&,
+                                           const RoundTally&, const SparsePlane&) {}
+
+void BatchProtocol::receive_sparse_range(Round, const RoundBuffer&,
+                                         const RoundTally&, const SparsePlane&,
+                                         NodeId, NodeId) {
+    ADBA_EXPECTS_MSG(false,
+                     "receive_sparse_range called on a batch without sparse support");
+}
+
 void PerNodeBatch::rearm(std::vector<std::unique_ptr<HonestNode>> nodes) {
     nodes_ = std::move(nodes);
     for (const auto& p : nodes_) ADBA_EXPECTS(p != nullptr);

@@ -40,6 +40,8 @@
 
 namespace adba::net {
 
+class SparsePlane;
+
 /// Steps one protocol's whole node population; the engine's only handle on
 /// honest protocol state. Implementations must preserve per-node semantics
 /// exactly: iterate nodes in ascending id, skip Byzantine (RoundBuffer state
@@ -102,6 +104,33 @@ public:
     /// Receive beat over receivers [lo, hi); shardable batches only.
     virtual void receive_range(Round r, const RoundBuffer& buf,
                                const RoundTally& tally, NodeId lo, NodeId hi);
+
+    // ---- sparse delivery plane (EngineConfig::plane == PlaneMode::Sparse) --
+    //
+    // A sparse-capable batch answers its receive-beat tally queries from
+    // sampled per-receiver counts (net/sparse_plane.hpp) instead of exact
+    // population tallies, with the same prepare/range split as the sharded
+    // flat beat: receive_sparse_prepare hoists the round's SparsePlane
+    // query handle plus any EXACT island (the committee coin range, which
+    // every receiver still hears in full), then receive_sparse_range steps
+    // receivers [lo, hi) on estimated counts. Under dense sampling
+    // (degree >= n) the estimates are the flat integers, so the sparse path
+    // is pinned bit-identical to the flat one; below n, threshold lemmas
+    // that are theorems for exact counts may fail statistically, so range
+    // implementations must run their relaxed (assert-free) forms there.
+
+    /// True when this batch implements the sparse receive protocol. Mirrors
+    /// the registry's `supports_sparse` capability flag.
+    virtual bool supports_sparse() const { return false; }
+    /// Serial pre-pass of the sparse receive beat.
+    virtual void receive_sparse_prepare(Round r, const RoundBuffer& buf,
+                                        const RoundTally& tally,
+                                        const SparsePlane& sparse);
+    /// Sparse receive beat over receivers [lo, hi).
+    virtual void receive_sparse_range(Round r, const RoundBuffer& buf,
+                                      const RoundTally& tally,
+                                      const SparsePlane& sparse, NodeId lo,
+                                      NodeId hi);
 
     /// Contiguous halted bitplane, one byte per node (1 = halted). Valid
     /// between beats; updated only inside send_all / receive_all.

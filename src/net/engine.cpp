@@ -116,6 +116,15 @@ void Engine::common_reset(EngineConfig cfg, Adversary& adversary) {
     adversary_ = &adversary;
     ADBA_EXPECTS(cfg_.n > 0);
     ADBA_EXPECTS(cfg_.max_rounds > 0);
+    if (cfg_.plane == PlaneMode::Sparse) {
+        ADBA_EXPECTS_MSG(batch_->supports_sparse(),
+                         "plane=sparse requires a sparse-capable batch");
+        ADBA_EXPECTS_MSG(!cfg_.reference_delivery,
+                         "plane=sparse has no reference-delivery form");
+        ADBA_EXPECTS_MSG(cfg_.simd_tally,
+                         "plane=sparse reads the word-packed tally planes");
+        sparse_.reset(cfg_.n, cfg_.sample_degree, cfg_.sparse_seed);
+    }
     round_ = 0;
     budget_used_ = 0;
     buf_.reset(cfg_.n);
@@ -171,6 +180,12 @@ void Engine::account_sends() {
     NodeId halted_receivers = 0;
     for (NodeId v = 0; v < cfg_.n; ++v)
         if (buf_.is_honest(v) && halted[v]) ++halted_receivers;
+    // Sparse sub-dense delivery is receiver-driven: each live receiver pulls
+    // `degree` sampled sender edges, so a broadcast is charged for at most
+    // that many receivers. Dense sampling keeps the exact flat accounting
+    // (min never binds), preserving bit-identical aggregates.
+    const bool sampled =
+        cfg_.plane == PlaneMode::Sparse && !sparse_.dense();
     for (NodeId v = 0; v < cfg_.n; ++v) {
         if (buf_.is_honest(v)) {
             const Message* m = buf_.broadcast(v);
@@ -184,8 +199,9 @@ void Engine::account_sends() {
                 const std::uint64_t excluded =
                     static_cast<std::uint64_t>(halted_receivers) -
                     (halted[v] ? 1 : 0);
-                const std::uint64_t fanout =
+                std::uint64_t fanout =
                     static_cast<std::uint64_t>(cfg_.n) - 1 - excluded;
+                if (sampled) fanout = std::min<std::uint64_t>(fanout, sparse_.degree());
                 metrics_.honest_messages += fanout;
                 metrics_.honest_bits += fanout * wire_bits(*m, cfg_.n);
             }
@@ -210,6 +226,21 @@ void Engine::run_receives() {
     // is protocol-agnostic); the scalar build stays serial — it is the
     // byte-plane oracle.
     tally_.rebuild(buf_, cfg_.simd_tally, cfg_.simd_tally ? cfg_.intra : nullptr);
+    if (cfg_.plane == PlaneMode::Sparse) {
+        // Sparse receive beat: same prepare/range split as the flat sharded
+        // path — exact islands (committee coin, king probe) hoist or read
+        // from the tally, the per-receiver walk probes sampled edges only.
+        sparse_.begin_round(round_, buf_, tally_);
+        batch_->receive_sparse_prepare(round_, buf_, tally_, sparse_);
+        if (IntraDispatcher* d = shard_dispatcher()) {
+            d->run_shards(cfg_.n, [&](unsigned, NodeId lo, NodeId hi) {
+                batch_->receive_sparse_range(round_, buf_, tally_, sparse_, lo, hi);
+            });
+        } else {
+            batch_->receive_sparse_range(round_, buf_, tally_, sparse_, 0, cfg_.n);
+        }
+        return;
+    }
     if (IntraDispatcher* d = shard_dispatcher()) {
         batch_->receive_prepare(round_, buf_, tally_);
         d->run_shards(cfg_.n, [&](unsigned, NodeId lo, NodeId hi) {

@@ -47,6 +47,7 @@
 #include "net/metrics.hpp"
 #include "net/node.hpp"
 #include "net/round_buffer.hpp"
+#include "net/sparse_plane.hpp"
 #include "net/transcript.hpp"
 #include "support/types.hpp"
 
@@ -119,6 +120,12 @@ public:
     void act(RoundControl&) override {}
 };
 
+/// Which delivery plane answers the receive beat's tally queries.
+enum class PlaneMode : std::uint8_t {
+    Flat,    ///< exact full-population tallies (RoundTally)
+    Sparse,  ///< sampled per-receiver sender subsets (net/sparse_plane.hpp)
+};
+
 struct EngineConfig {
     NodeId n = 0;
     Count budget = 0;        ///< adversary's corruption budget t
@@ -132,6 +139,17 @@ struct EngineConfig {
     /// (net/tally_kernels.hpp). `false` keeps the scalar byte-plane build —
     /// the oracle the packed path is pinned against (scenario key `simd=`).
     bool simd_tally = true;
+    /// Sparse delivery mode: live receivers probe only `sample_degree`
+    /// sampled sender edges per round and scale counts to estimates
+    /// (degree >= n: dense exact walk, bit-identical to flat). Requires a
+    /// packed tally (simd_tally), a sparse-capable batch
+    /// (BatchProtocol::supports_sparse) and !reference_delivery.
+    PlaneMode plane = PlaneMode::Flat;
+    /// Sampled senders per receiver per round; 0 = kDefaultSampleDegree.
+    Count sample_degree = 0;
+    /// Seed of the replayable edge-sample streams (SeedTree purpose
+    /// SparseTopology); only read in sparse mode.
+    std::uint64_t sparse_seed = 0;
     /// Intra-trial shard dispatcher (owned by the caller, e.g. the arena's
     /// sim::ShardPool; must outlive run()). When set, the send beat, the
     /// packed tally build, and the receive beat split into the dispatcher's
@@ -218,6 +236,7 @@ private:
     Count budget_used_ = 0;
     RoundBuffer buf_;      ///< flat per-round delivery state
     RoundTally tally_;     ///< engine-level shared tallies, rebuilt per round
+    SparsePlane sparse_;   ///< sampled-edge plane (PlaneMode::Sparse only)
     std::vector<bool> honest_mask_;  ///< mirror of buf_ honesty for observers/results
 
     Metrics metrics_;

@@ -223,6 +223,14 @@ public:
     void rebuild(const RoundBuffer& buf, bool packed, IntraDispatcher* intra);
     /// True when the current round was built in packed mode.
     bool packed() const { return packed_; }
+    /// The round's shared word-packed attribute planes (packed mode only).
+    /// UNMASKED — consumers must gate every bit through a bucket's match
+    /// plane (tally_kernels.hpp contract). The sparse delivery plane reads
+    /// these directly for its per-edge honest-sender probes.
+    const kern::PackedPlanes& packed_planes() const {
+        ADBA_EXPECTS_MSG(packed_, "packed_planes requires a packed rebuild");
+        return planes_;
+    }
 
     const TallyBucket* find(MsgKind kind, Phase phase) const;
     /// Live buckets for the current round, in discovery order. Bucket

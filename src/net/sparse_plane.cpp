@@ -1,0 +1,114 @@
+#include "net/sparse_plane.hpp"
+
+#include "net/tally_kernels.hpp"
+#include "support/contracts.hpp"
+
+namespace adba::net {
+
+namespace {
+
+// splitmix64 finalizer. FROZEN: the sample derivation below is part of the
+// replayability contract — changing it re-randomizes every recorded sparse
+// experiment, exactly like reordering a SeedTree stream would.
+inline std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void SparsePlane::reset(NodeId n, Count requested_degree, std::uint64_t seed) {
+    ADBA_EXPECTS(n > 0);
+    n_ = n;
+    seed_ = seed;
+    const Count want = requested_degree == 0 ? kDefaultSampleDegree : requested_degree;
+    dense_ = want >= n;
+    degree_ = dense_ ? n : static_cast<NodeId>(want);
+    round_ = 0;
+    buf_ = nullptr;
+    tally_ = nullptr;
+    state_ = nullptr;
+}
+
+void SparsePlane::begin_round(Round r, const RoundBuffer& buf,
+                              const RoundTally& tally) {
+    ADBA_EXPECTS_MSG(buf.n() == n_, "SparsePlane bound to a different population");
+    ADBA_EXPECTS_MSG(tally.packed(),
+                     "sparse mode reads the word-packed tally planes (simd=on)");
+    round_ = r;
+    buf_ = &buf;
+    tally_ = &tally;
+    state_ = buf.state_plane();
+}
+
+SparsePlane::Query SparsePlane::query(MsgKind kind, Phase phase,
+                                      bool require_flag) const {
+    ADBA_EXPECTS_MSG(tally_ != nullptr, "query before begin_round");
+    Query q;
+    q.kind = kind;
+    q.phase = phase;
+    q.require_flag = require_flag;
+    if (const TallyBucket* b = tally_->find(kind, phase)) {
+        const kern::PackedPlanes& planes = tally_->packed_planes();
+        q.match = b->match.data();
+        q.val = planes.val.data();
+        q.flag = planes.flag.data();
+    }
+    return q;
+}
+
+void SparsePlane::probe(const Query& q, NodeId receiver, NodeId sender,
+                        std::array<Count, 2>& c) const {
+    const std::uint8_t st = state_[sender];
+    if ((st & RoundBuffer::kByzantine) != 0) {
+        // Adversarial edge: the O(1) pattern/dense row probe, so sampled
+        // edges see exactly the equivocation the flat plane would deliver.
+        if (const Message* m = buf_->from(receiver, sender)) {
+            if (m->kind == q.kind && m->phase == q.phase &&
+                (!q.require_flag || m->flag != 0))
+                ++c[m->val & 1];
+        }
+        return;
+    }
+    if (q.match == nullptr) return;  // no honest broadcast in this bucket
+    const std::size_t w = sender / kern::kWordBits;
+    const std::uint64_t bit = std::uint64_t{1} << (sender % kern::kWordBits);
+    // The attribute planes are unmasked (tally_kernels.hpp): the match bit
+    // gates them, so stale val/flag bits of silent senders are never read.
+    if ((q.match[w] & bit) == 0) return;
+    if (q.require_flag && (q.flag[w] & bit) == 0) return;
+    ++c[(q.val[w] & bit) != 0 ? 1 : 0];
+}
+
+std::array<Count, 2> SparsePlane::raw_counts(const Query& q, NodeId receiver) const {
+    ADBA_EXPECTS_MSG(buf_ != nullptr, "raw_counts before begin_round");
+    std::array<Count, 2> c{0, 0};
+    if (dense_) {
+        // Dense exact walk: per-sender probes over the whole population —
+        // an independent re-derivation of the flat tally's integers, which
+        // is what pins sparse == flat at small n.
+        for (NodeId u = 0; u < n_; ++u) probe(q, receiver, u, c);
+        return c;
+    }
+    // With-replacement draws keyed by (seed, round, receiver, i). Round and
+    // receiver pack into one 64-bit lane, so every (round, receiver) pair
+    // owns a distinct stream regardless of execution order.
+    std::uint64_t h =
+        mix(seed_ ^ ((static_cast<std::uint64_t>(round_) << 32) | receiver));
+    for (NodeId i = 0; i < degree_; ++i) {
+        h = mix(h);
+        probe(q, receiver, static_cast<NodeId>(h % n_), c);
+    }
+    return c;
+}
+
+std::array<Count, 2> SparsePlane::val_estimates(const Query& q,
+                                                NodeId receiver) const {
+    const std::array<Count, 2> c = raw_counts(q, receiver);
+    if (dense_) return c;
+    return {scale(c[0]), scale(c[1])};
+}
+
+}  // namespace adba::net

@@ -21,6 +21,7 @@ enum class StreamPurpose : std::uint64_t {
     InputAssignment = 3,///< initial input bit generation
     DealerCoin = 4,     ///< Rabin baseline's trusted dealer coin per phase
     Harness = 5,        ///< trial orchestration (e.g. shuffles)
+    SparseTopology = 6, ///< sparse delivery plane's per-receiver edge samples
 };
 
 /// Derives independent child seeds/generators from a master seed.

@@ -60,12 +60,21 @@ struct MvScenario {
     /// oracle toggle shared with the binary stack. The mv word histograms
     /// are the word-sliced packed path this exercises.
     bool use_simd = true;
+    /// Scenario key `plane`. The Turpin-Coan stack has no sparse batch
+    /// (per-word histograms don't fit the bit-plane sampling), so only
+    /// `plane=flat` validates today; the key is parsed for spec parity with
+    /// the binary stack and why_incompatible rejects `plane=sparse` with an
+    /// actionable message.
+    bool sparse_plane = false;
+    /// Scenario key `sample_degree`; carried and round-tripped for spec
+    /// parity, meaningful only once an mv sparse batch exists.
+    Count sample_degree = 0;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// adversary/input names through MvAdversaryRegistry. Keys: adversary,
     /// inputs, n, t, q, alpha, gamma, beta, fallback, las_vegas, reference,
-    /// batch, simd. Unknown keys or names throw ContractViolation with the
-    /// accepted alternatives.
+    /// batch, simd, plane, sample_degree. Unknown keys or names throw
+    /// ContractViolation with the accepted alternatives.
     static MvScenario parse(const std::string& spec);
 
     /// Canonical spec string; `MvScenario::parse(s.describe()) == s`.

@@ -21,6 +21,7 @@
 #include "baselines/rabin_dealer.hpp"
 #include "baselines/sampling_majority.hpp"
 #include "core/agreement.hpp"
+#include "support/cli.hpp"
 #include "support/contracts.hpp"
 
 namespace adba::sim {
@@ -190,7 +191,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [alg3_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
                              const SeedTree& sd, ProtocolBundle& b) {
              alg3_batch_reinit(s, in, sd, core::AgreementMode::WhpFixedPhases, b);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::OursLasVegas,
          "ours-las-vegas",
@@ -218,7 +220,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [alg3_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
                              const SeedTree& sd, ProtocolBundle& b) {
              alg3_batch_reinit(s, in, sd, core::AgreementMode::LasVegas, b);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     const auto chor_coan_nodes = [](const Scenario& s, const std::vector<Bit>& inputs,
                                     const SeedTree& seeds, bool rushing) {
@@ -292,7 +295,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [chor_coan_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
                                   const SeedTree& sd, ProtocolBundle& b) {
              chor_coan_batch_reinit(s, in, sd, true, b);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::ChorCoanClassic,
          "chor-coan-classic",
@@ -320,7 +324,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
          [chor_coan_batch_reinit](const Scenario& s, const std::vector<Bit>& in,
                                   const SeedTree& sd, ProtocolBundle& b) {
              chor_coan_batch_reinit(s, in, sd, false, b);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::RabinDealer,
          "rabin-dealer",
@@ -370,7 +375,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
                  s.n, s.t, seeds.seed(StreamPurpose::DealerCoin), s.tuning.gamma);
              base::reinit_rabin_dealer_batch(params, core::AgreementMode::WhpFixedPhases,
                                              inputs, seeds, *b.batch);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::LocalCoin,
          "local-coin",
@@ -414,7 +420,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              const base::LocalCoinParams params{s.n, s.t, s.local_coin_phases};
              base::reinit_local_coin_batch(params, core::AgreementMode::WhpFixedPhases,
                                            inputs, seeds, *b.batch);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::BenOr,
          "ben-or",
@@ -454,7 +461,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
             ProtocolBundle& b) {
              const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
              base::reinit_ben_or_batch(params, inputs, seeds, *b.batch);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::PhaseKing,
          "phase-king",
@@ -494,7 +502,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
             ProtocolBundle& b) {
              base::reinit_phase_king_batch(base::PhaseKingParams{s.n, s.t}, inputs,
                                            *b.batch);
-         }});
+         },
+         /*supports_sparse=*/true});
 
     add({ProtocolKind::SamplingMajority,
          "sampling-majority",
@@ -772,6 +781,25 @@ std::optional<std::string> why_incompatible(const Scenario& s) {
                "' only (scenario has '" + p.name + "')";
     }
 
+    if (s.sparse_plane) {
+        if (!p.supports_sparse) {
+            std::string with;
+            for (const ProtocolEntry* e : ProtocolRegistry::instance().list())
+                if (e->supports_sparse) with += (with.empty() ? "" : ", ") + e->name;
+            return "plane=sparse needs a sparse-capable native batch; protocol '" +
+                   p.name + "' has none (sparse-capable protocols: " + with + ")";
+        }
+        if (!s.use_batch)
+            return "plane=sparse answers receive beats through the native batch "
+                   "plane and cannot combine with batch=false; drop one of the two";
+        if (s.reference_delivery)
+            return "plane=sparse has no reference-delivery form; drop "
+                   "reference=true (use plane=flat for oracle comparisons)";
+        if (!s.use_simd)
+            return "plane=sparse reads the word-packed tally planes and cannot "
+                   "combine with simd=false; drop one of the two";
+    }
+
     return std::nullopt;
 }
 
@@ -792,6 +820,10 @@ std::optional<std::string> why_incompatible(const MvScenario& s) {
     if (q > s.t)
         return "actual corruptions q must not exceed the budget t (q=" +
                std::to_string(q) + ", t=" + std::to_string(s.t) + ")";
+    if (s.sparse_plane)
+        return "the multi-valued stack has no sparse delivery plane yet (the "
+               "Turpin-Coan word histograms do not fit the bit-plane sampling); "
+               "use plane=flat";
     return std::nullopt;
 }
 
@@ -835,6 +867,16 @@ MvInputPattern parse_mv_input_pattern(const std::string& name) {
         "'; known: all-same, two-blocks, all-distinct, random, near-quorum");
 }
 
+bool parse_plane_name(const std::string& name) {
+    const std::string k = lower(name);
+    if (k == "flat") return false;
+    if (k == "sparse") return true;
+    std::string msg = "unknown delivery plane '" + name + "'; known: flat, sparse";
+    const std::string suggestion = closest_match(k, {"flat", "sparse"});
+    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+    throw ContractViolation(msg);
+}
+
 // ------------------------------------------------- Scenario parse / describe
 
 std::string Scenario::describe() const {
@@ -862,6 +904,9 @@ std::string Scenario::describe() const {
     if (!use_simd) out += " simd=false";
     if (intra_threads != defaults.intra_threads)
         out += " intra_threads=" + std::to_string(intra_threads);
+    if (sparse_plane) out += " plane=sparse";
+    if (sample_degree != defaults.sample_degree)
+        out += " sample_degree=" + std::to_string(sample_degree);
     return out;
 }
 
@@ -960,12 +1005,16 @@ Scenario Scenario::parse(const std::string& spec) {
             s.use_simd = parse_onoff(value);
         } else if (key == "intra_threads") {
             s.intra_threads = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "plane") {
+            s.sparse_plane = parse_plane_name(value);
+        } else if (key == "sample_degree") {
+            s.sample_degree = static_cast<Count>(parse_u64(key, value));
         } else {
             throw ContractViolation(
                 "unknown scenario key '" + key +
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
                 "beta, phases, kappa, max_rounds, transcript, reference, batch, "
-                "shard, simd, intra_threads");
+                "shard, simd, intra_threads, plane, sample_degree");
         }
     });
     return s;
@@ -989,6 +1038,9 @@ std::string MvScenario::describe() const {
     if (reference_delivery) out += " reference=true";
     if (!use_batch) out += " batch=false";
     if (!use_simd) out += " simd=false";
+    if (sparse_plane) out += " plane=sparse";
+    if (sample_degree != defaults.sample_degree)
+        out += " sample_degree=" + std::to_string(sample_degree);
     return out;
 }
 
@@ -1021,11 +1073,15 @@ MvScenario MvScenario::parse(const std::string& spec) {
             s.use_batch = parse_onoff(value);
         } else if (key == "simd") {
             s.use_simd = parse_onoff(value);
+        } else if (key == "plane") {
+            s.sparse_plane = parse_plane_name(value);
+        } else if (key == "sample_degree") {
+            s.sample_degree = static_cast<Count>(parse_u64(key, value));
         } else {
             throw ContractViolation(
                 "unknown multi-valued scenario key '" + key +
                 "'; valid keys: adversary, inputs, n, t, q, alpha, gamma, beta, "
-                "fallback, las_vegas, reference, batch, simd");
+                "fallback, las_vegas, reference, batch, simd, plane, sample_degree");
         }
     });
     return s;

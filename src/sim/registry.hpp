@@ -100,6 +100,12 @@ struct ProtocolEntry {
     std::function<void(const Scenario&, const std::vector<Bit>&, const SeedTree&,
                        ProtocolBundle&)>
         reinit_batch;
+
+    /// The native batch answers its receive beat from sampled per-receiver
+    /// counts (net/sparse_plane.hpp; scenario key `plane=sparse`). Mirrors
+    /// BatchProtocol::supports_sparse for capability listings and the
+    /// feasibility rules; implies make_batch != nullptr.
+    bool supports_sparse = false;
 };
 
 /// Capability descriptor + factory for one adversary strategy.
@@ -243,5 +249,9 @@ MvScenarioPlan validate(const MvScenario& s);
 /// accepted-name list on unknown input).
 InputPattern parse_input_pattern(const std::string& name);
 MvInputPattern parse_mv_input_pattern(const std::string& name);
+
+/// Delivery-plane key: "flat" -> false, "sparse" -> true; anything else
+/// throws with the accepted values and a did-you-mean suggestion.
+bool parse_plane_name(const std::string& name);
 
 }  // namespace adba::sim

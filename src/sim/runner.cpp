@@ -72,6 +72,11 @@ public:
         cfg.record_transcript = s.record_transcript;
         cfg.reference_delivery = s.reference_delivery;
         cfg.simd_tally = s.use_simd;
+        if (s.sparse_plane) {
+            cfg.plane = net::PlaneMode::Sparse;
+            cfg.sample_degree = s.sample_degree;
+            cfg.sparse_seed = seeds.seed(StreamPurpose::SparseTopology);
+        }
         // Intra-trial sharding: resolve the scenario's request through the
         // nested-parallelism policy once and keep one pool per arena (its
         // workers persist across trials; rebuilding per trial would pay

@@ -81,13 +81,24 @@ struct Scenario {
     /// (plan_intra_shards). Any value yields bit-identical results; only
     /// wall-clock changes.
     Count intra_threads = 0;
+    /// Answer receive beats from the sampled sparse delivery plane
+    /// (net/sparse_plane.hpp; scenario key `plane=flat|sparse`, CLI
+    /// `--plane`). Requires a sparse-capable native batch, `batch=on`,
+    /// `simd=on`, and `reference=off` — why_incompatible states the rule.
+    /// With `sample_degree >= n` the sparse plane is bit-identical to flat
+    /// (the dense oracle mode the equivalence tests pin).
+    bool sparse_plane = false;
+    /// Per-receiver sampled senders per broadcast under `plane=sparse`
+    /// (scenario key `sample_degree`). 0 = the plane's built-in default
+    /// (net::kDefaultSampleDegree); ignored under `plane=flat`.
+    Count sample_degree = 0;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// protocol/adversary/input names through the registries (registry.hpp).
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
     /// phases, kappa, max_rounds, transcript, reference, batch, shard,
-    /// simd, intra_threads. Unknown keys or names throw ContractViolation
-    /// with the accepted alternatives.
+    /// simd, intra_threads, plane, sample_degree. Unknown keys or names
+    /// throw ContractViolation with the accepted alternatives.
     static Scenario parse(const std::string& spec);
 
     /// Canonical spec string; `Scenario::parse(s.describe()) == s`.

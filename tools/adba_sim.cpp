@@ -20,8 +20,8 @@
 //        --seed --threads --intra_threads --csv_dir --scenario --alpha
 //        --gamma --beta --phases --kappa --max_rounds --transcript
 //        --reference --batch=on|off --shard=on|off --simd=on|off
-//        --las_vegas --fallback --k --f --attack --forced_bit
-//        --schedule --list
+//        --plane=flat|sparse --sample_degree --las_vegas --fallback
+//        --k --f --attack --forced_bit --schedule --list
 // Unknown flags (and unknown workload/protocol/adversary names) fail loudly
 // with did-you-mean suggestions (Cli strict mode + registry lookups).
 #include <cstdio>
@@ -33,6 +33,7 @@
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "support/cli.hpp"
+#include "support/contracts.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -124,6 +125,11 @@ int run_multivalued(const Cli& cli) {
     if (cli.has("reference")) s.reference_delivery = cli.get_bool("reference", false);
     if (cli.has("batch")) s.use_batch = cli.get_bool("batch", true);
     if (cli.has("simd")) s.use_simd = cli.get_bool("simd", true);
+    // Round-trips like the binary stack; validate() rejects plane=sparse
+    // with the why_incompatible message (no mv sparse batch yet).
+    if (cli.has("plane")) s.sparse_plane = sim::parse_plane_name(cli.get("plane", ""));
+    if (cli.has("sample_degree"))
+        s.sample_degree = static_cast<Count>(cli.get_int("sample_degree", 0));
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
@@ -152,6 +158,11 @@ int run_multivalued(const Cli& cli) {
 }
 
 int run_coin(const Cli& cli) {
+    if (cli.has("plane") || cli.has("sample_degree"))
+        throw ContractViolation(
+            "--plane/--sample_degree select the binary stack's delivery plane; "
+            "the standalone coin workload has no delivery plane (drop the flag "
+            "or use --workload=binary)");
     sim::CoinScenario s;
     s.n = static_cast<NodeId>(cli.get_int("n", 256));
     s.designated = static_cast<NodeId>(cli.get_int("k", s.n));  // == n: Algorithm 1
@@ -261,6 +272,11 @@ int run_binary(const Cli& cli) {
     if (cli.has("batch")) s.use_batch = cli.get_bool("batch", true);
     if (cli.has("shard")) s.use_shard = cli.get_bool("shard", true);
     if (cli.has("simd")) s.use_simd = cli.get_bool("simd", true);
+    // --plane=flat|sparse selects the delivery plane; --sample_degree sets
+    // the per-receiver sampled senders under sparse (0 = plane default).
+    if (cli.has("plane")) s.sparse_plane = sim::parse_plane_name(cli.get("plane", ""));
+    if (cli.has("sample_degree"))
+        s.sample_degree = static_cast<Count>(cli.get_int("sample_degree", 0));
 
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

@@ -7,14 +7,19 @@ tolerance (default 30%). The generous tolerance absorbs CI-runner hardware
 variance while still catching the order-of-magnitude regressions a botched
 delivery/batch-plane change produces; improvements never fail.
 
-Three blocks are gated, each by the same rule:
+Four blocks are gated, each by the same rule:
   entries         serial trials_per_sec per n
   sharded         intra-trial-sharded trials_per_sec per n
   tally_kernels   packed_gb_per_sec per n (the popcount tally build)
+  sparse          sparse-plane trials_per_sec per n
 
 A block that exists in the baseline but is missing (or empty) in the fresh
 measurement fails LOUDLY (exit 2): a silently vanished section would read
-as "no regression" exactly when the bench stopped measuring it.
+as "no regression" exactly when the bench stopped measuring it. The
+asymmetric case — a block the fresh bench measures but the committed
+baseline has never gated — is a NOTICE, not a failure: that is exactly what
+the first CI run after adding a bench section looks like, and it starts
+being gated the moment the baseline is regenerated with it.
 
 Usage: check_bench_regression.py BASELINE FRESH [--tolerance=0.30]
 """
@@ -27,6 +32,7 @@ BLOCKS = [
     (("entries",), "trials_per_sec"),
     (("sharded", "entries"), "trials_per_sec"),
     (("tally_kernels", "entries"), "packed_gb_per_sec"),
+    (("sparse", "entries"), "trials_per_sec"),
 ]
 
 
@@ -61,13 +67,22 @@ def main(argv):
 
     failed = False
     compared = 0
+    new_blocks = 0
     for keys, field in BLOCKS:
         name = ".".join(keys)
         baseline = block_by_n(base_doc, keys)
-        if not baseline:
-            print(f"[{name}] absent from baseline; skipped")
-            continue
         fresh = block_by_n(fresh_doc, keys)
+        if not baseline:
+            if fresh:
+                # Never-before-gated block: the first run after a bench grows
+                # a section. Not a failure — it gates once the baseline is
+                # regenerated to include it.
+                print(f"[{name}] new block (no baseline yet); regenerate the "
+                      "committed baseline to start gating it")
+                new_blocks += 1
+            else:
+                print(f"[{name}] absent from baseline and fresh; skipped")
+            continue
         if not fresh:
             print(f"check_bench_regression: block '{name}' present in "
                   f"{args[0]} but missing/empty in {args[1]} — the bench "
@@ -89,7 +104,7 @@ def main(argv):
             if fresh_rate < floor:
                 failed = True
 
-    if compared == 0:
+    if compared == 0 and new_blocks == 0:
         print("check_bench_regression: nothing compared — baseline has no "
               "gated blocks.", file=sys.stderr)
         return 2
