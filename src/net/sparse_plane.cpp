@@ -5,24 +5,12 @@
 
 namespace adba::net {
 
-namespace {
-
-// splitmix64 finalizer. FROZEN: the sample derivation below is part of the
-// replayability contract — changing it re-randomizes every recorded sparse
-// experiment, exactly like reordering a SeedTree stream would.
-inline std::uint64_t mix(std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-}  // namespace
-
-void SparsePlane::reset(NodeId n, Count requested_degree, std::uint64_t seed) {
+void SparsePlane::reset(NodeId n, Count requested_degree, std::uint64_t seed,
+                        SparseStream stream) {
     ADBA_EXPECTS(n > 0);
     n_ = n;
     seed_ = seed;
+    stream_ = stream;
     const Count want = requested_degree == 0 ? kDefaultSampleDegree : requested_degree;
     dense_ = want >= n;
     degree_ = dense_ ? n : static_cast<NodeId>(want);
@@ -30,6 +18,15 @@ void SparsePlane::reset(NodeId n, Count requested_degree, std::uint64_t seed) {
     buf_ = nullptr;
     tally_ = nullptr;
     state_ = nullptr;
+    byz_ = nullptr;
+    // The per-query code plane: 2 code words per 64-sender source word.
+    // Dense mode never probes through it, so keep it empty there (and keep
+    // memory_bytes() an honest zero).
+    code_.clear();
+    code_.shrink_to_fit();
+    if (!dense_)
+        code_.resize(2 * ((static_cast<std::size_t>(n_) + kern::kWordBits - 1) /
+                          kern::kWordBits));
 }
 
 void SparsePlane::begin_round(Round r, const RoundBuffer& buf,
@@ -41,11 +38,15 @@ void SparsePlane::begin_round(Round r, const RoundBuffer& buf,
     buf_ = &buf;
     tally_ = &tally;
     state_ = buf.state_plane();
+    byz_ = tally.packed_planes().byz.data();
 }
 
 SparsePlane::Query SparsePlane::query(MsgKind kind, Phase phase,
                                       bool require_flag) const {
-    ADBA_EXPECTS_MSG(tally_ != nullptr, "query before begin_round");
+    // The per-beat resolution point: every precondition and pointer chase
+    // the per-receiver walk would otherwise repeat n times lives here.
+    ADBA_EXPECTS_MSG(tally_ != nullptr && buf_ != nullptr,
+                     "query before begin_round");
     Query q;
     q.kind = kind;
     q.phase = phase;
@@ -55,6 +56,21 @@ SparsePlane::Query SparsePlane::query(MsgKind kind, Phase phase,
         q.match = b->match.data();
         q.val = planes.val.data();
         q.flag = planes.flag.data();
+    }
+    if (!dense_) {
+        // Fold the query's planes into the 2-bit code plane the batched
+        // probe kernel gathers from — one O(n/64) pass per beat, amortized
+        // against the n*degree probes that read it. The buffer is plane-
+        // owned: building it here is what invalidates earlier Query
+        // handles (see the header contract).
+        kern::SparseProbeCtx ctx;
+        ctx.byz = byz_;
+        ctx.match = q.match;
+        ctx.val = q.val;
+        ctx.flag = q.flag;
+        ctx.require_flag = require_flag;
+        kern::sparse_build_code_plane(ctx, code_.size() / 2, code_.data());
+        q.code = code_.data();
     }
     return q;
 }
@@ -83,24 +99,28 @@ void SparsePlane::probe(const Query& q, NodeId receiver, NodeId sender,
 }
 
 std::array<Count, 2> SparsePlane::raw_counts(const Query& q, NodeId receiver) const {
-    ADBA_EXPECTS_MSG(buf_ != nullptr, "raw_counts before begin_round");
     std::array<Count, 2> c{0, 0};
     if (dense_) {
         // Dense exact walk: per-sender probes over the whole population —
         // an independent re-derivation of the flat tally's integers, which
-        // is what pins sparse == flat at small n.
+        // is what pins sparse == flat at small n. No sampling, so the
+        // stream version cannot matter here (pinned by test anyway).
         for (NodeId u = 0; u < n_; ++u) probe(q, receiver, u, c);
         return c;
     }
-    // With-replacement draws keyed by (seed, round, receiver, i). Round and
-    // receiver pack into one 64-bit lane, so every (round, receiver) pair
-    // owns a distinct stream regardless of execution order.
-    std::uint64_t h =
-        mix(seed_ ^ ((static_cast<std::uint64_t>(round_) << 32) | receiver));
-    for (NodeId i = 0; i < degree_; ++i) {
-        h = mix(h);
-        probe(q, receiver, static_cast<NodeId>(h % n_), c);
-    }
+    // Batched with-replacement draws keyed by (stream, seed, round,
+    // receiver, i): 64-lane index blocks, one gathered 2-bit code read per
+    // honest lane, exact pattern-row walks for the (rare) Byzantine lanes
+    // (net/sparse_kernels.hpp).
+    kern::sparse_count_receiver(
+        stream_, seed_, round_, receiver, n_, degree_, q.code, c,
+        [&](NodeId sender) {
+            if (const Message* m = buf_->from(receiver, sender)) {
+                if (m->kind == q.kind && m->phase == q.phase &&
+                    (!q.require_flag || m->flag != 0))
+                    ++c[m->val & 1];
+            }
+        });
     return c;
 }
 

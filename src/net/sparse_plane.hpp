@@ -20,29 +20,43 @@
 //    Sparse mode therefore requires the packed tally (`simd=on`).
 //  * Byzantine u — RoundBuffer::from(v, u): the O(1) pattern-row probe, so
 //    adversarial equivocation (split_as / broadcast_as) gates sampled
-//    edges exactly as it gates flat ones.
+//    edges exactly as it gates flat ones. Membership itself is a single
+//    bit of the packed honesty plane (PackedPlanes::byz).
 //
 // Sampling is index-derived and replayable: draw i of receiver v in round
-// r depends only on (sparse_seed, r, v, i) — never on threads, shards, or
-// visit order — so sparse runs obey the repository's bit-exactness
-// discipline (any thread/shard count, same integers).
+// r depends only on (sparse_stream, sparse_seed, r, v, i) — never on
+// threads, shards, or visit order — so sparse runs obey the repository's
+// bit-exactness discipline (any thread/shard count, same integers). The
+// derivation is VERSIONED (net/sparse_kernels.hpp, scenario key
+// `sparse_stream=`): the counter stream is the fast default, the v1 chain
+// stays selectable forever because recorded experiments replay only under
+// the stream that produced them.
+//
+// The probe loop itself is batched (sparse_kernels.hpp): query() folds the
+// round's honesty/match/val/flag planes into a per-query 2-bit code plane,
+// indices derive in 64-lane blocks, honest lanes count branchlessly from
+// ONE gathered code read each, and only Byzantine-sampled lanes take the
+// exact pattern-row walk.
 //
 // Oracle relationship: with degree >= n the plane switches to a dense
 // exact walk over ALL senders — an independent code path that must produce
 // the very integers the flat tally produces, which pins sparse == flat
-// bit-identically across the registry cross product at small n
-// (tests/test_sparse_plane.cpp). Below n, counts become estimates
-// est = round(cnt * n / degree) and protocol lemmas that are theorems
-// under exact counts become approximations — batches run their relaxed
-// (assert-free) threshold forms there.
+// bit-identically across the registry cross product at small n, for BOTH
+// stream versions (the dense walk draws nothing, so the stream tag is
+// irrelevant there — tests/test_sparse_plane.cpp pins it anyway). Below n,
+// counts become estimates est = round(cnt * n / degree) and protocol
+// lemmas that are theorems under exact counts become approximations —
+// batches run their relaxed (assert-free) threshold forms there.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "net/message.hpp"
 #include "net/round_buffer.hpp"
+#include "net/sparse_kernels.hpp"
 #include "support/types.hpp"
 
 namespace adba::net {
@@ -56,7 +70,9 @@ class SparsePlane {
 public:
     /// Re-arms the plane for a trial. `requested_degree` 0 selects
     /// kDefaultSampleDegree; any request >= n selects the dense exact walk.
-    void reset(NodeId n, Count requested_degree, std::uint64_t seed);
+    /// `stream` picks the frozen index-derivation version (sparse_kernels).
+    void reset(NodeId n, Count requested_degree, std::uint64_t seed,
+               SparseStream stream = SparseStream::Counter);
 
     /// Binds the plane to the current round's delivery state. The tally
     /// must have been rebuilt in packed mode for this round.
@@ -67,16 +83,30 @@ public:
     NodeId degree() const { return degree_; }
     /// True when every sender is observed and counts are exact (no scaling).
     bool dense() const { return dense_; }
+    /// The frozen sample-derivation version this trial replays under.
+    SparseStream stream() const { return stream_; }
 
     /// Heap bytes owned by the plane itself. The design owns NO per-edge or
-    /// per-receiver storage — samples are re-derived from the seed — so this
-    /// is 0; the O(n·degree) fuzz bound in tests guards against a future
-    /// regression toward materialized sample tables.
-    std::size_t memory_bytes() const { return 0; }
+    /// per-receiver storage — samples are re-derived from the seed (the
+    /// batch kernels use a fixed 64-lane stack buffer). The only allocation
+    /// is the per-query 2-bit code plane: 2 bits per SENDER (O(n/4) bytes,
+    /// sub-dense mode only), independent of degree and receiver count; the
+    /// O(n·degree) fuzz bound in tests guards against a future regression
+    /// toward materialized per-edge sample tables.
+    std::size_t memory_bytes() const {
+        return code_.capacity() * sizeof(std::uint64_t);
+    }
 
     /// One round's hoisted query handle: the (kind, phase) bucket's match
     /// plane plus the shared attribute planes, resolved once per beat
-    /// (receive_sparse_prepare) so the per-receiver walk is branch-poor.
+    /// (receive_sparse_prepare) so the per-receiver walk re-resolves
+    /// nothing — no tally lookup, no precondition test, no plane pointer
+    /// chase per receiver. In sub-dense mode query() also folds those
+    /// planes into the plane-owned 2-bit code plane (`code`, one gathered
+    /// read per probe — sparse_kernels.hpp); the buffer is shared, so AT
+    /// MOST ONE Query may be live at a time: calling query() again
+    /// invalidates every earlier handle. Every sparse batch already hoists
+    /// exactly one query per beat, which is the shape this contract pins.
     /// `match == nullptr` means no honest broadcast landed in the bucket
     /// this round; Byzantine edges still count.
     struct Query {
@@ -86,6 +116,7 @@ public:
         const std::uint64_t* match = nullptr;
         const std::uint64_t* val = nullptr;
         const std::uint64_t* flag = nullptr;
+        const std::uint64_t* code = nullptr;  ///< sub-dense only
     };
     Query query(MsgKind kind, Phase phase, bool require_flag) const;
 
@@ -113,11 +144,19 @@ private:
     NodeId n_ = 0;
     NodeId degree_ = 0;
     bool dense_ = false;
+    SparseStream stream_ = SparseStream::Counter;
     std::uint64_t seed_ = 0;
     Round round_ = 0;
     const RoundBuffer* buf_ = nullptr;
     const RoundTally* tally_ = nullptr;
     const std::uint8_t* state_ = nullptr;  ///< buf_'s presence/honesty plane
+    const std::uint64_t* byz_ = nullptr;   ///< packed honesty word plane
+    /// Per-query code plane backing store (2 words out per source word in,
+    /// sub-dense only). Owned by the plane, rebuilt by query() — hence the
+    /// single-live-Query contract documented above. mutable because
+    /// query() is morally const: it publishes round state, mutating only
+    /// this scratch buffer.
+    mutable std::vector<std::uint64_t> code_;
 };
 
 }  // namespace adba::net

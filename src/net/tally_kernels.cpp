@@ -32,6 +32,7 @@ void pack_shard(const RoundBuffer& buf, NodeId lo, NodeId hi,
         std::uint64_t flag = 0;
         std::uint64_t pos = 0;
         std::uint64_t neg = 0;
+        std::uint64_t byz = 0;
         for (NodeId v = v0; v < v1; ++v) {
             const Message& m = honest[v];
             const std::uint64_t bit = std::uint64_t{1} << (v - v0);
@@ -39,6 +40,8 @@ void pack_shard(const RoundBuffer& buf, NodeId lo, NodeId hi,
             flag |= bit & (0 - std::uint64_t{m.flag != 0});
             pos |= bit & (0 - std::uint64_t{m.coin > 0});
             neg |= bit & (0 - std::uint64_t{m.coin < 0});
+            byz |= bit & (0 - std::uint64_t{
+                              (state[v] & RoundBuffer::kByzantine) != 0});
             if (state[v] != RoundBuffer::kPresent) continue;
             // Exact membership plane. Lockstep protocols have 1-2 live
             // (kind, phase) signatures per round, so runs of senders land
@@ -69,6 +72,7 @@ void pack_shard(const RoundBuffer& buf, NodeId lo, NodeId hi,
         planes.flag[w] = flag;
         planes.coin_pos[w] = pos;
         planes.coin_neg[w] = neg;
+        planes.byz[w] = byz;
     }
 }
 

@@ -109,6 +109,12 @@ struct PackedPlanes {
     std::vector<std::uint64_t> flag;      ///< present and flag != 0
     std::vector<std::uint64_t> coin_pos;  ///< present and coin > 0
     std::vector<std::uint64_t> coin_neg;  ///< present and coin < 0
+    /// Honesty membership: bit set iff the sender is Byzantine. Unlike the
+    /// attribute planes above this one is EXACT (state-derived, not payload-
+    /// derived) — the sparse probe kernels read it alone, with no match
+    /// gating, to split sampled edges into honest vs Byzantine at one bit
+    /// per sender (8x denser than the uint8_t state plane).
+    std::vector<std::uint64_t> byz;
 
     void ensure(std::size_t words) {
         if (val.size() < words) {
@@ -116,6 +122,7 @@ struct PackedPlanes {
             flag.resize(words);
             coin_pos.resize(words);
             coin_neg.resize(words);
+            byz.resize(words);
         }
     }
 };

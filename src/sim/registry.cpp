@@ -877,6 +877,17 @@ bool parse_plane_name(const std::string& name) {
     throw ContractViolation(msg);
 }
 
+net::SparseStream parse_sparse_stream_name(const std::string& name) {
+    const std::string k = lower(name);
+    if (k == "chain") return net::SparseStream::Chain;
+    if (k == "counter") return net::SparseStream::Counter;
+    std::string msg =
+        "unknown sparse sample stream '" + name + "'; known: chain, counter";
+    const std::string suggestion = closest_match(k, {"chain", "counter"});
+    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+    throw ContractViolation(msg);
+}
+
 // ------------------------------------------------- Scenario parse / describe
 
 std::string Scenario::describe() const {
@@ -907,6 +918,11 @@ std::string Scenario::describe() const {
     if (sparse_plane) out += " plane=sparse";
     if (sample_degree != defaults.sample_degree)
         out += " sample_degree=" + std::to_string(sample_degree);
+    if (sparse_seed != defaults.sparse_seed)
+        out += " sparse_seed=" + std::to_string(sparse_seed);
+    if (sparse_stream != defaults.sparse_stream)
+        out += std::string(" sparse_stream=") +
+               (sparse_stream == net::SparseStream::Chain ? "chain" : "counter");
     return out;
 }
 
@@ -1009,12 +1025,17 @@ Scenario Scenario::parse(const std::string& spec) {
             s.sparse_plane = parse_plane_name(value);
         } else if (key == "sample_degree") {
             s.sample_degree = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "sparse_seed") {
+            s.sparse_seed = parse_u64(key, value);
+        } else if (key == "sparse_stream") {
+            s.sparse_stream = parse_sparse_stream_name(value);
         } else {
             throw ContractViolation(
                 "unknown scenario key '" + key +
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
                 "beta, phases, kappa, max_rounds, transcript, reference, batch, "
-                "shard, simd, intra_threads, plane, sample_degree");
+                "shard, simd, intra_threads, plane, sample_degree, sparse_seed, "
+                "sparse_stream");
         }
     });
     return s;

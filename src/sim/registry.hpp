@@ -254,4 +254,9 @@ MvInputPattern parse_mv_input_pattern(const std::string& name);
 /// throws with the accepted values and a did-you-mean suggestion.
 bool parse_plane_name(const std::string& name);
 
+/// Sparse sample-stream key: "chain" (the frozen v1 derivation) or
+/// "counter" (the batched v2 default); anything else throws with the
+/// accepted values and a did-you-mean suggestion.
+net::SparseStream parse_sparse_stream_name(const std::string& name);
+
 }  // namespace adba::sim

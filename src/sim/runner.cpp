@@ -75,7 +75,13 @@ public:
         if (s.sparse_plane) {
             cfg.plane = net::PlaneMode::Sparse;
             cfg.sample_degree = s.sample_degree;
-            cfg.sparse_seed = seeds.seed(StreamPurpose::SparseTopology);
+            // The scenario's sparse_seed selects the SparseTopology child
+            // index, so topology streams vary under the seed tree's
+            // independence guarantees; the default index 0 is exactly the
+            // pre-key stream (recorded sparse runs replay unchanged).
+            cfg.sparse_seed =
+                seeds.seed(StreamPurpose::SparseTopology, s.sparse_seed);
+            cfg.sparse_stream = s.sparse_stream;
         }
         // Intra-trial sharding: resolve the scenario's request through the
         // nested-parallelism policy once and keep one pool per arena (its

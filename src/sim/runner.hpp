@@ -92,13 +92,24 @@ struct Scenario {
     /// (scenario key `sample_degree`). 0 = the plane's built-in default
     /// (net::kDefaultSampleDegree); ignored under `plane=flat`.
     Count sample_degree = 0;
+    /// Topology-stream selector under `plane=sparse` (scenario key
+    /// `sparse_seed`, CLI `--sparse_seed`): the SeedTree child index of the
+    /// SparseTopology stream, so a recorded sparse experiment can vary its
+    /// sampled topology independently of every other randomness source.
+    /// 0 (the default) reproduces the pre-key stream exactly.
+    std::uint64_t sparse_seed = 0;
+    /// Frozen sample-derivation version under `plane=sparse` (scenario key
+    /// `sparse_stream=chain|counter`; net/sparse_kernels.hpp). Counter is
+    /// the batched default; chain replays PR-7-era recorded experiments.
+    net::SparseStream sparse_stream = net::SparseStream::Counter;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// protocol/adversary/input names through the registries (registry.hpp).
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
     /// phases, kappa, max_rounds, transcript, reference, batch, shard,
-    /// simd, intra_threads, plane, sample_degree. Unknown keys or names
-    /// throw ContractViolation with the accepted alternatives.
+    /// simd, intra_threads, plane, sample_degree, sparse_seed,
+    /// sparse_stream. Unknown keys or names throw ContractViolation with
+    /// the accepted alternatives.
     static Scenario parse(const std::string& spec);
 
     /// Canonical spec string; `Scenario::parse(s.describe()) == s`.

@@ -20,7 +20,8 @@
 //        --seed --threads --intra_threads --csv_dir --scenario --alpha
 //        --gamma --beta --phases --kappa --max_rounds --transcript
 //        --reference --batch=on|off --shard=on|off --simd=on|off
-//        --plane=flat|sparse --sample_degree --las_vegas --fallback
+//        --plane=flat|sparse --sample_degree --sparse_seed
+//        --sparse_stream=chain|counter --las_vegas --fallback
 //        --k --f --attack --forced_bit --schedule --list
 // Unknown flags (and unknown workload/protocol/adversary names) fail loudly
 // with did-you-mean suggestions (Cli strict mode + registry lookups).
@@ -273,10 +274,16 @@ int run_binary(const Cli& cli) {
     if (cli.has("shard")) s.use_shard = cli.get_bool("shard", true);
     if (cli.has("simd")) s.use_simd = cli.get_bool("simd", true);
     // --plane=flat|sparse selects the delivery plane; --sample_degree sets
-    // the per-receiver sampled senders under sparse (0 = plane default).
+    // the per-receiver sampled senders under sparse (0 = plane default);
+    // --sparse_seed picks the topology stream and --sparse_stream the
+    // frozen sample-derivation version (mirroring the scenario keys).
     if (cli.has("plane")) s.sparse_plane = sim::parse_plane_name(cli.get("plane", ""));
     if (cli.has("sample_degree"))
         s.sample_degree = static_cast<Count>(cli.get_int("sample_degree", 0));
+    if (cli.has("sparse_seed"))
+        s.sparse_seed = static_cast<std::uint64_t>(cli.get_int("sparse_seed", 0));
+    if (cli.has("sparse_stream"))
+        s.sparse_stream = sim::parse_sparse_stream_name(cli.get("sparse_stream", ""));
 
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));

@@ -2,37 +2,59 @@
 """Fail CI when the freshly measured engine throughput regresses.
 
 Compares a fresh BENCH_engine.json against the committed baseline and exits
-non-zero when a tracked rate at any common n drops by more than the
-tolerance (default 30%). The generous tolerance absorbs CI-runner hardware
-variance while still catching the order-of-magnitude regressions a botched
-delivery/batch-plane change produces; improvements never fail.
+non-zero when a tracked rate at any common n moves past its tolerance in
+the bad direction (default 30%). The generous tolerance absorbs CI-runner
+hardware variance while still catching the order-of-magnitude regressions a
+botched delivery/batch-plane change produces; improvements never fail.
 
-Four blocks are gated, each by the same rule:
-  entries         serial trials_per_sec per n
-  sharded         intra-trial-sharded trials_per_sec per n
-  tally_kernels   packed_gb_per_sec per n (the popcount tally build)
-  sparse          sparse-plane trials_per_sec per n
+Gated blocks (each gate is a (block, field, direction) triple):
+  entries         serial trials_per_sec per n            (higher is better)
+  sharded         intra-trial-sharded trials_per_sec     (higher is better)
+  tally_kernels   packed_gb_per_sec per n                (higher is better)
+  sparse          counter-stream trials_per_sec per n    (higher is better)
+  sparse          counter-stream ns_per_probe per n      (LOWER is better)
+  sparse_chain    chain-stream trials_per_sec per n      (higher is better)
 
 A block that exists in the baseline but is missing (or empty) in the fresh
-measurement fails LOUDLY (exit 2): a silently vanished section would read
-as "no regression" exactly when the bench stopped measuring it. The
-asymmetric case — a block the fresh bench measures but the committed
-baseline has never gated — is a NOTICE, not a failure: that is exactly what
-the first CI run after adding a bench section looks like, and it starts
-being gated the moment the baseline is regenerated with it.
+measurement fails LOUDLY (exit 2), and so does a gated FIELD present in a
+baseline entry but absent from the fresh one: a silently vanished number
+would read as "no regression" exactly when the bench stopped measuring it.
+The asymmetric case — a block/field the fresh bench measures but the
+committed baseline has never gated — is a NOTICE, not a failure: that is
+exactly what the first CI run after adding a bench section looks like, and
+it starts being gated the moment the baseline is regenerated with it.
+
+The tolerance is per-block configurable: --tolerance=X sets the global
+default and --tolerance-BLOCK=X (BLOCK as printed in the [brackets], e.g.
+--tolerance-sparse=0.45) overrides it for one block — noisy cells get
+slack without loosening every gate.
+
+--max-sparse-flatness=R additionally enforces an ABSOLUTE ceiling on the
+fresh sparse.ns_per_node_round_max_over_min ratio (the batched plane's
+scaling-flatness claim); omitted means not checked.
 
 Usage: check_bench_regression.py BASELINE FRESH [--tolerance=0.30]
+           [--tolerance-BLOCK=X ...] [--max-sparse-flatness=R]
 """
 
 import json
 import sys
 
-# (json path to the entries list, rate field to gate)
-BLOCKS = [
-    (("entries",), "trials_per_sec"),
-    (("sharded", "entries"), "trials_per_sec"),
-    (("tally_kernels", "entries"), "packed_gb_per_sec"),
-    (("sparse", "entries"), "trials_per_sec"),
+# Each gate: block name (tolerance key + display), json path to the entries
+# list, field compared per n, and which direction is an improvement.
+GATES = [
+    {"block": "entries", "path": ("entries",),
+     "field": "trials_per_sec", "better": "higher"},
+    {"block": "sharded", "path": ("sharded", "entries"),
+     "field": "trials_per_sec", "better": "higher"},
+    {"block": "tally_kernels", "path": ("tally_kernels", "entries"),
+     "field": "packed_gb_per_sec", "better": "higher"},
+    {"block": "sparse", "path": ("sparse", "entries"),
+     "field": "trials_per_sec", "better": "higher"},
+    {"block": "sparse", "path": ("sparse", "entries"),
+     "field": "ns_per_probe", "better": "lower"},
+    {"block": "sparse_chain", "path": ("sparse_chain", "entries"),
+     "field": "trials_per_sec", "better": "higher"},
 ]
 
 
@@ -58,20 +80,29 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     tolerance = 0.30
+    block_tolerance = {}
+    flatness_max = None
     for a in argv[1:]:
         if a.startswith("--tolerance="):
             tolerance = float(a.split("=", 1)[1])
+        elif a.startswith("--tolerance-"):
+            key, val = a[len("--tolerance-"):].split("=", 1)
+            block_tolerance[key] = float(val)
+        elif a.startswith("--max-sparse-flatness="):
+            flatness_max = float(a.split("=", 1)[1])
 
     base_doc = load(args[0])
     fresh_doc = load(args[1])
 
     failed = False
     compared = 0
-    new_blocks = 0
-    for keys, field in BLOCKS:
-        name = ".".join(keys)
-        baseline = block_by_n(base_doc, keys)
-        fresh = block_by_n(fresh_doc, keys)
+    new_gates = 0
+    for gate in GATES:
+        name, field = gate["block"], gate["field"]
+        tol = block_tolerance.get(name, tolerance)
+        lower_better = gate["better"] == "lower"
+        baseline = block_by_n(base_doc, gate["path"])
+        fresh = block_by_n(fresh_doc, gate["path"])
         if not baseline:
             if fresh:
                 # Never-before-gated block: the first run after a bench grows
@@ -79,7 +110,7 @@ def main(argv):
                 # regenerated to include it.
                 print(f"[{name}] new block (no baseline yet); regenerate the "
                       "committed baseline to start gating it")
-                new_blocks += 1
+                new_gates += 1
             else:
                 print(f"[{name}] absent from baseline and fresh; skipped")
             continue
@@ -93,26 +124,62 @@ def main(argv):
             print(f"check_bench_regression: no common n entries in block "
                   f"'{name}' between {args[0]} and {args[1]}", file=sys.stderr)
             return 2
+        if not any(field in baseline[n] for n in common):
+            # Baseline predates this gate's field — same shape as a new
+            # block: notice now, gate after the baseline is regenerated.
+            print(f"[{name}] field '{field}' not in baseline yet; regenerate "
+                  "the committed baseline to start gating it")
+            new_gates += 1
+            continue
         for n in common:
+            if field not in baseline[n]:
+                continue
+            if field not in fresh[n]:
+                print(f"check_bench_regression: field '{field}' gated in "
+                      f"block '{name}' (n={n}) but missing from the fresh "
+                      "measurement — the bench stopped reporting it.",
+                      file=sys.stderr)
+                return 2
             base_rate = baseline[n][field]
             fresh_rate = fresh[n][field]
-            floor = base_rate * (1.0 - tolerance)
-            status = "ok" if fresh_rate >= floor else "REGRESSION"
-            print(f"[{name}] n={n:5d}  baseline {base_rate:10.1f} {field}  "
-                  f"fresh {fresh_rate:10.1f}  floor {floor:10.1f}  {status}")
+            if lower_better:
+                bound = base_rate * (1.0 + tol)
+                ok = fresh_rate <= bound
+                edge = "ceil"
+            else:
+                bound = base_rate * (1.0 - tol)
+                ok = fresh_rate >= bound
+                edge = "floor"
+            status = "ok" if ok else "REGRESSION"
+            print(f"[{name}] n={n:7d}  baseline {base_rate:10.2f} {field}  "
+                  f"fresh {fresh_rate:10.2f}  {edge} {bound:10.2f}  {status}")
             compared += 1
-            if fresh_rate < floor:
+            if not ok:
                 failed = True
 
-    if compared == 0 and new_blocks == 0:
+    if flatness_max is not None:
+        ratio = fresh_doc.get("sparse", {}).get("ns_per_node_round_max_over_min")
+        if ratio is None:
+            print("check_bench_regression: --max-sparse-flatness given but "
+                  f"{args[1]} has no sparse.ns_per_node_round_max_over_min.",
+                  file=sys.stderr)
+            return 2
+        status = "ok" if ratio <= flatness_max else "REGRESSION"
+        print(f"[sparse] ns_per_node_round max/min {ratio:.3f}  "
+              f"ceiling {flatness_max:.3f}  {status}")
+        compared += 1
+        if ratio > flatness_max:
+            failed = True
+
+    if compared == 0 and new_gates == 0:
         print("check_bench_regression: nothing compared — baseline has no "
               "gated blocks.", file=sys.stderr)
         return 2
     if failed:
-        print(f"\nFAIL: a tracked rate dropped more than {tolerance:.0%} below "
-              "the committed baseline at one or more sizes.", file=sys.stderr)
+        print("\nFAIL: a tracked rate moved past its tolerance in the bad "
+              "direction at one or more sizes.", file=sys.stderr)
         return 1
-    print(f"\nOK: all tracked rates within {tolerance:.0%} of the committed "
+    print("\nOK: all tracked rates within tolerance of the committed "
           "baseline.")
     return 0
 
