@@ -47,6 +47,10 @@ struct ThroughputPoint {
     double trials_per_sec = 0.0;
     double mean_rounds = 0.0;
     double ns_per_node_round = 0.0;
+    /// Outcome-taxonomy health counters: the regression gate rejects a
+    /// baseline whose timing rows hide exhausted or faulted trials.
+    Count exhausted = 0;  ///< cap_exhausted + watchdog_timeouts
+    Count faulted = 0;
 };
 
 ThroughputPoint measure_throughput(NodeId n, Count trials, bool use_batch,
@@ -76,6 +80,8 @@ ThroughputPoint measure_throughput(NodeId n, Count trials, bool use_batch,
     p.mean_rounds = agg.rounds.mean();
     const double node_rounds = agg.rounds.sum() * static_cast<double>(n);
     p.ns_per_node_round = node_rounds > 0 ? 1e9 * p.seconds / node_rounds : 0.0;
+    p.exhausted = agg.cap_exhausted + agg.watchdog_timeouts;
+    p.faulted = agg.faulted;
     return p;
 }
 
@@ -103,6 +109,8 @@ struct SparsePoint {
     double ns_per_node_round = 0.0;
     double ns_per_probe = 0.0;
     double bytes_per_node_round = 0.0;
+    Count exhausted = 0;  ///< cap_exhausted + watchdog_timeouts (gated at 0)
+    Count faulted = 0;
 };
 
 SparsePoint measure_sparse(NodeId n, Count trials, Count degree,
@@ -145,6 +153,8 @@ SparsePoint measure_sparse(NodeId n, Count trials, Count degree,
         p.mean_rounds > 0
             ? bits_per_trial / 8.0 / static_cast<double>(n) / p.mean_rounds
             : 0.0;
+    p.exhausted = agg.cap_exhausted + agg.watchdog_timeouts;
+    p.faulted = agg.faulted;
     return p;
 }
 
@@ -372,9 +382,11 @@ void throughput(const Cli& cli) {
         std::snprintf(buf, sizeof buf,
                       "    {\"n\": %u, \"t\": %u, \"trials\": %u, \"seconds\": %.6f, "
                       "\"trials_per_sec\": %.1f, \"mean_rounds\": %.2f, "
-                      "\"ns_per_node_round\": %.2f}%s\n",
+                      "\"ns_per_node_round\": %.2f, \"exhausted\": %u, "
+                      "\"faulted\": %u}%s\n",
                       p.n, p.t, p.trials, p.seconds, p.trials_per_sec, p.mean_rounds,
-                      p.ns_per_node_round, i + 1 < points.size() ? "," : "");
+                      p.ns_per_node_round, p.exhausted, p.faulted,
+                      i + 1 < points.size() ? "," : "");
         out << buf;
     }
     {
@@ -391,9 +403,10 @@ void throughput(const Cli& cli) {
         std::snprintf(buf, sizeof buf,
                       "    {\"n\": %u, \"trials\": %u, \"seconds\": %.6f, "
                       "\"trials_per_sec\": %.1f, \"ns_per_node_round\": %.2f, "
-                      "\"speedup_vs_serial\": %.3f}%s\n",
+                      "\"speedup_vs_serial\": %.3f, \"exhausted\": %u, "
+                      "\"faulted\": %u}%s\n",
                       p.n, p.trials, p.seconds, p.trials_per_sec,
-                      p.ns_per_node_round, speedup,
+                      p.ns_per_node_round, speedup, p.exhausted, p.faulted,
                       i + 1 < sharded.size() ? "," : "");
         out << buf;
     }
@@ -424,10 +437,11 @@ void throughput(const Cli& cli) {
                 "    {\"n\": %u, \"t\": %u, \"trials\": %u, \"seconds\": %.6f, "
                 "\"trials_per_sec\": %.3f, \"mean_rounds\": %.2f, "
                 "\"ns_per_node_round\": %.2f, \"ns_per_probe\": %.3f, "
-                "\"bytes_per_node_round\": %.2f}%s\n",
+                "\"bytes_per_node_round\": %.2f, \"exhausted\": %u, "
+                "\"faulted\": %u}%s\n",
                 p.n, p.t, p.trials, p.seconds, p.trials_per_sec, p.mean_rounds,
                 p.ns_per_node_round, p.ns_per_probe, p.bytes_per_node_round,
-                i + 1 < pts.size() ? "," : "");
+                p.exhausted, p.faulted, i + 1 < pts.size() ? "," : "");
             out << buf;
         }
     };

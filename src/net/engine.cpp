@@ -1,6 +1,7 @@
 #include "net/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/contracts.hpp"
 
@@ -258,8 +259,18 @@ RunResult Engine::run() {
 
     adversary_->on_start(cfg_.n, cfg_.budget);
 
+    // Watchdog deadline, armed once per run; the clock is only consulted
+    // when configured, so unwatched trials pay nothing.
+    const auto deadline =
+        cfg_.watchdog_ms
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(cfg_.watchdog_ms)
+            : std::chrono::steady_clock::time_point{};
+
     bool all_halted = false;
+    bool timed_out = false;
     for (round_ = 0; round_ < cfg_.max_rounds; ++round_) {
+        if (cfg_.beat_probe) cfg_.beat_probe(round_);
         if (transcript_) transcript_->begin_round(round_, cfg_.n);
         buf_.begin_round();
 
@@ -309,6 +320,11 @@ RunResult Engine::run() {
             ++round_;  // count this round as executed
             break;
         }
+        if (cfg_.watchdog_ms && std::chrono::steady_clock::now() >= deadline) {
+            timed_out = true;
+            ++round_;  // this round completed before the guard fired
+            break;
+        }
     }
 
     RunResult res;
@@ -322,8 +338,16 @@ RunResult Engine::run() {
             res.halted[v] = halted[v] != 0;
         }
     }
-    res.rounds = std::min(round_, cfg_.max_rounds);
+    // Honest termination report: the executed round count verbatim (a run
+    // that burned its whole cap used to be clamped into looking like a
+    // decided one) plus the explicit outcome taxonomy.
+    res.rounds = round_;
     res.all_halted = all_halted;
+    res.outcome = all_halted  ? TrialOutcome::Decided
+                  : timed_out ? TrialOutcome::WatchdogTimeout
+                              : TrialOutcome::RoundCapExhausted;
+    ADBA_ENSURES_MSG(res.outcome == TrialOutcome::Decided || !res.all_halted,
+                     "a non-decided outcome must never read as all-halted");
     res.metrics = metrics_;
     res.transcript = std::move(transcript_);
 

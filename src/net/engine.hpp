@@ -162,6 +162,16 @@ struct EngineConfig {
     /// word-aligned node ranges — provided the batch is shardable() and the
     /// engine is not in reference_delivery mode. Null = serial beats.
     IntraDispatcher* intra = nullptr;
+    /// Per-trial wall-clock watchdog in milliseconds; 0 = off. When a round
+    /// completes past the deadline with live honest nodes, the run stops
+    /// with TrialOutcome::WatchdogTimeout instead of spinning toward the
+    /// round cap — the guard for Las Vegas protocols whose expected-constant
+    /// round count has an unbounded tail (scenario key `watchdog_ms`).
+    std::uint32_t watchdog_ms = 0;
+    /// Invoked at the top of every round, before honest sends. The
+    /// resilience seam (sim/faults.hpp) hangs artificial beat delays here;
+    /// null costs one branch per round.
+    std::function<void(Round)> beat_probe;
 };
 
 /// Outcome of one simulated run.
@@ -169,8 +179,14 @@ struct RunResult {
     std::vector<Bit> outputs;      ///< indexed by node; valid where honest[v]
     std::vector<bool> honest;      ///< true = never corrupted
     std::vector<bool> halted;      ///< node self-terminated
-    Round rounds = 0;              ///< rounds executed
+    Round rounds = 0;              ///< rounds executed (never clamped)
     bool all_halted = false;       ///< every honest node self-terminated
+    /// First-class termination taxonomy: Decided iff all_halted; otherwise
+    /// WatchdogTimeout (wall-clock guard fired) or RoundCapExhausted (ran
+    /// the full max_rounds with live honest nodes). Engine::run never
+    /// reports Faulted — that classification belongs to the trial kernel
+    /// (sim/workload.hpp), which owns fault recovery.
+    TrialOutcome outcome = TrialOutcome::Decided;
     Metrics metrics;
     std::optional<Transcript> transcript;
 

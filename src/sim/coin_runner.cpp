@@ -6,6 +6,7 @@
 #include "core/common_coin.hpp"
 #include "net/engine.hpp"
 #include "rand/seed_tree.hpp"
+#include "sim/checkpoint.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
 
@@ -49,6 +50,10 @@ public:
             if (const auto v = run.agreed_value()) out.value = *v;
         }
         out.attack_feasible = adversary.attack_feasible();
+        // Coin nodes self-halt after their single round, so the engine can
+        // only report Decided here; carry it anyway so the taxonomy flows
+        // through this workload like every other.
+        out.outcome = run.outcome;
         return out;
     }
 
@@ -59,6 +64,10 @@ private:
 };
 
 void CoinWorkload::accumulate(CoinAggregate& agg, const CoinTrial& r) {
+    if (r.outcome == TrialOutcome::Faulted) {
+        ++agg.faulted;
+        return;
+    }
     if (r.common) {
         ++agg.common;
         if (r.value == 1) ++agg.common_ones;
@@ -67,17 +76,45 @@ void CoinWorkload::accumulate(CoinAggregate& agg, const CoinTrial& r) {
 }
 
 std::vector<std::string> CoinWorkload::csv_header() {
-    return {"trials", "p_common", "p_one_given_common", "attack_feasible_pct"};
+    return {"trials", "faulted", "p_common", "p_one_given_common",
+            "attack_feasible_pct"};
 }
 
 std::vector<std::string> CoinWorkload::csv_row(const CoinAggregate& agg) {
+    const Count ran = agg.trials - agg.faulted;
     const double feasible =
-        agg.trials == 0 ? 0.0
-                        : 100.0 * static_cast<double>(agg.attack_feasible) /
-                              static_cast<double>(agg.trials);
+        ran == 0 ? 0.0
+                 : 100.0 * static_cast<double>(agg.attack_feasible) /
+                       static_cast<double>(ran);
     return {Table::num(static_cast<std::uint64_t>(agg.trials)),
+            Table::num(static_cast<std::uint64_t>(agg.faulted)),
             Table::num(agg.p_common(), 4), Table::num(agg.p_one_given_common(), 4),
             Table::num(feasible, 2)};
+}
+
+std::string CoinWorkload::checkpoint_scope(const CoinScenario& plan) {
+    return "n=" + std::to_string(plan.n) + " k=" + std::to_string(plan.designated) +
+           " f=" + std::to_string(plan.f) + " attack=" + to_string(plan.attack) +
+           " forced_bit=" + std::to_string(static_cast<int>(plan.forced_bit));
+}
+
+void CoinWorkload::checkpoint_encode(const CoinAggregate& agg, std::string& out) {
+    BinWriter w(out);
+    w.u32(agg.trials);
+    w.u32(agg.common);
+    w.u32(agg.common_ones);
+    w.u32(agg.attack_feasible);
+    w.u32(agg.faulted);
+}
+
+void CoinWorkload::checkpoint_decode(std::string_view bytes, CoinAggregate& agg) {
+    BinReader r(bytes);
+    agg.trials = r.u32();
+    agg.common = r.u32();
+    agg.common_ones = r.u32();
+    agg.attack_feasible = r.u32();
+    agg.faulted = r.u32();
+    ADBA_EXPECTS_MSG(r.exhausted(), "coin checkpoint payload has trailing bytes");
 }
 
 std::optional<std::string> why_incompatible(const CoinScenario& s) {
@@ -101,6 +138,7 @@ void CoinAggregate::merge(const CoinAggregate& other) {
     common += other.common;
     common_ones += other.common_ones;
     attack_feasible += other.attack_feasible;
+    faulted += other.faulted;
 }
 
 CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
@@ -110,7 +148,8 @@ CoinAggregate run_coin_trials(const CoinScenario& s, std::uint64_t base_seed,
 }
 
 double CoinAggregate::p_common() const {
-    return trials == 0 ? 0.0 : static_cast<double>(common) / trials;
+    const Count ran = trials - faulted;  // faulted trials flipped no coin
+    return ran == 0 ? 0.0 : static_cast<double>(common) / ran;
 }
 
 double CoinAggregate::p_one_given_common() const {

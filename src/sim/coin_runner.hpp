@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "adversary/coin_ruin.hpp"
 #include "sim/executor.hpp"
@@ -28,6 +29,10 @@ struct CoinTrial {
     bool common = false;
     Bit value = 0;          ///< the common bit, when common
     bool attack_feasible = false;
+    /// Coin trials run exactly one round and the nodes self-halt, so the
+    /// engine always reports Decided; Faulted is set by the trial kernel
+    /// for injected permanent faults (sim/faults.hpp).
+    TrialOutcome outcome = TrialOutcome::Decided;
 };
 
 CoinTrial run_coin_trial(const CoinScenario& s, std::uint64_t seed);
@@ -37,6 +42,9 @@ struct CoinAggregate {
     Count common = 0;
     Count common_ones = 0;   ///< common with value 1
     Count attack_feasible = 0;
+    /// Trials consumed by an injected permanent fault; excluded from every
+    /// probability estimate's denominator.
+    Count faulted = 0;
 
     double p_common() const;
     /// P(bit = 1 | common); Definition 2(B) wants this in [ε, 1-ε].
@@ -63,6 +71,12 @@ struct CoinWorkload {
 
     static std::vector<std::string> csv_header();
     static std::vector<std::string> csv_row(const Aggregate& agg);
+
+    // Checkpoint hooks (sim/checkpoint.hpp). The scenario has no describe()
+    // form, so the scope fingerprint is assembled field by field.
+    static std::string checkpoint_scope(const Plan& plan);
+    static void checkpoint_encode(const Aggregate& agg, std::string& out);
+    static void checkpoint_decode(std::string_view bytes, Aggregate& agg);
 };
 
 /// Runs on the workload-generic kernel (sim/workload.hpp); bit-identical at

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/faults.hpp"
 #include "support/contracts.hpp"
 
 namespace adba::sim {
@@ -74,6 +75,10 @@ unsigned intra_worker_cap(unsigned pool_width) {
 }
 
 unsigned plan_intra_shards(Count requested, NodeId n) {
+    // A degraded chunk (the trial kernel's last recovery attempt after
+    // repeated injected faults) must not re-enter the concurrency layer it
+    // is recovering from: force serial beats regardless of policy.
+    if (in_degraded_chunk()) return 1;
     // Scenario files accept any Count, so an absurd request (billions of
     // logical shards) must not reach ShardPool, where every beat's claim
     // loop iterates shards_ times per thread. Anything past one shard per
@@ -131,6 +136,7 @@ void ShardPool::drain(const std::function<void(unsigned, NodeId, NodeId)>& fn,
         const unsigned s = next_shard_.fetch_add(1, std::memory_order_relaxed);
         if (s >= shards_) return;
         try {
+            if (FaultInjector* inj = FaultInjector::active()) inj->on_shard_task(s);
             const auto [lo, hi] = net::kern::shard_node_range(n, s, shards_);
             fn(s, lo, hi);
         } catch (...) {

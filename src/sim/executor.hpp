@@ -21,6 +21,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -33,9 +34,19 @@ namespace adba::sim {
 
 /// Per-call executor knobs. The zero defaults resolve to the process-wide
 /// thread default (settable from `--threads`) and an automatic chunk size.
+/// New fields append (callers brace-init the first two positionally).
 struct ExecutorConfig {
     unsigned threads = 0;  ///< 0 = default_threads()
     Count chunk = 0;       ///< trials per work unit; 0 = auto_chunk(trials)
+    /// Chunk-granular checkpoint journal (`--checkpoint=path`); empty = off.
+    /// Completed chunk aggregates are appended to this write-ahead file as
+    /// they finish, so a killed sweep resumes without redoing them.
+    std::string checkpoint;
+    /// Resume from an existing `checkpoint` journal (`--resume`): completed
+    /// chunks are loaded instead of re-run; the merged result is bit-identical
+    /// to an uninterrupted run at any thread count. Without this flag an
+    /// existing journal is truncated and the sweep starts fresh.
+    bool resume = false;
 };
 
 /// std::thread::hardware_concurrency(), clamped to at least 1.

@@ -4,6 +4,7 @@
 
 #include "baselines/chor_coan.hpp"
 #include "rand/rng.hpp"
+#include "sim/checkpoint.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
 
@@ -123,11 +124,13 @@ public:
         }
 
         // Phase budget exhausted with every phase ruined: the honest values
-        // are still split — the w.h.p. failure event.
+        // are still split — the w.h.p. failure event, the macro analogue of
+        // hitting the engine's round cap.
         out.phases_run = phases;
         out.rounds = 2 * static_cast<std::uint64_t>(phases);
         out.agreement = false;
         out.corruptions = used;
+        out.outcome = TrialOutcome::RoundCapExhausted;
         return out;
     }
 
@@ -140,6 +143,13 @@ MacroWorkload::Plan MacroWorkload::make_plan(const MacroScenario& s) {
 }
 
 void MacroWorkload::accumulate(MacroAggregate& agg, const MacroResult& r) {
+    if (r.outcome == TrialOutcome::Faulted) {
+        // Injected permanent fault: the trial produced no schedule walk, so
+        // only the taxonomy counter moves (see Aggregate in runner.hpp).
+        ++agg.faulted;
+        return;
+    }
+    if (r.outcome == TrialOutcome::RoundCapExhausted) ++agg.cap_exhausted;
     agg.rounds.add(static_cast<double>(r.rounds));
     agg.phases.add(static_cast<double>(r.phases_run));
     agg.corruptions.add(static_cast<double>(r.corruptions));
@@ -147,23 +157,66 @@ void MacroWorkload::accumulate(MacroAggregate& agg, const MacroResult& r) {
 }
 
 std::vector<std::string> MacroWorkload::csv_header() {
-    return {"trials",     "agree_pct",  "rounds_mean",      "rounds_p90",
-            "rounds_max", "phases_mean", "corruptions_mean"};
+    return {"trials",      "agree_pct",  "exhausted",       "faulted",
+            "rounds_mean", "rounds_p90", "rounds_max",      "phases_mean",
+            "corruptions_mean"};
 }
 
 std::vector<std::string> MacroWorkload::csv_row(const MacroAggregate& agg) {
-    const double ok = agg.trials == 0
+    const Count ran = agg.trials - agg.faulted;
+    const double ok = ran == 0
                           ? 0.0
-                          : 100.0 * static_cast<double>(agg.trials -
+                          : 100.0 * static_cast<double>(ran -
                                                         agg.agreement_failures) /
-                                static_cast<double>(agg.trials);
+                                static_cast<double>(ran);
+    const bool have = !agg.rounds.empty();
     return {Table::num(static_cast<std::uint64_t>(agg.trials)),
             Table::num(ok, 2),
-            Table::num(agg.rounds.mean(), 3),
-            Table::num(agg.rounds.quantile(0.9), 3),
-            Table::num(agg.rounds.max(), 0),
-            Table::num(agg.phases.mean(), 3),
-            Table::num(agg.corruptions.mean(), 3)};
+            Table::num(static_cast<std::uint64_t>(agg.cap_exhausted)),
+            Table::num(static_cast<std::uint64_t>(agg.faulted)),
+            Table::num(have ? agg.rounds.mean() : 0.0, 3),
+            Table::num(have ? agg.rounds.quantile(0.9) : 0.0, 3),
+            Table::num(have ? agg.rounds.max() : 0.0, 0),
+            Table::num(have ? agg.phases.mean() : 0.0, 3),
+            Table::num(have ? agg.corruptions.mean() : 0.0, 3)};
+}
+
+std::string MacroWorkload::checkpoint_scope(const Plan& plan) {
+    const MacroScenario& s = plan.scenario;
+    return "n=" + std::to_string(s.n) + " t=" + std::to_string(s.t) +
+           " q=" + std::to_string(s.q) + " schedule=" + to_string(s.schedule) +
+           " alpha=" + std::to_string(s.tuning.alpha) +
+           " gamma=" + std::to_string(s.tuning.gamma) +
+           " beta=" + std::to_string(s.tuning.beta);
+}
+
+void MacroWorkload::checkpoint_encode(const MacroAggregate& agg, std::string& out) {
+    BinWriter w(out);
+    w.u32(agg.trials);
+    w.u32(agg.agreement_failures);
+    w.u32(agg.cap_exhausted);
+    w.u32(agg.faulted);
+    w.doubles(agg.rounds.values());
+    w.doubles(agg.phases.values());
+    w.doubles(agg.corruptions.values());
+}
+
+void MacroWorkload::checkpoint_decode(std::string_view bytes, MacroAggregate& agg) {
+    BinReader r(bytes);
+    agg.trials = r.u32();
+    agg.agreement_failures = r.u32();
+    agg.cap_exhausted = r.u32();
+    agg.faulted = r.u32();
+    std::vector<double> xs;
+    r.doubles(xs);
+    for (double x : xs) agg.rounds.add(x);
+    xs.clear();
+    r.doubles(xs);
+    for (double x : xs) agg.phases.add(x);
+    xs.clear();
+    r.doubles(xs);
+    for (double x : xs) agg.corruptions.add(x);
+    ADBA_EXPECTS_MSG(r.exhausted(), "macro checkpoint payload has trailing bytes");
 }
 
 MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
@@ -173,6 +226,8 @@ MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed) {
 void MacroAggregate::merge(const MacroAggregate& other) {
     trials += other.trials;
     agreement_failures += other.agreement_failures;
+    cap_exhausted += other.cap_exhausted;
+    faulted += other.faulted;
     rounds.merge(other.rounds);
     phases.merge(other.phases);
     corruptions.merge(other.corruptions);

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/params.hpp"
 #include "sim/executor.hpp"
@@ -50,6 +51,10 @@ struct MacroResult {
     bool agreement = false;
     std::uint64_t phase_budget = 0;
     std::uint64_t committee_size = 0;
+    /// Decided when a phase produced the common coin within the budget;
+    /// RoundCapExhausted when the phase budget ran dry (the macro analogue
+    /// of hitting max_rounds); Faulted set by the trial kernel only.
+    TrialOutcome outcome = TrialOutcome::Decided;
 };
 
 MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed);
@@ -59,6 +64,11 @@ MacroResult run_macro_trial(const MacroScenario& s, std::uint64_t seed);
 struct MacroAggregate {
     Count trials = 0;
     Count agreement_failures = 0;
+    /// Outcome taxonomy counters (see Aggregate in runner.hpp). The macro
+    /// simulator has no watchdog (its trials are microseconds), so only
+    /// budget exhaustion and injected faults occur.
+    Count cap_exhausted = 0;
+    Count faulted = 0;
     Samples rounds;
     Samples phases;
     Samples corruptions;
@@ -84,6 +94,12 @@ struct MacroWorkload {
 
     static std::vector<std::string> csv_header();
     static std::vector<std::string> csv_row(const Aggregate& agg);
+
+    // Checkpoint hooks (sim/checkpoint.hpp). The scenario has no describe()
+    // form, so the scope fingerprint is assembled field by field.
+    static std::string checkpoint_scope(const Plan& plan);
+    static void checkpoint_encode(const Aggregate& agg, std::string& out);
+    static void checkpoint_decode(std::string_view bytes, Aggregate& agg);
 };
 
 /// Runs on the workload-generic kernel; per-trial seeds depend only on

@@ -5,6 +5,8 @@
 
 #include "net/engine.hpp"
 #include "rand/seed_tree.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/faults.hpp"
 #include "sim/registry.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
@@ -73,6 +75,10 @@ public:
         cfg.max_rounds = plan_.cap;
         cfg.reference_delivery = s.reference_delivery;
         cfg.simd_tally = s.use_simd;
+        cfg.watchdog_ms = s.watchdog_ms;
+        if (FaultInjector* inj = FaultInjector::active();
+            inj && inj->config().beat_delay_rate > 0.0)
+            cfg.beat_probe = [inj](Round r) { inj->on_beat(r); };
         if (engine_) {
             engine_->reset(cfg, std::move(nodes_), *adversary);
         } else {
@@ -84,6 +90,7 @@ public:
         MvTrialResult res;
         res.rounds = run.rounds;
         res.all_halted = run.all_halted;
+        res.outcome = run.outcome;
         res.agreement = true;
         std::optional<net::Word> seen;
         bool any_real = false;
@@ -116,35 +123,95 @@ private:
     std::optional<net::Engine> engine_;
 };
 
-MvScenarioPlan MvWorkload::make_plan(const MvScenario& s) { return validate(s); }
+MvScenarioPlan MvWorkload::make_plan(const MvScenario& s) {
+    enforce_memory_budget(s);
+    return validate(s);
+}
 
 void MvWorkload::accumulate(MvAggregate& agg, const MvTrialResult& r) {
+    if (r.outcome == TrialOutcome::Faulted) {
+        ++agg.faulted;
+        return;
+    }
     if (!r.agreement) ++agg.agreement_failures;
     if (!r.validity_ok) ++agg.validity_failures;
     if (!r.all_halted) ++agg.not_halted;
     if (r.decided_real) ++agg.decided_real;
+    switch (r.outcome) {
+        case TrialOutcome::Decided:
+            ADBA_ENSURES_MSG(r.all_halted,
+                             "a Decided mv trial must have all-halted; an "
+                             "exhausted trial may never be counted as decided");
+            break;
+        case TrialOutcome::RoundCapExhausted:
+            ++agg.cap_exhausted;
+            break;
+        case TrialOutcome::WatchdogTimeout:
+            ++agg.watchdog_timeouts;
+            break;
+        case TrialOutcome::Faulted:
+            break;  // unreachable: early-returned above
+    }
     agg.rounds.add(static_cast<double>(r.rounds));
 }
 
 std::vector<std::string> MvWorkload::csv_header() {
-    return {"trials",      "agree_pct",      "validity_failures", "not_halted",
-            "real_value_pct", "rounds_mean", "rounds_p90",        "rounds_max"};
+    return {"trials",     "agree_pct", "validity_failures", "not_halted",
+            "exhausted",  "watchdog",  "faulted",           "real_value_pct",
+            "rounds_mean", "rounds_p90", "rounds_max"};
 }
 
 std::vector<std::string> MvWorkload::csv_row(const MvAggregate& agg) {
+    const Count ran = agg.trials - agg.faulted;
     const auto pct = [&](Count c) {
-        return agg.trials == 0 ? 0.0
-                               : 100.0 * static_cast<double>(c) /
-                                     static_cast<double>(agg.trials);
+        return ran == 0 ? 0.0
+                        : 100.0 * static_cast<double>(c) / static_cast<double>(ran);
     };
+    const bool have = !agg.rounds.empty();
     return {Table::num(static_cast<std::uint64_t>(agg.trials)),
-            Table::num(pct(agg.trials - agg.agreement_failures), 2),
+            Table::num(pct(ran - agg.agreement_failures), 2),
             Table::num(static_cast<std::uint64_t>(agg.validity_failures)),
             Table::num(static_cast<std::uint64_t>(agg.not_halted)),
+            Table::num(static_cast<std::uint64_t>(agg.cap_exhausted)),
+            Table::num(static_cast<std::uint64_t>(agg.watchdog_timeouts)),
+            Table::num(static_cast<std::uint64_t>(agg.faulted)),
             Table::num(pct(agg.decided_real), 2),
-            Table::num(agg.rounds.mean(), 3),
-            Table::num(agg.rounds.quantile(0.9), 3),
-            Table::num(agg.rounds.max(), 0)};
+            Table::num(have ? agg.rounds.mean() : 0.0, 3),
+            Table::num(have ? agg.rounds.quantile(0.9) : 0.0, 3),
+            Table::num(have ? agg.rounds.max() : 0.0, 0)};
+}
+
+std::string MvWorkload::checkpoint_scope(const MvScenarioPlan& plan) {
+    return plan.scenario.describe();
+}
+
+void MvWorkload::checkpoint_encode(const MvAggregate& agg, std::string& out) {
+    BinWriter w(out);
+    w.u32(agg.trials);
+    w.u32(agg.agreement_failures);
+    w.u32(agg.validity_failures);
+    w.u32(agg.not_halted);
+    w.u32(agg.decided_real);
+    w.u32(agg.cap_exhausted);
+    w.u32(agg.watchdog_timeouts);
+    w.u32(agg.faulted);
+    w.doubles(agg.rounds.values());
+}
+
+void MvWorkload::checkpoint_decode(std::string_view bytes, MvAggregate& agg) {
+    BinReader r(bytes);
+    agg.trials = r.u32();
+    agg.agreement_failures = r.u32();
+    agg.validity_failures = r.u32();
+    agg.not_halted = r.u32();
+    agg.decided_real = r.u32();
+    agg.cap_exhausted = r.u32();
+    agg.watchdog_timeouts = r.u32();
+    agg.faulted = r.u32();
+    std::vector<double> xs;
+    r.doubles(xs);
+    for (double x : xs) agg.rounds.add(x);
+    ADBA_EXPECTS_MSG(r.exhausted(), "mv checkpoint payload has trailing bytes");
 }
 
 MvTrialResult run_mv_trial(const MvScenarioPlan& plan, std::uint64_t seed) {
@@ -161,6 +228,9 @@ void MvAggregate::merge(const MvAggregate& other) {
     validity_failures += other.validity_failures;
     not_halted += other.not_halted;
     decided_real += other.decided_real;
+    cap_exhausted += other.cap_exhausted;
+    watchdog_timeouts += other.watchdog_timeouts;
+    faulted += other.faulted;
     rounds.merge(other.rounds);
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/multivalued.hpp"
 #include "sim/executor.hpp"
@@ -69,12 +70,18 @@ struct MvScenario {
     /// Scenario key `sample_degree`; carried and round-tripped for spec
     /// parity, meaningful only once an mv sparse batch exists.
     Count sample_degree = 0;
+    /// Per-trial wall-clock watchdog in ms (scenario key `watchdog_ms`);
+    /// 0 = off. Same semantics as the binary scenario's key — the guard for
+    /// `las_vegas=true` inner protocols whose round cap is generous by
+    /// design. Wall-clock dependent, so armed sweeps are not
+    /// bit-reproducible.
+    std::uint32_t watchdog_ms = 0;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// adversary/input names through MvAdversaryRegistry. Keys: adversary,
     /// inputs, n, t, q, alpha, gamma, beta, fallback, las_vegas, reference,
-    /// batch, simd, plane, sample_degree. Unknown keys or names throw
-    /// ContractViolation with the accepted alternatives.
+    /// batch, simd, plane, sample_degree, watchdog_ms. Unknown keys or
+    /// names throw ContractViolation with the accepted alternatives.
     static MvScenario parse(const std::string& spec);
 
     /// Canonical spec string; `MvScenario::parse(s.describe()) == s`.
@@ -91,6 +98,9 @@ struct MvTrialResult {
     bool all_halted = false;
     bool decided_real = false;  ///< binary outcome 1 (a proposed word won)
     Round rounds = 0;
+    /// How the trial ended (support/types.hpp); engine-reported, with
+    /// Faulted set by the trial kernel for injected permanent faults.
+    TrialOutcome outcome = TrialOutcome::Decided;
 };
 
 struct MvScenarioPlan;  // resolved mv registry entry + hoisted parameters
@@ -109,6 +119,11 @@ struct MvAggregate {
     Count validity_failures = 0;
     Count not_halted = 0;
     Count decided_real = 0;
+    /// Outcome taxonomy counters (see Aggregate in runner.hpp for the
+    /// accounting rules — faulted trials contribute nothing but their count).
+    Count cap_exhausted = 0;
+    Count watchdog_timeouts = 0;
+    Count faulted = 0;
     Samples rounds;
 
     /// Merge in chunk-index order (see Aggregate::merge).
@@ -126,12 +141,19 @@ struct MvWorkload {
     static constexpr std::uint64_t kSeedStride = 0x9e37ULL;
     static constexpr const char* kName = "mv";
 
-    static Plan make_plan(const Scenario& s);  ///< validate(s), once per sweep
+    /// validate(s) + enforce_memory_budget(s) (no sparse fallback exists for
+    /// the mv stack, so an over-budget plan is rejected, never adjusted).
+    static Plan make_plan(const Scenario& s);
     static void accumulate(Aggregate& agg, const Result& r);
     static void reserve(Aggregate& agg, Count trials) { agg.rounds.reserve(trials); }
 
     static std::vector<std::string> csv_header();
     static std::vector<std::string> csv_row(const Aggregate& agg);
+
+    // Checkpoint hooks (sim/checkpoint.hpp).
+    static std::string checkpoint_scope(const Plan& plan);
+    static void checkpoint_encode(const Aggregate& agg, std::string& out);
+    static void checkpoint_decode(std::string_view bytes, Aggregate& agg);
 };
 
 /// Runs on the workload-generic kernel; bit-identical at any thread count.

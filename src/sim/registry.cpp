@@ -21,6 +21,7 @@
 #include "baselines/rabin_dealer.hpp"
 #include "baselines/sampling_majority.hpp"
 #include "core/agreement.hpp"
+#include "sim/faults.hpp"
 #include "support/cli.hpp"
 #include "support/contracts.hpp"
 
@@ -923,6 +924,8 @@ std::string Scenario::describe() const {
     if (sparse_stream != defaults.sparse_stream)
         out += std::string(" sparse_stream=") +
                (sparse_stream == net::SparseStream::Chain ? "chain" : "counter");
+    if (watchdog_ms != defaults.watchdog_ms)
+        out += " watchdog_ms=" + std::to_string(watchdog_ms);
     return out;
 }
 
@@ -1029,13 +1032,15 @@ Scenario Scenario::parse(const std::string& spec) {
             s.sparse_seed = parse_u64(key, value);
         } else if (key == "sparse_stream") {
             s.sparse_stream = parse_sparse_stream_name(value);
+        } else if (key == "watchdog_ms") {
+            s.watchdog_ms = static_cast<std::uint32_t>(parse_u64(key, value));
         } else {
             throw ContractViolation(
                 "unknown scenario key '" + key +
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
                 "beta, phases, kappa, max_rounds, transcript, reference, batch, "
                 "shard, simd, intra_threads, plane, sample_degree, sparse_seed, "
-                "sparse_stream");
+                "sparse_stream, watchdog_ms");
         }
     });
     return s;
@@ -1062,6 +1067,8 @@ std::string MvScenario::describe() const {
     if (sparse_plane) out += " plane=sparse";
     if (sample_degree != defaults.sample_degree)
         out += " sample_degree=" + std::to_string(sample_degree);
+    if (watchdog_ms != defaults.watchdog_ms)
+        out += " watchdog_ms=" + std::to_string(watchdog_ms);
     return out;
 }
 
@@ -1098,14 +1105,78 @@ MvScenario MvScenario::parse(const std::string& spec) {
             s.sparse_plane = parse_plane_name(value);
         } else if (key == "sample_degree") {
             s.sample_degree = static_cast<Count>(parse_u64(key, value));
+        } else if (key == "watchdog_ms") {
+            s.watchdog_ms = static_cast<std::uint32_t>(parse_u64(key, value));
         } else {
             throw ContractViolation(
                 "unknown multi-valued scenario key '" + key +
                 "'; valid keys: adversary, inputs, n, t, q, alpha, gamma, beta, "
-                "fallback, las_vegas, reference, batch, simd, plane, sample_degree");
+                "fallback, las_vegas, reference, batch, simd, plane, sample_degree, "
+                "watchdog_ms");
         }
     });
     return s;
+}
+
+// ----------------------------------------------------------- memory budget
+
+namespace {
+
+std::string mb_string(std::uint64_t bytes) {
+    // Ceiling in MiB so "needs ~X MiB" never understates.
+    return std::to_string((bytes + (1ULL << 20) - 1) >> 20) + " MiB";
+}
+
+}  // namespace
+
+std::optional<std::string> apply_memory_budget(Scenario& s) {
+    const std::uint64_t budget_mb = default_mem_budget_mb();
+    if (budget_mb == 0) return std::nullopt;
+    const std::uint64_t budget = budget_mb << 20;
+
+    const std::uint64_t flat = estimate_trial_arena_bytes(s.n, s.sparse_plane);
+    if (flat <= budget) return std::nullopt;
+
+    const ProtocolEntry& p = ProtocolRegistry::instance().at(s.protocol);
+    const bool can_fall_back = !s.sparse_plane && p.supports_sparse && s.use_batch &&
+                               s.use_simd && !s.reference_delivery;
+    if (can_fall_back) {
+        const std::uint64_t sparse = estimate_trial_arena_bytes(s.n, true);
+        if (sparse <= budget) {
+            s.sparse_plane = true;
+            return "[adba] memory budget: flat plane at n=" + std::to_string(s.n) +
+                   " needs ~" + mb_string(flat) + " > budget " +
+                   std::to_string(budget_mb) +
+                   " MiB; falling back to plane=sparse (~" + mb_string(sparse) +
+                   "); results are sampled estimates, not exact tallies";
+        }
+    }
+
+    throw ContractViolation(
+        "scenario at n=" + std::to_string(s.n) + " needs ~" + mb_string(flat) +
+        " per trial arena, over the memory budget of " + std::to_string(budget_mb) +
+        " MiB" +
+        (can_fall_back ? " (even the sparse plane would not fit)"
+         : s.sparse_plane
+             ? ""
+             : " and cannot fall back to the sparse plane under this "
+               "configuration (needs a sparse-capable protocol with batch=on, "
+               "simd=on, reference=off)") +
+        "; raise --mem_budget_mb / ADBA_MEM_BUDGET_MB, lower n, or pick a "
+        "sparse-capable protocol");
+}
+
+void enforce_memory_budget(const MvScenario& s) {
+    const std::uint64_t budget_mb = default_mem_budget_mb();
+    if (budget_mb == 0) return;
+    const std::uint64_t need = estimate_trial_arena_bytes(s.n, false);
+    if (need <= (budget_mb << 20)) return;
+    throw ContractViolation(
+        "multi-valued scenario at n=" + std::to_string(s.n) + " needs ~" +
+        mb_string(need) + " per trial arena, over the memory budget of " +
+        std::to_string(budget_mb) +
+        " MiB; the Turpin-Coan stack has no sparse fallback — raise "
+        "--mem_budget_mb / ADBA_MEM_BUDGET_MB or lower n");
 }
 
 }  // namespace adba::sim

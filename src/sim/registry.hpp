@@ -259,4 +259,19 @@ bool parse_plane_name(const std::string& name);
 /// accepted values and a did-you-mean suggestion.
 net::SparseStream parse_sparse_stream_name(const std::string& name);
 
+/// Graceful degradation on resource limits (sim/faults.hpp owns the budget
+/// value): estimates the scenario's per-trial arena footprint against the
+/// process-wide memory budget. Within budget (or budget off): no change,
+/// nullopt. Over budget on the flat plane with a sparse-capable
+/// configuration (protocol supports_sparse, batch=on, simd=on,
+/// reference=off): flips `s.sparse_plane = true` and returns the one-line
+/// warning to print. Otherwise throws ContractViolation with an actionable
+/// message (raise --mem_budget_mb / ADBA_MEM_BUDGET_MB, shrink n, or pick a
+/// sparse-capable protocol) instead of letting the sweep OOM.
+std::optional<std::string> apply_memory_budget(Scenario& s);
+
+/// Multi-valued budget check: the Turpin-Coan stack has no sparse fallback,
+/// so an over-budget plan is rejected (ContractViolation) — never adjusted.
+void enforce_memory_budget(const MvScenario& s);
+
 }  // namespace adba::sim

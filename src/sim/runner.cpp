@@ -1,10 +1,13 @@
 #include "sim/runner.hpp"
 
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "sim/checkpoint.hpp"
+#include "sim/faults.hpp"
 #include "sim/registry.hpp"
 #include "support/contracts.hpp"
 #include "support/table.hpp"
@@ -83,6 +86,12 @@ public:
                 seeds.seed(StreamPurpose::SparseTopology, s.sparse_seed);
             cfg.sparse_stream = s.sparse_stream;
         }
+        cfg.watchdog_ms = s.watchdog_ms;
+        // Resilience seam: only pay the per-round std::function call when an
+        // armed injector actually wants beat delays.
+        if (FaultInjector* inj = FaultInjector::active();
+            inj && inj->config().beat_delay_rate > 0.0)
+            cfg.beat_probe = [inj](Round r) { inj->on_beat(r); };
         // Intra-trial sharding: resolve the scenario's request through the
         // nested-parallelism policy once and keep one pool per arena (its
         // workers persist across trials; rebuilding per trial would pay
@@ -125,6 +134,7 @@ public:
                            *res.agreed_value == inputs_.front());
         res.all_halted = run.all_halted;
         res.rounds = run.rounds;
+        res.outcome = run.outcome;
         res.metrics = run.metrics;
         res.phases_configured = bundle_.phases;
         return res;
@@ -142,10 +152,23 @@ private:
 
 ScenarioPlan BinaryWorkload::make_plan(const Scenario& s) {
     ADBA_EXPECTS(s.n > 0);
-    return validate(s);
+    // Graceful degradation: under an active memory budget an over-budget
+    // flat plan flips to the sparse plane (or is rejected with an actionable
+    // message) BEFORE any allocation happens.
+    Scenario adjusted = s;
+    if (const auto warning = apply_memory_budget(adjusted))
+        std::fprintf(stderr, "%s\n", warning->c_str());
+    return validate(adjusted);
 }
 
 void BinaryWorkload::accumulate(Aggregate& agg, const TrialResult& r) {
+    if (r.outcome == TrialOutcome::Faulted) {
+        // The trial never ran; nothing but its existence may enter the
+        // aggregate (a value-initialized result would poison every sample
+        // and read as an agreement failure).
+        ++agg.faulted;
+        return;
+    }
     agg.rounds.add(static_cast<double>(r.rounds));
     agg.messages.add(static_cast<double>(r.metrics.honest_messages));
     agg.bits.add(static_cast<double>(r.metrics.honest_bits));
@@ -153,30 +176,98 @@ void BinaryWorkload::accumulate(Aggregate& agg, const TrialResult& r) {
     if (!r.agreement) ++agg.agreement_failures;
     if (!r.validity_ok) ++agg.validity_failures;
     if (!r.all_halted) ++agg.not_halted;
+    switch (r.outcome) {
+        case TrialOutcome::Decided:
+            ADBA_ENSURES_MSG(r.all_halted,
+                             "a Decided binary trial must have all-halted; an "
+                             "exhausted trial may never be counted as decided");
+            break;
+        case TrialOutcome::RoundCapExhausted:
+            ++agg.cap_exhausted;
+            break;
+        case TrialOutcome::WatchdogTimeout:
+            ++agg.watchdog_timeouts;
+            break;
+        case TrialOutcome::Faulted:
+            break;  // unreachable: early-returned above
+    }
 }
 
 std::vector<std::string> BinaryWorkload::csv_header() {
-    return {"trials",      "agree_pct",  "validity_failures", "not_halted",
-            "rounds_mean", "rounds_p90", "rounds_max",        "msgs_mean",
-            "bits_mean",   "corruptions_mean"};
+    return {"trials",     "agree_pct",        "validity_failures",
+            "not_halted", "exhausted",        "watchdog",
+            "faulted",    "rounds_mean",      "rounds_p90",
+            "rounds_max", "msgs_mean",        "bits_mean",
+            "corruptions_mean"};
 }
 
 std::vector<std::string> BinaryWorkload::csv_row(const Aggregate& agg) {
-    const double ok = agg.trials == 0
-                          ? 0.0
-                          : 100.0 * static_cast<double>(agg.trials -
-                                                        agg.agreement_failures) /
-                                static_cast<double>(agg.trials);
+    // agree_pct is over trials that actually RAN: a faulted trial carries no
+    // agreement information, and an all-faulted aggregate has no samples at
+    // all (the Samples accessors assert non-empty, hence the guards).
+    const Count ran = agg.trials - agg.faulted;
+    const double ok =
+        ran == 0 ? 0.0
+                 : 100.0 * static_cast<double>(ran - agg.agreement_failures) /
+                       static_cast<double>(ran);
+    const bool have = !agg.rounds.empty();
     return {Table::num(static_cast<std::uint64_t>(agg.trials)),
             Table::num(ok, 2),
             Table::num(static_cast<std::uint64_t>(agg.validity_failures)),
             Table::num(static_cast<std::uint64_t>(agg.not_halted)),
-            Table::num(agg.rounds.mean(), 3),
-            Table::num(agg.rounds.quantile(0.9), 3),
-            Table::num(agg.rounds.max(), 0),
-            Table::num(agg.messages.mean(), 1),
-            Table::num(agg.bits.mean(), 1),
-            Table::num(agg.corruptions.mean(), 3)};
+            Table::num(static_cast<std::uint64_t>(agg.cap_exhausted)),
+            Table::num(static_cast<std::uint64_t>(agg.watchdog_timeouts)),
+            Table::num(static_cast<std::uint64_t>(agg.faulted)),
+            Table::num(have ? agg.rounds.mean() : 0.0, 3),
+            Table::num(have ? agg.rounds.quantile(0.9) : 0.0, 3),
+            Table::num(have ? agg.rounds.max() : 0.0, 0),
+            Table::num(have ? agg.messages.mean() : 0.0, 1),
+            Table::num(have ? agg.bits.mean() : 0.0, 1),
+            Table::num(have ? agg.corruptions.mean() : 0.0, 3)};
+}
+
+std::string BinaryWorkload::checkpoint_scope(const Plan& plan) {
+    return plan.scenario.describe();
+}
+
+void BinaryWorkload::checkpoint_encode(const Aggregate& agg, std::string& out) {
+    BinWriter w(out);
+    w.u32(agg.trials);
+    w.u32(agg.agreement_failures);
+    w.u32(agg.validity_failures);
+    w.u32(agg.not_halted);
+    w.u32(agg.cap_exhausted);
+    w.u32(agg.watchdog_timeouts);
+    w.u32(agg.faulted);
+    w.doubles(agg.rounds.values());
+    w.doubles(agg.messages.values());
+    w.doubles(agg.bits.values());
+    w.doubles(agg.corruptions.values());
+}
+
+void BinaryWorkload::checkpoint_decode(std::string_view bytes, Aggregate& agg) {
+    BinReader r(bytes);
+    agg.trials = r.u32();
+    agg.agreement_failures = r.u32();
+    agg.validity_failures = r.u32();
+    agg.not_halted = r.u32();
+    agg.cap_exhausted = r.u32();
+    agg.watchdog_timeouts = r.u32();
+    agg.faulted = r.u32();
+    std::vector<double> xs;
+    r.doubles(xs);
+    for (double x : xs) agg.rounds.add(x);
+    xs.clear();
+    r.doubles(xs);
+    for (double x : xs) agg.messages.add(x);
+    xs.clear();
+    r.doubles(xs);
+    for (double x : xs) agg.bits.add(x);
+    xs.clear();
+    r.doubles(xs);
+    for (double x : xs) agg.corruptions.add(x);
+    ADBA_EXPECTS_MSG(r.exhausted(),
+                     "binary checkpoint payload has trailing bytes");
 }
 
 TrialResult run_trial(const ScenarioPlan& plan, std::uint64_t seed) {
@@ -196,6 +287,9 @@ void Aggregate::merge(const Aggregate& other) {
     agreement_failures += other.agreement_failures;
     validity_failures += other.validity_failures;
     not_halted += other.not_halted;
+    cap_exhausted += other.cap_exhausted;
+    watchdog_timeouts += other.watchdog_timeouts;
+    faulted += other.faulted;
 }
 
 Aggregate run_trials(const Scenario& s, std::uint64_t base_seed, Count trials,

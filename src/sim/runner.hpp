@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/params.hpp"
 #include "net/engine.hpp"
@@ -102,14 +103,22 @@ struct Scenario {
     /// `sparse_stream=chain|counter`; net/sparse_kernels.hpp). Counter is
     /// the batched default; chain replays PR-7-era recorded experiments.
     net::SparseStream sparse_stream = net::SparseStream::Counter;
+    /// Per-trial wall-clock watchdog in milliseconds (scenario key
+    /// `watchdog_ms`, CLI `--watchdog_ms`); 0 = off. Guards the Las Vegas
+    /// variants' unbounded round tail: a trial past the deadline stops with
+    /// TrialOutcome::WatchdogTimeout instead of spinning toward the
+    /// registry's generous round cap. Wall-clock dependent by design, so
+    /// armed sweeps are NOT bit-reproducible — leave it off for recorded
+    /// experiments.
+    std::uint32_t watchdog_ms = 0;
 
     /// Builds a scenario from a `key=value ...` spec string, resolving
     /// protocol/adversary/input names through the registries (registry.hpp).
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
     /// phases, kappa, max_rounds, transcript, reference, batch, shard,
     /// simd, intra_threads, plane, sample_degree, sparse_seed,
-    /// sparse_stream. Unknown keys or names throw ContractViolation with
-    /// the accepted alternatives.
+    /// sparse_stream, watchdog_ms. Unknown keys or names throw
+    /// ContractViolation with the accepted alternatives.
     static Scenario parse(const std::string& spec);
 
     /// Canonical spec string; `Scenario::parse(s.describe()) == s`.
@@ -126,6 +135,11 @@ struct TrialResult {
     bool validity_ok = true;
     bool all_halted = false;
     Round rounds = 0;
+    /// How the trial ended (support/types.hpp). Engine-reported for real
+    /// runs; the trial kernel sets Faulted for trials consumed by an
+    /// injected permanent fault, whose other fields are value-initialized
+    /// and excluded from every sample/ratio by accumulate().
+    TrialOutcome outcome = TrialOutcome::Decided;
     net::Metrics metrics;
     Count phases_configured = 0;  ///< protocol phase budget actually used
 };
@@ -149,6 +163,15 @@ struct Aggregate {
     Count agreement_failures = 0;
     Count validity_failures = 0;
     Count not_halted = 0;
+    /// Outcome taxonomy counters (support/types.hpp). Every non-Decided
+    /// trial lands in exactly one of these; `trials` counts all of them, so
+    /// decided = trials - cap_exhausted - watchdog_timeouts - faulted.
+    /// Exhausted/timed-out trials still contribute rounds/messages samples
+    /// (their cost is real and their non-agreement is already counted);
+    /// faulted trials ran nothing and contribute only their count.
+    Count cap_exhausted = 0;
+    Count watchdog_timeouts = 0;
+    Count faulted = 0;
 
     /// Folds a later index range's partial in (order matters: merge partials
     /// in chunk-index order for serial-identical Samples buffers).
@@ -167,12 +190,23 @@ struct BinaryWorkload {
     static constexpr std::uint64_t kSeedStride = 0x100000001b3ULL;
     static constexpr const char* kName = "binary";
 
-    static Plan make_plan(const Scenario& s);  ///< validate(s), once per sweep
+    /// validate(s) + apply_memory_budget(s), once per sweep. Under an active
+    /// memory budget (sim/faults.hpp) an over-budget flat plan auto-falls
+    /// back to the sparse plane (one stderr warning) or is rejected with an
+    /// actionable ContractViolation — never an OOM kill mid-sweep.
+    static Plan make_plan(const Scenario& s);
     static void accumulate(Aggregate& agg, const Result& r);
     static void reserve(Aggregate& agg, Count trials) { agg.rounds.reserve(trials); }
 
     static std::vector<std::string> csv_header();
     static std::vector<std::string> csv_row(const Aggregate& agg);
+
+    // Checkpoint hooks (sim/checkpoint.hpp): the journal header pins the
+    // full canonical scenario string, and chunk partials round-trip through
+    // a byte-exact encoding (raw IEEE bits, Samples order preserved).
+    static std::string checkpoint_scope(const Plan& plan);
+    static void checkpoint_encode(const Aggregate& agg, std::string& out);
+    static void checkpoint_decode(std::string_view bytes, Aggregate& agg);
 };
 
 /// Runs on the workload-generic kernel (sim/workload.hpp): the scenario is

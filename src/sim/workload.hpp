@@ -31,16 +31,37 @@
 //   W::reserve(agg, n)     optional pre-sizing of sample buffers
 //
 // plus reporting metadata used by the uniform CSV schema (sim/report.hpp):
-//   W::kName, W::csv_header(), W::csv_row(agg).
+//   W::kName, W::csv_header(), W::csv_row(agg),
+//
+// plus the checkpoint hooks (chunk-granular resume, sim/checkpoint.hpp):
+//   W::checkpoint_scope(plan)        plan fingerprint pinned in the journal
+//                                    header (a resume under a different
+//                                    scenario must be refused, not merged)
+//   W::checkpoint_encode(agg, out)   byte-exact chunk-partial serialization
+//   W::checkpoint_decode(bytes, agg) inverse; decode(encode(a)) == a to the
+//                                    bit, Samples order included
+//
+// Resilience contract: every W::Result carries a TrialOutcome. The kernel
+// below recovers injected harness faults (sim/faults.hpp) by retrying the
+// failed CHUNK through a fresh arena — never by reusing an arena whose
+// Engine::run unwound mid-round, which would leave pooled protocol state
+// half-armed — and degrades the final attempt to serial execution.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rand/rng.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/executor.hpp"
+#include "sim/faults.hpp"
+#include "support/contracts.hpp"
 #include "support/types.hpp"
 
 namespace adba::sim {
@@ -53,25 +74,137 @@ typename W::Result run_one_trial(const typename W::Plan& plan, std::uint64_t see
     return arena.run(seed);
 }
 
+/// Runs one chunk's trials through a pooled arena, recovering injected
+/// harness faults (sim/faults.hpp): an InjectedFault thrown anywhere in the
+/// attempt — arena construction, a ShardPool shard task, the engine's beats
+/// — abandons the whole attempt (the unwound arena may hold half-armed
+/// pooled state, so it is never reused) and retries through a FRESH arena,
+/// with bounded backoff, up to FaultConfig::max_attempts times. If every
+/// regular attempt faults, one final attempt runs degraded: transient
+/// injection suppressed and beats forced serial (plan_intra_shards -> 1).
+/// Transient faults therefore never change the aggregate; permanent
+/// per-trial faults (FaultInjector::trial_faulted, keyed by trial index)
+/// consume exactly the same trials on every path and are folded in as
+/// value-initialized results with TrialOutcome::Faulted. Any non-injected
+/// exception propagates unchanged.
+template <typename W>
+typename W::Aggregate run_resilient_chunk(const typename W::Plan& plan,
+                                          std::uint64_t base_seed,
+                                          std::size_t chunk_index, Count begin,
+                                          Count end) {
+    auto attempt_chunk = [&](std::uint32_t attempt) {
+        const ScopedChunkAttempt salt(attempt);
+        FaultInjector* inj = FaultInjector::active();
+        if (inj) inj->on_chunk_arena(chunk_index);
+        typename W::Aggregate part;
+        part.trials = end - begin;
+        if constexpr (requires { W::reserve(part, Count{}); })
+            W::reserve(part, end - begin);
+        typename W::Arena arena(plan);
+        for (Count i = begin; i < end; ++i) {
+            if (inj && inj->trial_faulted(i)) {
+                typename W::Result faulted{};
+                faulted.outcome = TrialOutcome::Faulted;
+                W::accumulate(part, faulted);
+                continue;
+            }
+            W::accumulate(part, arena.run(mix64(base_seed + W::kSeedStride * i)));
+        }
+        return part;
+    };
+
+    FaultInjector* inj = FaultInjector::active();
+    const std::uint32_t max_attempts = inj ? inj->config().max_attempts : 1;
+    for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+        try {
+            return attempt_chunk(attempt);
+        } catch (const InjectedFault&) {
+            if (attempt + 1 >= max_attempts) break;
+            inj->note_retry(attempt);
+        }
+    }
+    // Every regular attempt faulted: last-resort degraded attempt. With
+    // transient sites suppressed it cannot throw InjectedFault again, so
+    // recovery terminates in a defined state by construction.
+    inj->note_degraded();
+    const ScopedDegradedChunk degraded;
+    return attempt_chunk(max_attempts);
+}
+
+/// Checkpointed variant of the kernel loop: completed chunk partials are
+/// journaled as they finish and recovered on --resume instead of re-run.
+/// ALWAYS routes through detail::for_each_chunk — the parallel_reduce
+/// serial fast path would collapse chunk boundaries and break the
+/// journal's thread-count-invariant chunk identity.
+template <typename W>
+typename W::Aggregate run_journaled(const typename W::Plan& plan,
+                                    std::uint64_t base_seed, Count trials,
+                                    const ExecutorConfig& exec) {
+    const Count chunk = exec.chunk ? exec.chunk : detail::auto_chunk(trials);
+    const unsigned threads = exec.threads ? exec.threads : default_threads();
+    CheckpointMeta meta;
+    meta.workload = W::kName;
+    meta.base_seed = base_seed;
+    meta.seed_stride = W::kSeedStride;
+    meta.trials = trials;
+    meta.chunk = chunk;
+    meta.scope = W::checkpoint_scope(plan);
+    ChunkJournal journal(exec.checkpoint, meta, exec.resume);
+
+    if (trials == 0) return typename W::Aggregate{};
+    const std::size_t num_chunks =
+        (static_cast<std::size_t>(trials) + chunk - 1) / chunk;
+    std::vector<std::optional<typename W::Aggregate>> partials(num_chunks);
+    for (const auto& [ci, payload] : journal.completed()) {
+        ADBA_EXPECTS_MSG(ci < num_chunks,
+                         "checkpoint journal record for chunk " + std::to_string(ci) +
+                             " is beyond this sweep's " + std::to_string(num_chunks) +
+                             " chunks");
+        typename W::Aggregate agg;
+        W::checkpoint_decode(payload, agg);
+        const Count begin = static_cast<Count>(ci) * chunk;
+        const Count end = std::min<Count>(trials, begin + chunk);
+        ADBA_EXPECTS_MSG(agg.trials == end - begin,
+                         "checkpoint journal chunk " + std::to_string(ci) +
+                             " records " + std::to_string(agg.trials) +
+                             " trials, expected " + std::to_string(end - begin));
+        partials[ci].emplace(std::move(agg));
+    }
+
+    detail::for_each_chunk(
+        trials, chunk, threads, [&](std::size_t ci, Count begin, Count end) {
+            if (partials[ci]) return;  // recovered from the journal
+            typename W::Aggregate part =
+                run_resilient_chunk<W>(plan, base_seed, ci, begin, end);
+            std::string payload;
+            W::checkpoint_encode(part, payload);
+            journal.append(ci, payload);
+            partials[ci].emplace(std::move(part));
+        });
+
+    typename W::Aggregate out = std::move(*partials.front());
+    for (std::size_t ci = 1; ci < num_chunks; ++ci) out.merge(*partials[ci]);
+    return out;
+}
+
 /// THE Monte-Carlo executor loop. Per-trial seeds depend only on
 /// (base_seed, trial index), chunk boundaries depend only on (trials,
 /// chunk), chunks run their trials in index order through one pooled arena,
 /// and partials merge in chunk-index order — so the aggregate is
 /// bit-identical at any thread count, including serial. This is the only
 /// pooled-arena chunk loop in src/sim/; workloads must not grow their own.
+/// With ExecutorConfig::checkpoint set it becomes resumable (run_journaled);
+/// either way each chunk runs under the fault-recovery contract of
+/// run_resilient_chunk.
 template <typename W>
 typename W::Aggregate run_trials(const typename W::Plan& plan, std::uint64_t base_seed,
                                  Count trials, const ExecutorConfig& exec = {}) {
+    if (!exec.checkpoint.empty())
+        return run_journaled<W>(plan, base_seed, trials, exec);
+    const Count chunk = exec.chunk ? exec.chunk : detail::auto_chunk(trials);
     return parallel_reduce<typename W::Aggregate>(
         trials, exec, [&](Count begin, Count end) {
-            typename W::Aggregate part;
-            part.trials = end - begin;
-            if constexpr (requires { W::reserve(part, Count{}); })
-                W::reserve(part, end - begin);
-            typename W::Arena arena(plan);
-            for (Count i = begin; i < end; ++i)
-                W::accumulate(part, arena.run(mix64(base_seed + W::kSeedStride * i)));
-            return part;
+            return run_resilient_chunk<W>(plan, base_seed, begin / chunk, begin, end);
         });
 }
 

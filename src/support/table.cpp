@@ -87,11 +87,21 @@ std::string write_csv(const Table& table, const std::string& dir,
     std::filesystem::create_directories(dir, ec);
     ADBA_ENSURES_MSG(!ec, "cannot create csv directory '" + dir + "': " + ec.message());
     const std::string path = (std::filesystem::path(dir) / (slug + ".csv")).string();
-    std::ofstream out(path);
-    ADBA_ENSURES_MSG(out.is_open(), "cannot open csv file '" + path + "' for writing");
-    out << table.to_csv();
-    out.flush();
-    ADBA_ENSURES_MSG(out.good(), "write failed for csv file '" + path + "'");
+    // Crash-atomic: write the full document to a sibling temp file, then
+    // rename over the target. A sweep killed mid-write can leave a stale
+    // .tmp behind but never a truncated .csv.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        ADBA_ENSURES_MSG(out.is_open(),
+                         "cannot open csv file '" + tmp + "' for writing");
+        out << table.to_csv();
+        out.flush();
+        ADBA_ENSURES_MSG(out.good(), "write failed for csv file '" + tmp + "'");
+    }
+    std::filesystem::rename(tmp, path, ec);
+    ADBA_ENSURES_MSG(!ec, "cannot rename '" + tmp + "' over '" + path +
+                              "': " + ec.message());
     return path;
 }
 

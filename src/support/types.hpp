@@ -33,4 +33,30 @@ using CoinSign = std::int8_t;
 /// Number of simulation trials, corruption budgets, etc.
 using Count = std::uint32_t;
 
+/// How one simulated trial ended — the first-class alternative to inferring
+/// termination from round counts. Every layer that touches a trial result
+/// (Engine::run, the four workload traits, aggregate merges, the CSV schema)
+/// carries this verbatim, so a run that hit its round cap or watchdog can
+/// never be mistaken for one that decided.
+enum class TrialOutcome : std::uint8_t {
+    Decided,           ///< every honest node self-terminated (or the
+                       ///< protocol's fixed round budget IS its full length)
+    RoundCapExhausted, ///< hit max_rounds with live honest nodes — the
+                       ///< w.h.p. failure tail, reported, never clamped away
+    WatchdogTimeout,   ///< exceeded the per-trial wall-clock watchdog
+                       ///< (EngineConfig::watchdog_ms; Las Vegas tail guard)
+    Faulted,           ///< an injected/unrecoverable harness fault consumed
+                       ///< the trial; its metrics are absent from samples
+};
+
+inline const char* to_string(TrialOutcome o) {
+    switch (o) {
+        case TrialOutcome::Decided: return "decided";
+        case TrialOutcome::RoundCapExhausted: return "round-cap-exhausted";
+        case TrialOutcome::WatchdogTimeout: return "watchdog-timeout";
+        case TrialOutcome::Faulted: return "faulted";
+    }
+    return "?";
+}
+
 }  // namespace adba

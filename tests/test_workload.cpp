@@ -343,7 +343,7 @@ TEST(Report, SweepCsvTablesShareTheLabelColumnAndWorkloadSchema) {
     cg.fs = {0, 2};
     const Table ct = sweep_csv_table("c", run_coin_sweep(cg, 1, 40, ExecutorConfig{1}));
     EXPECT_EQ(ct.rows(), 2u);
-    EXPECT_NE(ct.to_csv().find("label,trials,p_common"), std::string::npos);
+    EXPECT_NE(ct.to_csv().find("label,trials,faulted,p_common"), std::string::npos);
 
     MvSweepGrid mg;
     mg.base.n = 16;

@@ -23,12 +23,15 @@
 //        --plane=flat|sparse --sample_degree --sparse_seed
 //        --sparse_stream=chain|counter --las_vegas --fallback
 //        --k --f --attack --forced_bit --schedule --list
+//        --watchdog_ms --chunk --checkpoint --resume
+//        --faults="key=value ..." --mem_budget_mb
 // Unknown flags (and unknown workload/protocol/adversary names) fail loudly
 // with did-you-mean suggestions (Cli strict mode + registry lookups).
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "sim/faults.hpp"
 #include "sim/macro.hpp"
 #include "sim/registry.hpp"
 #include "sim/report.hpp"
@@ -104,6 +107,21 @@ double pct(Count good, Count total) {
     return total == 0 ? 0.0 : 100.0 * static_cast<double>(good) / total;
 }
 
+/// Per-run executor knobs shared by every driver: --chunk fixes the work
+/// unit (0 = auto), --checkpoint=path arms the chunk journal, --resume
+/// loads completed chunks from it instead of re-running them.
+sim::ExecutorConfig exec_config(const Cli& cli) {
+    sim::ExecutorConfig exec;
+    exec.chunk = static_cast<Count>(cli.get_int("chunk", 0));
+    exec.checkpoint = cli.get("checkpoint", "");
+    exec.resume = cli.get_bool("resume", false);
+    if (exec.resume && exec.checkpoint.empty())
+        throw ContractViolation(
+            "--resume resumes a chunk journal and needs --checkpoint=path "
+            "pointing at the journal of the interrupted run");
+    return exec;
+}
+
 int run_multivalued(const Cli& cli) {
     sim::MvScenario s;
     if (cli.has("scenario")) s = sim::MvScenario::parse(cli.get("scenario", ""));
@@ -131,8 +149,11 @@ int run_multivalued(const Cli& cli) {
     if (cli.has("plane")) s.sparse_plane = sim::parse_plane_name(cli.get("plane", ""));
     if (cli.has("sample_degree"))
         s.sample_degree = static_cast<Count>(cli.get_int("sample_degree", 0));
+    if (cli.has("watchdog_ms"))
+        s.watchdog_ms = static_cast<std::uint32_t>(cli.get_int("watchdog_ms", 0));
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const sim::ExecutorConfig exec = exec_config(cli);
     cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
     cli.check_unused();      // fail on typos BEFORE burning trial time
 
@@ -142,15 +163,20 @@ int run_multivalued(const Cli& cli) {
                 sim::default_threads());
 
     // Infeasible scenarios throw the why_incompatible message here.
-    const sim::MvAggregate agg = sim::run_mv_trials(s, seed, trials);
+    const sim::MvAggregate agg = sim::run_mv_trials(s, seed, trials, exec);
+    // Faulted trials ran no protocol: exclude them from every rate's
+    // denominator and guard the Samples reads (empty when all faulted).
+    const Count ran = agg.trials - agg.faulted;
+    const bool have = !agg.rounds.empty();
     Table table("adba_sim: multi-valued result");
     table.set_header({"inputs", "adversary", "agree %", "validity", "real-value %",
                       "mean rounds", "max rounds"});
     table.add_row({sim::to_string(s.inputs), sim::to_string(s.adversary),
-                   Table::num(pct(agg.trials - agg.agreement_failures, agg.trials), 1),
+                   Table::num(pct(ran - agg.agreement_failures, ran), 1),
                    agg.validity_failures == 0 ? "ok" : "VIOLATED",
-                   Table::num(pct(agg.decided_real, agg.trials), 1),
-                   Table::num(agg.rounds.mean(), 1), Table::num(agg.rounds.max(), 0)});
+                   Table::num(pct(agg.decided_real, ran), 1),
+                   Table::num(have ? agg.rounds.mean() : 0.0, 1),
+                   Table::num(have ? agg.rounds.max() : 0.0, 0)});
     table.print(std::cout);
     maybe_csv(cli, sim::csv_table("adba_sim: multi-valued result",
                                   {{s.describe(), agg}}),
@@ -172,6 +198,7 @@ int run_coin(const Cli& cli) {
     s.forced_bit = static_cast<Bit>(cli.get_int("forced_bit", 0));
     const auto trials = static_cast<Count>(cli.get_int("trials", 2000));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const sim::ExecutorConfig exec = exec_config(cli);
     cli.get("csv_dir", "");
     cli.check_unused();
 
@@ -184,7 +211,7 @@ int run_coin(const Cli& cli) {
                 sim::default_threads());
 
     // Infeasible (n, k) throws the why_incompatible message here.
-    const sim::CoinAggregate agg = sim::run_coin_trials(s, seed, trials);
+    const sim::CoinAggregate agg = sim::run_coin_trials(s, seed, trials, exec);
     Table table("adba_sim: common-coin result");
     table.set_header({"n", "k", "f", "attack", "P(common)", "P(1|common)",
                       "attack feasible %"});
@@ -193,7 +220,7 @@ int run_coin(const Cli& cli) {
                    Table::num(static_cast<std::uint64_t>(s.f)),
                    sim::to_string(s.attack), Table::num(agg.p_common(), 3),
                    Table::num(agg.p_one_given_common(), 3),
-                   Table::num(pct(agg.attack_feasible, agg.trials), 1)});
+                   Table::num(pct(agg.attack_feasible, agg.trials - agg.faulted), 1)});
     table.print(std::cout);
     maybe_csv(cli, sim::csv_table("adba_sim: common-coin result", {{label, agg}}),
               "adba_sim_coin");
@@ -208,6 +235,7 @@ int run_macro(const Cli& cli) {
     s.schedule = sim::parse_macro_schedule(cli.get("schedule", "ours"));
     const auto trials = static_cast<Count>(cli.get_int("trials", 50));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const sim::ExecutorConfig exec = exec_config(cli);
     cli.get("csv_dir", "");
     cli.check_unused();
 
@@ -217,16 +245,18 @@ int run_macro(const Cli& cli) {
     std::printf("macro scenario: %s, %u trials, %u threads\n", label.c_str(), trials,
                 sim::default_threads());
 
-    const sim::MacroAggregate agg = sim::run_macro_trials(s, seed, trials);
+    const sim::MacroAggregate agg = sim::run_macro_trials(s, seed, trials, exec);
+    const Count ran = agg.trials - agg.faulted;
+    const bool have = !agg.rounds.empty();
     Table table("adba_sim: macro result");
     table.set_header({"schedule", "agree %", "mean rounds", "p90 rounds",
                       "mean phases", "mean corruptions"});
     table.add_row({sim::to_string(s.schedule),
-                   Table::num(pct(agg.trials - agg.agreement_failures, agg.trials), 1),
-                   Table::num(agg.rounds.mean(), 1),
-                   Table::num(agg.rounds.quantile(0.9), 1),
-                   Table::num(agg.phases.mean(), 1),
-                   Table::num(agg.corruptions.mean(), 1)});
+                   Table::num(pct(ran - agg.agreement_failures, ran), 1),
+                   Table::num(have ? agg.rounds.mean() : 0.0, 1),
+                   Table::num(have ? agg.rounds.quantile(0.9) : 0.0, 1),
+                   Table::num(have ? agg.phases.mean() : 0.0, 1),
+                   Table::num(have ? agg.corruptions.mean() : 0.0, 1)});
     table.print(std::cout);
     maybe_csv(cli, sim::csv_table("adba_sim: macro result", {{label, agg}}),
               "adba_sim_macro");
@@ -284,9 +314,12 @@ int run_binary(const Cli& cli) {
         s.sparse_seed = static_cast<std::uint64_t>(cli.get_int("sparse_seed", 0));
     if (cli.has("sparse_stream"))
         s.sparse_stream = sim::parse_sparse_stream_name(cli.get("sparse_stream", ""));
+    if (cli.has("watchdog_ms"))
+        s.watchdog_ms = static_cast<std::uint32_t>(cli.get_int("watchdog_ms", 0));
 
     const auto trials = static_cast<Count>(cli.get_int("trials", 20));
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const sim::ExecutorConfig exec = exec_config(cli);
     cli.get("csv_dir", "");  // queried late by maybe_csv; recognize it now
     cli.check_unused();      // fail on typos BEFORE burning trial time
 
@@ -296,17 +329,22 @@ int run_binary(const Cli& cli) {
     std::printf("phase budget %u, round cap %u, %u trials, %u threads\n", budget.phases,
                 budget.max_rounds, trials, sim::default_threads());
 
-    const sim::Aggregate agg = sim::run_trials(s, seed, trials);
+    const sim::Aggregate agg = sim::run_trials(s, seed, trials, exec);
+    // Faulted trials ran no protocol: exclude them from every rate's
+    // denominator and guard the Samples reads (empty when all faulted).
+    const Count ran = agg.trials - agg.faulted;
+    const bool have = !agg.rounds.empty();
     Table table("adba_sim: " + plan.protocol->name + " vs " + plan.adversary->name);
     table.set_header({"protocol", "adversary", "agree %", "validity", "mean rounds",
                       "p90 rounds", "max rounds", "mean msgs", "mean corruptions"});
     table.add_row({sim::to_string(s.protocol), sim::to_string(s.adversary),
-                   Table::num(pct(agg.trials - agg.agreement_failures, agg.trials), 1),
+                   Table::num(pct(ran - agg.agreement_failures, ran), 1),
                    agg.validity_failures == 0 ? "ok" : "VIOLATED",
-                   Table::num(agg.rounds.mean(), 1),
-                   Table::num(agg.rounds.quantile(0.9), 1),
-                   Table::num(agg.rounds.max(), 0), Table::num(agg.messages.mean(), 0),
-                   Table::num(agg.corruptions.mean(), 1)});
+                   Table::num(have ? agg.rounds.mean() : 0.0, 1),
+                   Table::num(have ? agg.rounds.quantile(0.9) : 0.0, 1),
+                   Table::num(have ? agg.rounds.max() : 0.0, 0),
+                   Table::num(have ? agg.messages.mean() : 0.0, 0),
+                   Table::num(have ? agg.corruptions.mean() : 0.0, 1)});
     table.print(std::cout);
     maybe_csv(cli, sim::csv_table("adba_sim: " + plan.protocol->name + " vs " +
                                       plan.adversary->name,
@@ -322,6 +360,8 @@ int main(int argc, char** argv) {
         const Cli cli(argc, argv);
         sim::init_threads(cli);
         sim::init_intra_threads(cli);
+        const bool faults_armed = sim::init_faults(cli);
+        sim::init_mem_budget(cli);
         if (cli.get_bool("list", false)) {
             const int rc = list_capabilities();
             cli.check_unused();
@@ -338,10 +378,14 @@ int main(int argc, char** argv) {
                 protocol == "mv")
                 name = "mv";
         }
-        if (name == "mv") return run_multivalued(cli);
-        if (name == "coin") return run_coin(cli);
-        if (name == "macro") return run_macro(cli);
-        return run_binary(cli);
+        int rc;
+        if (name == "mv") rc = run_multivalued(cli);
+        else if (name == "coin") rc = run_coin(cli);
+        else if (name == "macro") rc = run_macro(cli);
+        else rc = run_binary(cli);
+        if (faults_armed)
+            std::printf("%s\n", sim::FaultInjector::stats_line().c_str());
+        return rc;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "adba_sim: error: %s\n", e.what());
         return 2;

@@ -19,6 +19,12 @@ A block that exists in the baseline but is missing (or empty) in the fresh
 measurement fails LOUDLY (exit 2), and so does a gated FIELD present in a
 baseline entry but absent from the fresh one: a silently vanished number
 would read as "no regression" exactly when the bench stopped measuring it.
+
+Run health is gated before any rate: every entry of a gated block in the
+FRESH document must report zero `exhausted` (round-cap exhaustions +
+watchdog timeouts) and zero `faulted` trials — a timing row averaged over
+trials that never decided is not a throughput measurement, so any nonzero
+count exits 2 regardless of tolerances.
 The asymmetric case — a block/field the fresh bench measures but the
 committed baseline has never gated — is a NOTICE, not a failure: that is
 exactly what the first CI run after adding a bench section looks like, and
@@ -93,6 +99,23 @@ def main(argv):
 
     base_doc = load(args[0])
     fresh_doc = load(args[1])
+
+    # Health gate first: a fresh gated entry with exhausted/faulted trials is
+    # not a valid measurement, whatever the rates say.
+    for path in sorted({g["path"] for g in GATES}):
+        fresh = block_by_n(fresh_doc, path)
+        if not fresh:
+            continue
+        name = "/".join(path[:-1]) if len(path) > 1 else path[0]
+        for n in sorted(fresh):
+            for health in ("exhausted", "faulted"):
+                count = fresh[n].get(health, 0)
+                if count:
+                    print(f"check_bench_regression: block '{name}' (n={n}) "
+                          f"reports {count} {health} trial(s) in the fresh "
+                          "measurement — the bench run itself is unhealthy; "
+                          "fix the run before gating rates.", file=sys.stderr)
+                    return 2
 
     failed = False
     compared = 0
