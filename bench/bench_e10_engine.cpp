@@ -16,7 +16,11 @@
 // sender views, the regime the shared-tally trick cannot represent — one
 // block per frozen sample-stream version, with trials/sec, ns per
 // node-round, ns per sampled probe, delivered bytes per node-round, and the
-// counter block's max/min ns flatness ratio across the n sweep).
+// counter block's max/min ns flatness ratio across the n sweep). The
+// `fused` block re-measures the small-n serial cells through the 64-lane
+// fused trial plane (fused=true): trials/sec, ns per node-round, ns per
+// trial, and speedup vs the scalar entry at the same n, plus the fixed
+// per-block overhead priced on an early-deciding scenario.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -156,6 +160,81 @@ SparsePoint measure_sparse(NodeId n, Count trials, Count degree,
     p.exhausted = agg.cap_exhausted + agg.watchdog_timeouts;
     p.faulted = agg.faulted;
     return p;
+}
+
+// ---- fused trial plane (64 Monte-Carlo trials per machine word) ----
+//
+// Same protocol/adversary shape as the serial entries but with fused=true:
+// 64 trials co-execute bit-sliced, one uint64_t per node, so the per-trial
+// cost of small-n cells stops being dominated by per-node bookkeeping.
+// Trial counts are whole multiples of 64 so the chunk is all fused blocks
+// (a scalar remainder would dilute the measurement); aggregates stay
+// bit-identical to the scalar path, so the health counters gate the same
+// way. `ns_per_trial_overhead` prices the fixed per-block cost (rearm,
+// input packing, result scatter) on a fast-deciding all-one/no-adversary
+// scenario where almost no protocol rounds run.
+
+struct FusedPoint {
+    NodeId n = 0;
+    Count t = 0;
+    Count trials = 0;
+    double seconds = 0.0;
+    double trials_per_sec = 0.0;
+    double mean_rounds = 0.0;
+    double ns_per_node_round = 0.0;
+    double ns_per_trial = 0.0;
+    double speedup = 0.0;  ///< trials/sec vs the scalar entry at the same n
+    Count exhausted = 0;
+    Count faulted = 0;
+};
+
+FusedPoint measure_fused(NodeId n, Count trials, double scalar_tps) {
+    sim::Scenario s;
+    s.n = n;
+    s.t = (n - 1) / 3;
+    s.protocol = sim::ProtocolKind::Ours;
+    s.adversary = sim::AdversaryKind::Static;
+    s.inputs = sim::InputPattern::Split;
+    s.use_fused = true;
+
+    // One chunk per run: with trials % 64 == 0 every trial runs fused.
+    (void)sim::run_trials(s, 0xE10, 64, sim::ExecutorConfig{1, 64});  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    const sim::Aggregate agg =
+        sim::run_trials(s, 0xE10, trials, sim::ExecutorConfig{1, trials});
+    const auto stop = std::chrono::steady_clock::now();
+
+    FusedPoint p;
+    p.n = n;
+    p.t = s.t;
+    p.trials = trials;
+    p.seconds = std::chrono::duration<double>(stop - start).count();
+    p.trials_per_sec = p.seconds > 0 ? trials / p.seconds : 0.0;
+    p.mean_rounds = agg.rounds.mean();
+    const double node_rounds = agg.rounds.sum() * static_cast<double>(n);
+    p.ns_per_node_round = node_rounds > 0 ? 1e9 * p.seconds / node_rounds : 0.0;
+    p.ns_per_trial = trials > 0 ? 1e9 * p.seconds / trials : 0.0;
+    p.speedup = scalar_tps > 0 ? p.trials_per_sec / scalar_tps : 0.0;
+    p.exhausted = agg.cap_exhausted + agg.watchdog_timeouts;
+    p.faulted = agg.faulted;
+    return p;
+}
+
+double measure_fused_overhead() {
+    sim::Scenario s;
+    s.n = 64;
+    s.t = 21;
+    s.protocol = sim::ProtocolKind::Ours;
+    s.adversary = sim::AdversaryKind::None;
+    s.inputs = sim::InputPattern::AllOne;  // unanimous: decides in the first phase
+    s.use_fused = true;
+    const Count trials = 64 * 128;
+    (void)sim::run_trials(s, 0xE10, 64, sim::ExecutorConfig{1, 64});  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    (void)sim::run_trials(s, 0xE10, trials, sim::ExecutorConfig{1, trials});
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(stop - start).count();
+    return secs > 0 ? 1e9 * secs / trials : 0.0;
 }
 
 // ---- tally-kernel microbench (the roofline evidence) ----
@@ -346,6 +425,33 @@ void throughput(const Cli& cli) {
             cli, sptab, chain ? "e10_sparse_plane_chain" : "e10_sparse_plane");
     }
 
+    // Fused trial plane: the small-n cells where 64-lane word parallelism
+    // pays; trial counts rounded to whole 64-lane blocks.
+    Table ftab("E10: fused trial plane (64 lanes/word, ours + static, "
+               "split inputs, 1 thread)");
+    ftab.set_header({"n", "t", "trials", "trials/sec", "ns/node-round",
+                     "ns/trial", "speedup vs scalar"});
+    std::vector<FusedPoint> fused_points;
+    for (const auto& [n, trials] : cells) {
+        if (n > 1024) continue;  // beyond the small-n regime fused targets
+        const Count blocks = std::max<Count>(trials / 64, 1) * 64;
+        double scalar_tps = 0.0;
+        for (const ThroughputPoint& q : points)
+            if (q.n == n) scalar_tps = q.trials_per_sec;
+        const FusedPoint p = measure_fused(n, blocks, scalar_tps);
+        fused_points.push_back(p);
+        ftab.add_row({Table::num(std::uint64_t{p.n}), Table::num(std::uint64_t{p.t}),
+                      Table::num(std::uint64_t{p.trials}),
+                      Table::num(p.trials_per_sec, 0),
+                      Table::num(p.ns_per_node_round, 2),
+                      Table::num(p.ns_per_trial, 0), Table::num(p.speedup, 2)});
+    }
+    ftab.print(std::cout);
+    benchutil::maybe_write_csv(cli, ftab, "e10_fused_plane");
+    const double fused_overhead = measure_fused_overhead();
+    std::printf("fused per-trial overhead (all-one early decide): %.0f ns/trial\n",
+                fused_overhead);
+
     // Sparse flatness: once probing is batched, ns/node-round must not grow
     // with n across 2^14..2^20 (counter stream); CI gates the max/min ratio.
     double sp_min = sparse_points.front().ns_per_node_round;
@@ -464,6 +570,28 @@ void throughput(const Cli& cli) {
         out << buf;
     }
     write_sparse_entries(sparse_chain_points);
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      "  ]},\n  \"fused\": {\"lanes\": 64, "
+                      "\"ns_per_trial_overhead\": %.2f, \"entries\": [\n",
+                      fused_overhead);
+        out << buf;
+    }
+    for (std::size_t i = 0; i < fused_points.size(); ++i) {
+        const FusedPoint& p = fused_points[i];
+        char buf[360];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"n\": %u, \"t\": %u, \"trials\": %u, \"seconds\": %.6f, "
+                      "\"trials_per_sec\": %.1f, \"mean_rounds\": %.2f, "
+                      "\"ns_per_node_round\": %.2f, \"ns_per_trial\": %.2f, "
+                      "\"speedup_vs_scalar\": %.3f, \"exhausted\": %u, "
+                      "\"faulted\": %u}%s\n",
+                      p.n, p.t, p.trials, p.seconds, p.trials_per_sec, p.mean_rounds,
+                      p.ns_per_node_round, p.ns_per_trial, p.speedup, p.exhausted,
+                      p.faulted, i + 1 < fused_points.size() ? "," : "");
+        out << buf;
+    }
     char buf[200];
     std::snprintf(buf, sizeof buf,
                   "  ]},\n  \"scaling\": {\"ns_per_node_round_min\": %.2f, "

@@ -91,6 +91,7 @@ BENCHMARK(BM_mv_trial);
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
     adba::benchutil::init_threads(cli);
+    adba::benchutil::reject_fused(cli, "the multi-valued (Turpin-Coan) experiments");
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

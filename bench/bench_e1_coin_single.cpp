@@ -107,6 +107,7 @@ BENCHMARK(BM_coin_trial_n1024);
 int main(int argc, char** argv) {
     const adba::Cli cli(argc, argv);
     adba::benchutil::init_threads(cli);
+    adba::benchutil::reject_fused(cli, "the standalone coin experiments");
     experiment(cli);
     adba::benchutil::run_benchmark_tail(cli);
     return 0;

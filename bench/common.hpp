@@ -22,6 +22,7 @@
 
 #include "sim/executor.hpp"
 #include "support/cli.hpp"
+#include "support/contracts.hpp"
 #include "support/table.hpp"
 
 namespace adba::benchutil {
@@ -35,6 +36,19 @@ inline unsigned init_threads(const Cli& cli) { return sim::init_threads(cli); }
 /// variable, else auto) as the process-wide intra-trial shard default.
 inline unsigned init_intra_threads(const Cli& cli) {
     return sim::init_intra_threads(cli);
+}
+
+/// Guard for benches whose workload has no fused trial plane (the coin and
+/// multi-valued stacks): a stray `--fused` fails loudly with a pointer at
+/// the binary-stack benches instead of being silently dropped — mirroring
+/// the coin workload's `--plane` rejection in adba_sim. `what` names the
+/// bench's workload for the message, e.g. "the standalone coin experiments".
+inline void reject_fused(const Cli& cli, const std::string& what) {
+    if (cli.has("fused"))
+        throw ContractViolation(
+            "--fused selects the binary stack's 64-lane trial plane; " + what +
+            " have no fused form (drop the flag or use a binary-stack bench "
+            "such as bench_e10_engine)");
 }
 
 /// Hands the non-experiment arguments (argv[0] + --benchmark_* flags) to

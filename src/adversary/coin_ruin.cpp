@@ -59,7 +59,8 @@ void CoinRuinAdversary::act(net::RoundControl& ctl) {
         plus.coin = 1;
         net::Message minus = plus;
         minus.coin = -1;
-        for (NodeId v : taken) ctl.split_as(v, plus, minus, ctl.n() / 2);
+        const NodeId half = ctl.n() / 2;
+        for (NodeId v : taken) ctl.split_as(v, plus, minus, half);
         return;
     }
 

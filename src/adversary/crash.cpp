@@ -26,12 +26,13 @@ void CrashAdversary::crash_prefix(net::RoundControl& ctl, NodeId v, NodeId prefi
 void CrashAdversary::act_random(net::RoundControl& ctl) {
     if (crashes_ >= cfg_.max_crashes || ctl.budget_left() == 0) return;
     if (!rng_.bernoulli(cfg_.crash_prob)) return;
+    const NodeId n = ctl.n();
     std::vector<NodeId> candidates;
-    for (NodeId v = 0; v < ctl.n(); ++v)
+    for (NodeId v = 0; v < n; ++v)
         if (ctl.is_honest(v) && !ctl.is_halted(v)) candidates.push_back(v);
     if (candidates.empty()) return;
     const NodeId victim = candidates[rng_.below(candidates.size())];
-    const auto prefix = static_cast<NodeId>(rng_.below(ctl.n() + 1));
+    const auto prefix = static_cast<NodeId>(rng_.below(n + 1));
     crash_prefix(ctl, victim, prefix);
 }
 

@@ -12,14 +12,16 @@ StaticAdversary::StaticAdversary(Count q, StaticBehavior behavior, Xoshiro256 rn
 
 void StaticAdversary::on_start(NodeId n, Count budget) {
     ADBA_EXPECTS_MSG(q_ <= budget, "static corrupt set exceeds engine budget");
-    // Uniform sample without replacement (partial Fisher-Yates).
-    std::vector<NodeId> ids(n);
-    std::iota(ids.begin(), ids.end(), NodeId{0});
+    // Uniform sample without replacement (partial Fisher-Yates). The draw
+    // sequence is part of the recorded-experiment contract — the scratch
+    // reuse below must never change which rng_ values are consumed.
+    ids_.resize(n);
+    std::iota(ids_.begin(), ids_.end(), NodeId{0});
     for (Count i = 0; i < q_; ++i) {
         const auto j = i + static_cast<NodeId>(rng_.below(n - i));
-        std::swap(ids[i], ids[j]);
+        std::swap(ids_[i], ids_[j]);
     }
-    corrupted_.assign(ids.begin(), ids.begin() + q_);
+    corrupted_.assign(ids_.begin(), ids_.begin() + q_);
     std::sort(corrupted_.begin(), corrupted_.end());
 }
 
@@ -52,7 +54,8 @@ void StaticAdversary::act(net::RoundControl& ctl) {
             net::Message high = low;  // val 1 (coin +1) at and above it
             high.val = 1;
             high.coin = round2 ? CoinSign{1} : CoinSign{0};
-            for (NodeId v : corrupted_) ctl.split_as(v, low, high, ctl.n() / 2);
+            const NodeId half = ctl.n() / 2;
+            for (NodeId v : corrupted_) ctl.split_as(v, low, high, half);
             break;
         }
     }

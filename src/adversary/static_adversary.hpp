@@ -35,6 +35,7 @@ private:
     StaticBehavior behavior_;
     Xoshiro256 rng_;
     std::vector<NodeId> corrupted_;
+    std::vector<NodeId> ids_;  ///< on_start scratch — fused blocks restart often
 };
 
 }  // namespace adba::adv

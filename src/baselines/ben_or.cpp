@@ -294,6 +294,162 @@ void BenOrBatch::receive_all(Round r, const net::RoundBuffer& buf,
     }
 }
 
+// ------------------------------------------------------------- FusedBenOr
+
+FusedBenOr::FusedBenOr(const BenOrParams& params) {
+    ADBA_EXPECTS(params.n > 0);
+    ADBA_EXPECTS_MSG(5 * static_cast<std::uint64_t>(params.t) < params.n,
+                     "Ben-Or 1983 requires t < n/5");
+    ADBA_EXPECTS(params.phases >= 1);
+    params_ = params;
+}
+
+void FusedBenOr::rearm(const std::uint64_t* input_plane, const SeedTree* lane_seeds) {
+    const NodeId n = params_.n;
+    val_.assign(input_plane, input_plane + n);
+    proposal_.assign(n, 0);
+    proposing_.assign(n, 0);
+    decided_.assign(n, 0);
+    flushing_.assign(n, 0);
+    halted_.assign(n, 0);
+    m_fin_.assign(n, 0);
+    m_val1_.assign(n, 0);
+    m_coin_.assign(n, 0);
+    rng_.clear();
+    rng_.reserve(static_cast<std::size_t>(n) * net::kFusedLanes);
+    for (NodeId v = 0; v < n; ++v)
+        for (unsigned j = 0; j < net::kFusedLanes; ++j)
+            rng_.push_back(lane_seeds[j].stream(StreamPurpose::NodeProtocol, v));
+}
+
+void FusedBenOr::send_round(Round r, net::FusedFrame& frame) {
+    const NodeId n = params_.n;
+    const bool round2 = (r % 2) != 0;
+    frame.kind = round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
+    frame.phase = r / 2;
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t act = ~frame.byz[v] & ~halted_[v];
+        frame.sent[v] = act;
+        if (round2) {
+            frame.val[v] = proposal_[v];
+            frame.flag[v] = proposing_[v];  // flag 0 encodes the ⊥ proposal
+            halted_[v] |= act & flushing_[v];
+        } else {
+            frame.val[v] = val_[v];
+            frame.flag[v] = 0;
+        }
+    }
+}
+
+void FusedBenOr::receive_round(Round r, const net::FusedFrame& frame) {
+    const NodeId n = params_.n;
+    const Phase p = r / 2;
+    const bool round2 = (r % 2) != 0;
+    const net::MsgKind kind =
+        round2 ? net::MsgKind::BenOrPropose : net::MsgKind::BenOrReport;
+    const Count t = params_.t;
+
+    net::kern::LaneAdder a0, a1;
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t present =
+            round2 ? frame.sent[v] & frame.flag[v] : frame.sent[v];
+        a0.add(present & ~frame.val[v]);
+        a1.add(present & frame.val[v]);
+    }
+    Count h0[net::kFusedLanes], h1[net::kFusedLanes];
+    a0.counts(h0);
+    a1.counts(h1);
+
+    t_fin_.reset(n);
+    t_val1_.reset(n);
+    t_coin_.reset(n);
+
+    for (std::uint64_t lanes = frame.active; lanes != 0; lanes &= lanes - 1) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(lanes));
+        const std::uint64_t bit = std::uint64_t{1} << j;
+        const auto& rows = frame.rows(j);
+        segs_.rebuild(rows, n);
+        for (std::size_t i = 0; i < segs_.count(); ++i) {
+            const NodeId lo = segs_.lo(i);
+            const NodeId hi = segs_.hi(i);
+            Count cnt[2] = {h0[j], h1[j]};
+            for (const net::FusedRow& row : rows) {
+                const net::Message* m = net::LaneSegments::side(row, lo);
+                if (m == nullptr) continue;
+                if (m->kind == kind && m->phase == p && (!round2 || m->flag != 0))
+                    ++cnt[m->val & 1];
+            }
+
+            if (!round2) {
+                // Report round: t_fin_ doubles as the "proposing" mark,
+                // t_val1_ as "proposal = 1"; at most one value can pass the
+                // (n+t)/2 quorum (counts total at most n).
+                for (Bit b : {Bit{0}, Bit{1}}) {
+                    if (2 * static_cast<std::uint64_t>(cnt[b]) >
+                        static_cast<std::uint64_t>(n) + t) {
+                        t_fin_.mark(lo, hi, bit);
+                        if (b != 0) t_val1_.mark(lo, hi, bit);
+                    }
+                }
+                continue;
+            }
+
+            ADBA_ENSURES_MSG(!(cnt[0] > t && cnt[1] > t),
+                             "conflicting Ben-Or proposals above t");
+            if (cnt[0] > 2 * t || cnt[1] > 2 * t) {
+                t_fin_.mark(lo, hi, bit);
+                if (cnt[1] > 2 * t && !(cnt[0] > 2 * t)) t_val1_.mark(lo, hi, bit);
+                continue;
+            }
+            bool adopted = false;
+            Bit vb = 0;
+            for (Bit b : {Bit{0}, Bit{1}}) {
+                if (cnt[b] > t) {
+                    vb = b;
+                    adopted = true;
+                }
+            }
+            if (adopted) {
+                if (vb != 0) t_val1_.mark(lo, hi, bit);
+            } else {
+                t_coin_.mark(lo, hi, bit);  // private per-cell draw at write
+            }
+        }
+    }
+
+    t_fin_.sweep(m_fin_.data(), n);
+    t_val1_.sweep(m_val1_.data(), n);
+    t_coin_.sweep(m_coin_.data(), n);
+
+    const bool last_phase = p + 1 >= params_.phases;
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t act = ~frame.byz[v] & ~halted_[v] & ~flushing_[v];
+        if (!round2) {
+            const std::uint64_t prop = m_fin_[v] & act;
+            proposing_[v] = (proposing_[v] & ~act) | prop;
+            proposal_[v] = (proposal_[v] & ~prop) | (m_val1_[v] & act);
+            continue;
+        }
+        std::uint64_t v1 = m_val1_[v];
+        std::uint64_t cm = m_coin_[v] & act;
+        if (cm != 0) {
+            Xoshiro256* streams =
+                &rng_[static_cast<std::size_t>(v) * net::kFusedLanes];
+            for (; cm != 0; cm &= cm - 1) {
+                const unsigned j = static_cast<unsigned>(std::countr_zero(cm));
+                if (streams[j].bit() != 0) v1 |= std::uint64_t{1} << j;
+            }
+        }
+        val_[v] = (val_[v] & ~act) | (v1 & act);
+        const std::uint64_t fin = m_fin_[v] & act;
+        decided_[v] |= fin;
+        flushing_[v] |= fin;
+        proposing_[v] |= fin;
+        proposal_[v] = (proposal_[v] & ~fin) | (m_val1_[v] & fin);
+        if (last_phase) halted_[v] |= act & ~fin;
+    }
+}
+
 std::unique_ptr<net::BatchProtocol> make_ben_or_batch(const BenOrParams& params,
                                                       const std::vector<Bit>& inputs,
                                                       const SeedTree& seeds) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/batch.hpp"
+#include "net/fused_plane.hpp"
 #include "net/node.hpp"
 #include "net/sparse_plane.hpp"
 #include "rand/seed_tree.hpp"
@@ -123,6 +124,38 @@ private:
     std::vector<std::uint8_t> flushing_;
     std::vector<std::uint8_t> halted_;
     std::vector<Xoshiro256> rng_;
+};
+
+/// 64-lane Ben-Or over the fused trial plane (net/fused_plane.hpp): report
+/// and propose quorums become per-(lane, segment) exact counts fed by
+/// bit-sliced LaneAdder columns; the private coin draws from the focused
+/// (node, lane) stream exactly where the scalar case-3 path would.
+/// Bit-identical to BenOrBatch lane by lane.
+class FusedBenOr final : public net::FusedProtocol {
+public:
+    explicit FusedBenOr(const BenOrParams& params);
+
+    NodeId n() const override { return params_.n; }
+    void rearm(const std::uint64_t* input_plane, const SeedTree* lane_seeds) override;
+    void send_round(Round r, net::FusedFrame& frame) override;
+    void receive_round(Round r, const net::FusedFrame& frame) override;
+    const std::uint64_t* value_plane() const override { return val_.data(); }
+    const std::uint64_t* decided_plane() const override { return decided_.data(); }
+    const std::uint64_t* halted_plane() const override { return halted_.data(); }
+
+private:
+    BenOrParams params_;
+    std::vector<std::uint64_t> val_;
+    std::vector<std::uint64_t> proposal_;
+    std::vector<std::uint64_t> proposing_;
+    std::vector<std::uint64_t> decided_;
+    std::vector<std::uint64_t> flushing_;
+    std::vector<std::uint64_t> halted_;
+    std::vector<Xoshiro256> rng_;  ///< lane-major per node: rng_[v*64+j]
+    // Recycled receive scratch.
+    net::LaneSegments segs_;
+    net::LaneToggles t_fin_, t_val1_, t_coin_;
+    std::vector<std::uint64_t> m_fin_, m_val1_, m_coin_;
 };
 
 std::vector<std::unique_ptr<net::HonestNode>> make_ben_or_nodes(

@@ -240,6 +240,134 @@ void PhaseKingBatch::receive_all(Round r, const net::RoundBuffer& buf,
     }
 }
 
+// --------------------------------------------------------- FusedPhaseKing
+
+FusedPhaseKing::FusedPhaseKing(const PhaseKingParams& params) {
+    ADBA_EXPECTS(params.n > 0);
+    ADBA_EXPECTS_MSG(4 * static_cast<std::uint64_t>(params.t) < params.n,
+                     "simple phase-king requires t < n/4");
+    ADBA_EXPECTS_MSG(params.t + 1 <= params.n, "needs t+1 distinct kings");
+    params_ = params;
+}
+
+void FusedPhaseKing::rearm(const std::uint64_t* input_plane,
+                           const SeedTree* /*lane_seeds*/) {
+    const NodeId n = params_.n;
+    val_.assign(input_plane, input_plane + n);
+    maj_.assign(n, 0);
+    strong_.assign(n, 0);
+    decided_.assign(n, 0);
+    halted_.assign(n, 0);
+    m_maj_.assign(n, 0);
+    m_strong_.assign(n, 0);
+    m_kv_.assign(n, 0);
+}
+
+void FusedPhaseKing::send_round(Round r, net::FusedFrame& frame) {
+    const NodeId n = params_.n;
+    const Phase k = r / 2;
+    frame.phase = k;
+    if ((r % 2) == 0) {
+        frame.kind = net::MsgKind::PhaseKingSend;
+        for (NodeId v = 0; v < n; ++v) {
+            frame.sent[v] = ~frame.byz[v] & ~halted_[v];
+            frame.val[v] = val_[v];
+        }
+        return;
+    }
+    // Only the king speaks in round 2.
+    frame.kind = net::MsgKind::PhaseKingRuler;
+    const NodeId king = params_.king_of(k);
+    frame.sent[king] = ~frame.byz[king] & ~halted_[king];
+    frame.val[king] = maj_[king];
+}
+
+void FusedPhaseKing::receive_round(Round r, const net::FusedFrame& frame) {
+    const NodeId n = params_.n;
+    const Phase k = r / 2;
+
+    if ((r % 2) == 0) {
+        net::kern::LaneAdder a0, a1;
+        for (NodeId v = 0; v < n; ++v) {
+            a0.add(frame.sent[v] & ~frame.val[v]);
+            a1.add(frame.sent[v] & frame.val[v]);
+        }
+        Count h0[net::kFusedLanes], h1[net::kFusedLanes];
+        a0.counts(h0);
+        a1.counts(h1);
+
+        t_maj_.reset(n);
+        t_strong_.reset(n);
+        for (std::uint64_t lanes = frame.active; lanes != 0; lanes &= lanes - 1) {
+            const unsigned j = static_cast<unsigned>(std::countr_zero(lanes));
+            const std::uint64_t bit = std::uint64_t{1} << j;
+            const auto& rows = frame.rows(j);
+            segs_.rebuild(rows, n);
+            for (std::size_t i = 0; i < segs_.count(); ++i) {
+                const NodeId lo = segs_.lo(i);
+                const NodeId hi = segs_.hi(i);
+                Count cnt[2] = {h0[j], h1[j]};
+                for (const net::FusedRow& row : rows) {
+                    const net::Message* m = net::LaneSegments::side(row, lo);
+                    if (m != nullptr && m->kind == net::MsgKind::PhaseKingSend &&
+                        m->phase == k)
+                        ++cnt[m->val & 1];
+                }
+                const Bit maj = cnt[1] > cnt[0] ? Bit{1} : Bit{0};
+                const Count mult = cnt[maj];
+                if (maj != 0) t_maj_.mark(lo, hi, bit);
+                if (2 * static_cast<std::uint64_t>(mult) >
+                    params_.n + 2 * static_cast<std::uint64_t>(params_.t))
+                    t_strong_.mark(lo, hi, bit);
+            }
+        }
+        t_maj_.sweep(m_maj_.data(), n);
+        t_strong_.sweep(m_strong_.data(), n);
+        for (NodeId v = 0; v < n; ++v) {
+            const std::uint64_t act = ~frame.byz[v] & ~halted_[v];
+            maj_[v] = (maj_[v] & ~act) | (m_maj_[v] & act);
+            strong_[v] = (strong_[v] & ~act) | (m_strong_[v] & act);
+        }
+        return;
+    }
+
+    // Round 2: the king's value per lane. Honest kings are lane-uniform
+    // (one broadcast plane read); corrupted kings deliver per segment; a
+    // silent/corrupted king defaults to 0 at every node.
+    const NodeId king = params_.king_of(k);
+    t_kv_.reset(n);
+    const std::uint64_t honest_kv =
+        frame.sent[king] & frame.val[king] & ~frame.byz[king];
+    if (honest_kv != 0) t_kv_.mark(0, n, honest_kv & frame.active);
+    for (std::uint64_t lanes = frame.active & frame.byz[king]; lanes != 0;
+         lanes &= lanes - 1) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(lanes));
+        const std::uint64_t bit = std::uint64_t{1} << j;
+        for (const net::FusedRow& row : frame.rows(j)) {
+            if (row.sender != king) continue;
+            const auto kv = [&](const net::Message* m) {
+                return m != nullptr && m->kind == net::MsgKind::PhaseKingRuler &&
+                       m->phase == k && (m->val & 1) != 0;
+            };
+            if (row.boundary > 0 && kv(row.has_low ? &row.low : nullptr))
+                t_kv_.mark(0, row.boundary, bit);
+            if (row.boundary < n && kv(row.has_high ? &row.high : nullptr))
+                t_kv_.mark(row.boundary, n, bit);
+            break;  // at most one row per (lane, sender, round)
+        }
+    }
+    t_kv_.sweep(m_kv_.data(), n);
+
+    const bool last_phase = k + 1 == params_.phases();
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t act = ~frame.byz[v] & ~halted_[v];
+        const std::uint64_t nv =
+            (strong_[v] & maj_[v]) | (~strong_[v] & m_kv_[v]);
+        val_[v] = (val_[v] & ~act) | (nv & act);
+        if (last_phase) halted_[v] |= act;
+    }
+}
+
 std::unique_ptr<net::BatchProtocol> make_phase_king_batch(
     const PhaseKingParams& params, const std::vector<Bit>& inputs) {
     return std::make_unique<PhaseKingBatch>(params, inputs);

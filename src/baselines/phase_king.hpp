@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/batch.hpp"
+#include "net/fused_plane.hpp"
 #include "net/node.hpp"
 #include "net/sparse_plane.hpp"
 #include "rand/seed_tree.hpp"
@@ -115,6 +116,37 @@ private:
     std::vector<Bit> maj_;
     std::vector<Count> mult_;
     std::vector<std::uint8_t> halted_;
+};
+
+/// 64-lane Phase-King over the fused trial plane: round-1 majorities from
+/// bit-sliced LaneAdder counts per (lane, segment); the round-2 king probe
+/// is lane-uniform for honest kings (one plane read) and per-(lane,
+/// segment) for corrupted ones. mult_ never materializes — only the
+/// "2·mult > n + 2t" predicate survives round 1, stored as the strong_
+/// plane. No RNG at all. Bit-identical to PhaseKingBatch lane by lane.
+class FusedPhaseKing final : public net::FusedProtocol {
+public:
+    explicit FusedPhaseKing(const PhaseKingParams& params);
+
+    NodeId n() const override { return params_.n; }
+    void rearm(const std::uint64_t* input_plane, const SeedTree* lane_seeds) override;
+    void send_round(Round r, net::FusedFrame& frame) override;
+    void receive_round(Round r, const net::FusedFrame& frame) override;
+    const std::uint64_t* value_plane() const override { return val_.data(); }
+    const std::uint64_t* decided_plane() const override { return decided_.data(); }
+    const std::uint64_t* halted_plane() const override { return halted_.data(); }
+
+private:
+    PhaseKingParams params_;
+    std::vector<std::uint64_t> val_;
+    std::vector<std::uint64_t> maj_;
+    std::vector<std::uint64_t> strong_;  ///< 2·mult > n + 2t, per (node, lane)
+    std::vector<std::uint64_t> decided_; ///< all-zero (phase-king never decides)
+    std::vector<std::uint64_t> halted_;
+    // Recycled receive scratch.
+    net::LaneSegments segs_;
+    net::LaneToggles t_maj_, t_strong_, t_kv_;
+    std::vector<std::uint64_t> m_maj_, m_strong_, m_kv_;
 };
 
 std::vector<std::unique_ptr<net::HonestNode>> make_phase_king_nodes(

@@ -1,0 +1,298 @@
+#include "core/skeleton_fused.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace adba::core {
+
+using net::kFusedLanes;
+
+FusedSkeleton::FusedSkeleton(const SkeletonConfig& cfg, FusedCoinSpec coin) {
+    // Same contracts as SkeletonBatch::rearm, checked once per block set.
+    ADBA_EXPECTS(cfg.n > 0);
+    ADBA_EXPECTS_MSG(3 * static_cast<std::uint64_t>(cfg.t) < cfg.n, "requires t < n/3");
+    ADBA_EXPECTS(cfg.phases >= 1);
+    if (coin.kind == FusedCoinSpec::Kind::Dealer) ADBA_EXPECTS(coin.dealer != nullptr);
+    cfg_ = cfg;
+    coin_ = std::move(coin);
+}
+
+void FusedSkeleton::rearm(const std::uint64_t* input_plane, const SeedTree* lane_seeds) {
+    const NodeId n = cfg_.n;
+    val_.assign(input_plane, input_plane + n);
+    decided_.assign(n, 0);
+    finish_.assign(n, 0);
+    flushing_.assign(n, 0);
+    halted_.assign(n, 0);
+    m_dec_.assign(n, 0);
+    m_val1_.assign(n, 0);
+    m_fin_.assign(n, 0);
+    m_coin_.assign(n, 0);
+    // Per-cell streams identical to the scalar batches': lane j's stream
+    // (NodeProtocol, v), consumed only by cell (v, j) — derived lazily at
+    // the first draw (see cell_rng), so a block only pays for the cells
+    // that actually flip coins.
+    rng_.resize(static_cast<std::size_t>(n) * kFusedLanes);
+    rng_live_.assign(n, 0);
+    for (unsigned j = 0; j < kFusedLanes; ++j) lane_master_[j] = lane_seeds[j].master();
+    if (coin_.kind == FusedCoinSpec::Kind::Dealer)
+        for (unsigned j = 0; j < kFusedLanes; ++j)
+            dealer_seed_[j] = lane_seeds[j].seed(StreamPurpose::DealerCoin);
+}
+
+void FusedSkeleton::send_round(Round r, net::FusedFrame& frame) {
+    const NodeId n = cfg_.n;
+    const Phase p = r / 2;
+    const bool round2 = (r % 2) != 0;
+    frame.kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+    frame.phase = p;
+
+    NodeId flip_first = 0, flip_last = 0;
+    if (round2 && coin_.kind == FusedCoinSpec::Kind::Committee) {
+        const auto range = coin_.schedule.range(coin_.schedule.committee_of_phase(p));
+        flip_first = range.first;
+        flip_last = range.second;
+    }
+
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t act = ~frame.byz[v] & ~halted_[v];
+        frame.sent[v] = act;
+        frame.val[v] = val_[v];
+        frame.flag[v] = decided_[v];
+        if (!round2) continue;
+        if (v >= flip_first && v < flip_last) {
+            // The flip is drawn before any round-2 delivery is seen
+            // (Lemma 5 independence) for every live lane, flushing or not —
+            // exactly the scalar send path's draw set.
+            std::uint64_t pos = 0, neg = 0;
+            for (std::uint64_t lanes = act; lanes != 0; lanes &= lanes - 1) {
+                const unsigned j = static_cast<unsigned>(std::countr_zero(lanes));
+                if (cell_rng(v, j).sign() > 0)
+                    pos |= std::uint64_t{1} << j;
+                else
+                    neg |= std::uint64_t{1} << j;
+            }
+            frame.coinp[v] = pos;
+            frame.coinn[v] = neg;
+        }
+        halted_[v] |= act & flushing_[v];  // second flush broadcast done
+    }
+}
+
+void FusedSkeleton::receive_round(Round r, const net::FusedFrame& frame) {
+    const NodeId n = cfg_.n;
+    const Phase p = r / 2;
+    const bool round2 = (r % 2) != 0;
+    const net::MsgKind kind = round2 ? net::MsgKind::Vote2 : net::MsgKind::Vote1;
+    const Count quorum = cfg_.n - cfg_.t;
+    const Count supermin = cfg_.t + 1;
+
+    // Honest per-lane counts, bit-sliced: one pass over the planes feeds
+    // every lane's histogram (val_cnt round 1, val_flag_cnt round 2).
+    net::kern::LaneAdder a0, a1;
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t present =
+            round2 ? frame.sent[v] & frame.flag[v] : frame.sent[v];
+        a0.add(present & ~frame.val[v]);
+        a1.add(present & frame.val[v]);
+    }
+    Count h0[kFusedLanes], h1[kFusedLanes];
+    a0.counts(h0);
+    a1.counts(h1);
+
+    NodeId flip_first = 0, flip_last = 0;
+    std::int64_t hcoin[kFusedLanes] = {};
+    const bool committee =
+        round2 && coin_.kind == FusedCoinSpec::Kind::Committee;
+    if (committee) {
+        const auto range = coin_.schedule.range(coin_.schedule.committee_of_phase(p));
+        flip_first = range.first;
+        flip_last = range.second;
+        // Honest committee coin sum per lane (coin planes are nonzero only
+        // inside the flip range; mask with sent so corrupted members drop
+        // out exactly as the shared tally drops Byzantine senders).
+        net::kern::LaneAdder apos, aneg;
+        for (NodeId v = flip_first; v < flip_last; ++v) {
+            apos.add(frame.sent[v] & frame.coinp[v]);
+            aneg.add(frame.sent[v] & frame.coinn[v]);
+        }
+        Count cp[kFusedLanes], cn[kFusedLanes];
+        apos.counts(cp);
+        aneg.counts(cn);
+        for (unsigned j = 0; j < kFusedLanes; ++j)
+            hcoin[j] = static_cast<std::int64_t>(cp[j]) - cn[j];
+    }
+
+    t_dec_.reset(n);
+    t_val1_.reset(n);
+    if (round2) {
+        t_fin_.reset(n);
+        t_coin_.reset(n);
+    }
+
+    for (std::uint64_t lanes = frame.active; lanes != 0; lanes &= lanes - 1) {
+        const unsigned j = static_cast<unsigned>(std::countr_zero(lanes));
+        const std::uint64_t bit = std::uint64_t{1} << j;
+        const auto& rows = frame.rows(j);
+        segs_.rebuild(rows, n);
+        bool dealer_drawn = false;
+        Bit dealer_bit = 0;
+
+        // Incremental count sweep: start from the segment-0 view of every
+        // row, record each row's side flip as a delta at its boundary, and
+        // fold the deltas in boundary order as the segments advance — the
+        // running (c0, c1, cdelta) then equal the old per-segment row scan
+        // at every segment, in O(rows log rows + segments) per lane.
+        const auto classify = [&](const net::Message* m, const net::FusedRow& row,
+                                  std::int16_t& d0, std::int16_t& d1,
+                                  std::int16_t& dc) {
+            if (m == nullptr) return;
+            if (m->kind == kind && m->phase == p && (!round2 || m->flag != 0)) {
+                if ((m->val & 1) != 0)
+                    ++d1;
+                else
+                    ++d0;
+            }
+            if (committee && m->kind == net::MsgKind::Vote2 && m->phase == p &&
+                row.sender >= flip_first && row.sender < flip_last)
+                dc = static_cast<std::int16_t>(
+                    dc + (m->coin > 0 ? 1 : (m->coin < 0 ? -1 : 0)));
+        };
+        std::int64_t c0 = h0[j], c1 = h1[j], cdelta = 0;
+        deltas_.clear();
+        for (const net::FusedRow& row : rows) {
+            std::int16_t l0 = 0, l1 = 0, lc = 0, g0 = 0, g1 = 0, gc = 0;
+            classify(row.has_low ? &row.low : nullptr, row, l0, l1, lc);
+            classify(row.has_high ? &row.high : nullptr, row, g0, g1, gc);
+            if (row.boundary > 0) {  // segment 0 sees the low side
+                c0 += l0;
+                c1 += l1;
+                cdelta += lc;
+                if (row.boundary < n && (g0 != l0 || g1 != l1 || gc != lc))
+                    deltas_.push_back({row.boundary,
+                                       static_cast<std::int16_t>(g0 - l0),
+                                       static_cast<std::int16_t>(g1 - l1),
+                                       static_cast<std::int16_t>(gc - lc)});
+            } else {  // boundary 0: the high side everywhere
+                c0 += g0;
+                c1 += g1;
+                cdelta += gc;
+            }
+        }
+        // Insertion sort: the delta list is tiny and the supported
+        // adversaries share one split boundary, so it is already sorted —
+        // std::sort's dispatch overhead would dominate the actual work.
+        for (std::size_t a = 1; a < deltas_.size(); ++a) {
+            const RowDelta d = deltas_[a];
+            std::size_t b = a;
+            while (b > 0 && deltas_[b - 1].boundary > d.boundary) {
+                deltas_[b] = deltas_[b - 1];
+                --b;
+            }
+            deltas_[b] = d;
+        }
+        std::size_t dp = 0;
+
+        for (std::size_t i = 0; i < segs_.count(); ++i) {
+            const NodeId lo = segs_.lo(i);
+            const NodeId hi = segs_.hi(i);
+            while (dp < deltas_.size() && deltas_[dp].boundary <= lo) {
+                c0 += deltas_[dp].d0;
+                c1 += deltas_[dp].d1;
+                cdelta += deltas_[dp].dcoin;
+                ++dp;
+            }
+            const Count cnt[2] = {static_cast<Count>(c0), static_cast<Count>(c1)};
+            const std::int64_t coin_delta = cdelta;
+
+            if (!round2) {
+                ADBA_ENSURES_MSG(!(cnt[0] >= quorum && cnt[1] >= quorum),
+                                 "two n-t quorums cannot coexist (t < n/3)");
+                if (cnt[0] >= quorum) {
+                    t_dec_.mark(lo, hi, bit);
+                } else if (cnt[1] >= quorum) {
+                    t_dec_.mark(lo, hi, bit);
+                    t_val1_.mark(lo, hi, bit);
+                }
+                continue;
+            }
+
+            ADBA_ENSURES_MSG(!(cnt[0] >= supermin && cnt[1] >= supermin),
+                             "Lemma 3 violated: decided quorums for both values");
+            bool fin = false, dec = false;
+            Bit b = 0;
+            if (cnt[0] >= quorum) {
+                fin = dec = true;
+            } else if (cnt[1] >= quorum) {
+                fin = dec = true;
+                b = 1;
+            } else if (cnt[0] >= supermin) {
+                dec = true;
+            } else if (cnt[1] >= supermin) {
+                dec = true;
+                b = 1;
+            }
+            if (dec) {
+                t_dec_.mark(lo, hi, bit);
+                if (fin) t_fin_.mark(lo, hi, bit);
+                if (b != 0) t_val1_.mark(lo, hi, bit);
+                continue;
+            }
+            // Case 3: adopt the phase coin.
+            switch (coin_.kind) {
+                case FusedCoinSpec::Kind::Committee:
+                    if (hcoin[j] + coin_delta >= 0) t_val1_.mark(lo, hi, bit);
+                    break;
+                case FusedCoinSpec::Kind::Dealer:
+                    if (!dealer_drawn) {
+                        dealer_bit = coin_.dealer(dealer_seed_[j], p);
+                        dealer_drawn = true;
+                    }
+                    if (dealer_bit != 0) t_val1_.mark(lo, hi, bit);
+                    break;
+                case FusedCoinSpec::Kind::Local:
+                    t_coin_.mark(lo, hi, bit);  // per-cell draw at the write
+                    break;
+            }
+        }
+    }
+
+    t_dec_.sweep(m_dec_.data(), n);
+    t_val1_.sweep(m_val1_.data(), n);
+    if (round2) {
+        t_fin_.sweep(m_fin_.data(), n);
+        t_coin_.sweep(m_coin_.data(), n);
+    }
+
+    const bool last_phase =
+        cfg_.mode == AgreementMode::WhpFixedPhases && p + 1 == cfg_.phases;
+    for (NodeId v = 0; v < n; ++v) {
+        const std::uint64_t act = ~frame.byz[v] & ~halted_[v] & ~flushing_[v];
+        if (!round2) {
+            // Round 1: val is written only where a quorum decided.
+            const std::uint64_t dw = m_dec_[v] & act;
+            val_[v] = (val_[v] & ~dw) | (m_val1_[v] & act);
+            decided_[v] = (decided_[v] & ~act) | dw;
+            continue;
+        }
+        // Round 2: every active receiver writes val (case 1/2 adopt b,
+        // case 3 adopts the coin).
+        std::uint64_t v1 = m_val1_[v];
+        std::uint64_t cm = m_coin_[v] & act;
+        if (cm != 0) {
+            for (; cm != 0; cm &= cm - 1) {
+                const unsigned j = static_cast<unsigned>(std::countr_zero(cm));
+                if (cell_rng(v, j).bit() != 0) v1 |= std::uint64_t{1} << j;
+            }
+        }
+        val_[v] = (val_[v] & ~act) | (v1 & act);
+        decided_[v] = (decided_[v] & ~act) | (m_dec_[v] & act);
+        const std::uint64_t fin = m_fin_[v] & act;
+        finish_[v] |= fin;
+        flushing_[v] |= fin;  // apply_phase_end: finishers flush next phase
+        if (last_phase) halted_[v] |= act & ~fin;  // fixed-phase exhaustion
+    }
+}
+
+}  // namespace adba::core

@@ -1,0 +1,106 @@
+// Word-parallel Rabin skeleton over the fused trial plane: 64 independent
+// trials of the two-round phase machine per plane word, bit j = trial j.
+//
+// Semantics are EXACTLY core/skeleton_batch.hpp's SkeletonBatch, lane by
+// lane — same thresholds, same finish-flush termination, same per-(node,
+// lane) randomness draws in the same order — so lane j of a fused block is
+// bit-identical to the scalar trial seeded with lane j's SeedTree. The trick
+// that keeps receive word-parallel under Byzantine pressure: supported
+// adversaries deliver piecewise-constant split_as patterns, so a lane's
+// per-receiver counts are constant on the segments its pattern boundaries
+// cut — every threshold decision is evaluated once per (lane, segment) and
+// materialized for all receivers with one prefix-XOR sweep (LaneToggles).
+//
+// The coin hooks become a FusedCoinSpec: Committee sums live in bit-sliced
+// LaneAdder columns (honest part) plus per-(lane, segment) Byzantine
+// deltas; Dealer coins are a pure per-lane function of the phase; Local
+// coins draw from the focused (node, lane) stream exactly where the scalar
+// case-3 path would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/skeleton.hpp"
+#include "core/skeleton_batch.hpp"
+#include "net/fused_plane.hpp"
+#include "rand/rng.hpp"
+#include "rand/seed_tree.hpp"
+
+namespace adba::core {
+
+/// Coin source of a FusedSkeleton — BatchCoinSpec with the dealer hook
+/// seed-parameterized so each lane evaluates it under its own trial's
+/// DealerCoin stream seed.
+struct FusedCoinSpec {
+    using Kind = BatchCoinSpec::Kind;
+    Kind kind = Kind::Local;
+    BlockSchedule schedule;  ///< Committee only
+    /// Dealer only: pure coin function of (per-lane dealer seed, phase).
+    std::function<Bit(std::uint64_t, Phase)> dealer;
+};
+
+/// 64-lane Rabin skeleton: one object, n nodes x 64 trials, bit planes.
+class FusedSkeleton final : public net::FusedProtocol {
+public:
+    FusedSkeleton(const SkeletonConfig& cfg, FusedCoinSpec coin);
+
+    NodeId n() const override { return cfg_.n; }
+    void rearm(const std::uint64_t* input_plane, const SeedTree* lane_seeds) override;
+    void send_round(Round r, net::FusedFrame& frame) override;
+    void receive_round(Round r, const net::FusedFrame& frame) override;
+    const std::uint64_t* value_plane() const override { return val_.data(); }
+    const std::uint64_t* decided_plane() const override { return decided_.data(); }
+    const std::uint64_t* halted_plane() const override { return halted_.data(); }
+
+private:
+    SkeletonConfig cfg_;
+    FusedCoinSpec coin_;
+    std::vector<std::uint64_t> val_;
+    std::vector<std::uint64_t> decided_;
+    std::vector<std::uint64_t> finish_;
+    std::vector<std::uint64_t> flushing_;
+    std::vector<std::uint64_t> halted_;
+    /// Per-(node, lane) protocol streams, lane-major: rng_[v * 64 + j] is
+    /// lane j's stream (NodeProtocol, v) — private per cell, so fused
+    /// iteration order never perturbs another cell's draws. Streams are
+    /// constructed LAZILY at the first draw (rng_live_[v] bit j): under the
+    /// Committee coin only committee-member cells ever draw, so eagerly
+    /// deriving all n x 64 streams per block would dominate small-n rearm.
+    /// Laziness is invisible to determinism — the stream is a pure function
+    /// of (lane master, v), whenever it is built.
+    std::vector<Xoshiro256> rng_;
+    std::vector<std::uint64_t> rng_live_;
+    std::uint64_t lane_master_[net::kFusedLanes] = {};
+    std::uint64_t dealer_seed_[net::kFusedLanes] = {};
+
+    Xoshiro256& cell_rng(NodeId v, unsigned j) {
+        const std::uint64_t bit = std::uint64_t{1} << j;
+        Xoshiro256& g = rng_[static_cast<std::size_t>(v) * net::kFusedLanes + j];
+        if ((rng_live_[v] & bit) == 0) {
+            g = SeedTree(lane_master_[j]).stream(StreamPurpose::NodeProtocol, v);
+            rng_live_[v] |= bit;
+        }
+        return g;
+    }
+
+    /// One pattern row's count/coin contribution flip at its boundary: the
+    /// incremental form of the per-segment row scan. Evaluating every row
+    /// against every segment is O(rows x segments) per lane; since a row's
+    /// visible side changes exactly once (at `boundary`), a sorted delta
+    /// sweep does the same work in O(rows log rows + segments).
+    struct RowDelta {
+        NodeId boundary = 0;
+        std::int16_t d0 = 0, d1 = 0, dcoin = 0;
+    };
+
+    // Recycled receive scratch.
+    net::LaneSegments segs_;
+    std::vector<RowDelta> deltas_;
+    net::LaneToggles t_dec_, t_val1_, t_fin_, t_coin_;
+    std::vector<std::uint64_t> m_dec_, m_val1_, m_fin_, m_coin_;
+};
+
+}  // namespace adba::core

@@ -28,6 +28,13 @@
 //    tally queries hoisted out of the per-node loop. Selected by the
 //    registry's make_batch hooks; scenario key `batch=false` (CLI
 //    `--batch=off`) falls back to the adapter.
+//
+// One step further along the same axis, net/fused_plane.hpp batches across
+// TRIALS instead of nodes: 64 Monte-Carlo trials co-execute bit-sliced in
+// one machine word per node (scenario key `fused`). The fused plane has its
+// own protocol interface (FusedProtocol) because its state layout is a
+// transpose of this one's; a native batch remains the per-trial oracle the
+// fused lanes are pinned against, just as PerNodeBatch is this plane's.
 #pragma once
 
 #include <cstdint>

@@ -33,49 +33,57 @@ Count RunResult::honest_count() const {
     return static_cast<Count>(std::count(honest.begin(), honest.end(), true));
 }
 
-// ------------------------------------------------------------- RoundControl
+// ------------------------------------------------------------- Engine::Ctl
 
-Round RoundControl::round() const { return e_.round_; }
-NodeId RoundControl::n() const { return e_.cfg_.n; }
-Count RoundControl::budget_left() const { return e_.cfg_.budget - e_.budget_used_; }
-bool RoundControl::is_honest(NodeId v) const {
-    ADBA_EXPECTS(v < e_.cfg_.n);
-    return e_.is_honest(v);
-}
-bool RoundControl::is_halted(NodeId v) const {
-    ADBA_EXPECTS(v < e_.cfg_.n);
-    return e_.is_halted(v);
-}
-const Message* RoundControl::intended_broadcast(NodeId v) const {
-    ADBA_EXPECTS(v < e_.cfg_.n);
-    ADBA_EXPECTS_MSG(e_.is_honest(v), "only honest nodes have intended broadcasts");
-    return e_.buf_.broadcast(v);
-}
-Bit RoundControl::current_value(NodeId v) const {
-    ADBA_EXPECTS(v < e_.cfg_.n);
-    ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
-    return e_.batch_->value(v);
-}
-bool RoundControl::current_decided(NodeId v) const {
-    ADBA_EXPECTS(v < e_.cfg_.n);
-    ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
-    return e_.batch_->decided(v);
-}
-std::optional<Message> RoundControl::corrupt(NodeId v) { return e_.do_corrupt(v); }
-void RoundControl::deliver_as(NodeId byz_from, NodeId to, const Message& m) {
-    e_.do_deliver(byz_from, to, m);
-}
-void RoundControl::broadcast_as(NodeId byz_from, const Message& m) {
-    split_as(byz_from, m, std::nullopt, e_.cfg_.n);
-}
-void RoundControl::split_as(NodeId byz_from, const std::optional<Message>& low,
-                            const std::optional<Message>& high, NodeId boundary) {
-    ADBA_EXPECTS(byz_from < e_.cfg_.n && boundary <= e_.cfg_.n);
-    ADBA_EXPECTS_MSG(!e_.buf_.is_honest(byz_from),
-                     "split_as requires a corrupted sender");
-    e_.metrics_.byzantine_messages += e_.buf_.apply_pattern(
-        byz_from, low ? &*low : nullptr, high ? &*high : nullptr, boundary);
-}
+/// The engine-backed RoundControl: one per-trial execution over the flat /
+/// sparse delivery planes. (The fused plane provides its own lane-masked
+/// implementation in net/fused_plane.cpp.)
+class Engine::Ctl final : public RoundControl {
+public:
+    explicit Ctl(Engine& e) : e_(e) {}
+
+    Round round() const override { return e_.round_; }
+    NodeId n() const override { return e_.cfg_.n; }
+    Count budget_left() const override { return e_.cfg_.budget - e_.budget_used_; }
+    bool is_honest(NodeId v) const override {
+        ADBA_EXPECTS(v < e_.cfg_.n);
+        return e_.is_honest(v);
+    }
+    bool is_halted(NodeId v) const override {
+        ADBA_EXPECTS(v < e_.cfg_.n);
+        return e_.is_halted(v);
+    }
+    const Message* intended_broadcast(NodeId v) const override {
+        ADBA_EXPECTS(v < e_.cfg_.n);
+        ADBA_EXPECTS_MSG(e_.is_honest(v), "only honest nodes have intended broadcasts");
+        return e_.buf_.broadcast(v);
+    }
+    Bit current_value(NodeId v) const override {
+        ADBA_EXPECTS(v < e_.cfg_.n);
+        ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
+        return e_.batch_->value(v);
+    }
+    bool current_decided(NodeId v) const override {
+        ADBA_EXPECTS(v < e_.cfg_.n);
+        ADBA_EXPECTS_MSG(e_.is_honest(v), "introspection is defined for honest nodes");
+        return e_.batch_->decided(v);
+    }
+    std::optional<Message> corrupt(NodeId v) override { return e_.do_corrupt(v); }
+    void deliver_as(NodeId byz_from, NodeId to, const Message& m) override {
+        e_.do_deliver(byz_from, to, m);
+    }
+    void split_as(NodeId byz_from, const std::optional<Message>& low,
+                  const std::optional<Message>& high, NodeId boundary) override {
+        ADBA_EXPECTS(byz_from < e_.cfg_.n && boundary <= e_.cfg_.n);
+        ADBA_EXPECTS_MSG(!e_.buf_.is_honest(byz_from),
+                         "split_as requires a corrupted sender");
+        e_.metrics_.byzantine_messages += e_.buf_.apply_pattern(
+            byz_from, low ? &*low : nullptr, high ? &*high : nullptr, boundary);
+    }
+
+private:
+    Engine& e_;
+};
 
 // ------------------------------------------------------------------- Engine
 
@@ -288,7 +296,7 @@ RunResult Engine::run() {
 
         // Beat 2: the rushing adversary observes and acts.
         {
-            RoundControl ctl(*this);
+            Ctl ctl(*this);
             adversary_->act(ctl);
         }
 

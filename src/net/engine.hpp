@@ -57,49 +57,56 @@ class Engine;
 
 /// The adversary's handle for one round: observation plus actions.
 /// Only valid during Adversary::act; do not retain.
+///
+/// Abstract so more than one execution plane can host an adversary: the
+/// engine's per-trial form (Engine::Ctl, engine.cpp) and the fused trial
+/// plane's lane-masked bridge (net/fused_plane.hpp), which runs one
+/// adversary instance per bit-sliced lane against that lane's planes only.
 class RoundControl {
 public:
+    virtual ~RoundControl() = default;
+
     // ---- observation (full information + rushing) ----
-    Round round() const;
-    NodeId n() const;
+    virtual Round round() const = 0;
+    virtual NodeId n() const = 0;
     /// Corruptions still available to the adversary.
-    Count budget_left() const;
+    virtual Count budget_left() const = 0;
     /// True iff v has never been corrupted.
-    bool is_honest(NodeId v) const;
+    virtual bool is_honest(NodeId v) const = 0;
     /// True iff v terminated (honest and permanently silent).
-    bool is_halted(NodeId v) const;
+    virtual bool is_halted(NodeId v) const = 0;
     /// Honest v's intended broadcast this round (nullptr = silent).
-    const Message* intended_broadcast(NodeId v) const;
+    virtual const Message* intended_broadcast(NodeId v) const = 0;
     /// Full-information introspection into honest v's state (§1.1): its
     /// current agreement value and "decided" flag (false where the protocol
     /// has no such notion). Backed by the batch plane, so it works for
     /// per-node and SoA protocol implementations alike.
-    Bit current_value(NodeId v) const;
-    bool current_decided(NodeId v) const;
+    virtual Bit current_value(NodeId v) const = 0;
+    virtual bool current_decided(NodeId v) const = 0;
 
     // ---- actions ----
     /// Corrupts honest, non-halted v: discards v's broadcast for this round,
     /// moves v to the Byzantine set forever, consumes one budget unit.
     /// Returns the discarded broadcast so crash-style adversaries can
     /// selectively re-deliver it.
-    std::optional<Message> corrupt(NodeId v);
+    virtual std::optional<Message> corrupt(NodeId v) = 0;
     /// Delivers m from Byzantine node `byz_from` to `to` this round.
-    void deliver_as(NodeId byz_from, NodeId to, const Message& m);
+    virtual void deliver_as(NodeId byz_from, NodeId to, const Message& m) = 0;
     /// Delivers m from `byz_from` to every node. O(1): stored as a pattern
     /// row, not n cell writes.
-    void broadcast_as(NodeId byz_from, const Message& m);
+    void broadcast_as(NodeId byz_from, const Message& m) {
+        split_as(byz_from, m, std::nullopt, n());
+    }
     /// Threshold equivocation in O(1): delivers `low` to receivers below
     /// `boundary` and `high` to the rest (nullopt = silence for that side).
     /// The classic split attacks (split-vote, coin ruin, king killing,
     /// crash prefixes) are all this shape.
-    void split_as(NodeId byz_from, const std::optional<Message>& low,
-                  const std::optional<Message>& high, NodeId boundary);
+    virtual void split_as(NodeId byz_from, const std::optional<Message>& low,
+                          const std::optional<Message>& high, NodeId boundary) = 0;
     // Silence is the default behaviour of a Byzantine sender.
 
-private:
-    friend class Engine;
-    explicit RoundControl(Engine& e) : e_(e) {}
-    Engine& e_;
+protected:
+    RoundControl() = default;
 };
 
 /// Adversary strategy interface. Implementations live in src/adversary.
@@ -235,7 +242,9 @@ public:
     void set_round_observer(RoundObserver obs) { observer_ = std::move(obs); }
 
 private:
-    friend class RoundControl;
+    /// The engine-backed RoundControl (defined in engine.cpp); nested, so it
+    /// reads the engine's private state directly.
+    class Ctl;
 
     bool is_honest(NodeId v) const { return buf_.is_honest(v); }
     bool is_halted(NodeId v) const;

@@ -1,0 +1,303 @@
+// The fused trial plane: 64 independent Monte-Carlo trials per machine word.
+//
+// Every optimization below this layer (flat plane, SoA batches, packed
+// tallies, sparse probes) accelerates ONE trial; below n≈256 the per-trial
+// fixed costs (engine dispatch, tally rebuild, arena touch) dominate and
+// ns/node-round stops improving. Binary protocols carry exactly one bit of
+// value state per node, so this layer turns the bit-slicing trick of
+// tally_kernels 90°: bit j of every plane word belongs to TRIAL j, and one
+// word op steps node v of 64 independent trials at once.
+//
+//   FusedFrame       — one round's delivery state, bit-sliced: the honest
+//                      broadcast planes (sent/val/flag/coin±, one uint64_t
+//                      per NODE, bit j = lane j) plus per-lane Byzantine
+//                      pattern rows. The lane analogue of RoundBuffer.
+//   FusedLaneControl — the lane-masked RoundControl bridge: one unmodified
+//                      scalar Adversary instance runs per lane, seeing only
+//                      its lane's bits. Contract failures carry the exact
+//                      Engine::Ctl messages so fused ≡ scalar extends to
+//                      error behaviour.
+//   FusedProtocol    — the protocol interface of this plane: word-parallel
+//                      send/receive over a FusedFrame (implementations:
+//                      core/skeleton_fused, baselines ben_or / phase_king).
+//   FusedBlock       — the driver: Engine::run's beat order (sends →
+//                      adversary → accounting → receives → halt sweep) for
+//                      64 lanes, with GPU-warp-style divergence: lanes that
+//                      decide early drop out of the active mask and accrue
+//                      nothing; the block retires when the mask is empty or
+//                      the shared round cap fires.
+//
+// Determinism contract: per-lane seeds come from the same index-derived
+// SeedTree chain as scalar trials, every (node, lane) RNG stream is private,
+// and every count is exact — fused aggregates are bit-identical to 64
+// scalar runs of the same trial indices. The scalar path stays the oracle,
+// exactly as `reference=` / `batch=` / `simd=` already do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/engine.hpp"
+#include "net/message.hpp"
+#include "net/metrics.hpp"
+#include "net/tally_kernels.hpp"
+#include "rand/seed_tree.hpp"
+#include "support/types.hpp"
+
+namespace adba::net {
+
+/// Trials co-executed per block: one per bit of the plane word.
+inline constexpr unsigned kFusedLanes = 64;
+
+/// One Byzantine split_as pattern from one lane's adversary: `low` to
+/// receivers below `boundary`, `high` to the rest (absent side = silence).
+/// The piecewise-constant shape is what makes fused receive cheap: every
+/// threshold decision is evaluated once per (lane, boundary segment), not
+/// once per receiver.
+struct FusedRow {
+    NodeId sender = 0;
+    NodeId boundary = 0;
+    bool has_low = false;
+    bool has_high = false;
+    Message low;
+    Message high;
+};
+
+/// One round's bit-sliced delivery state. Attribute planes are UNMASKED
+/// (same discipline as kern::PackedPlanes): consumers must AND with `sent`
+/// before counting. `byz` persists across rounds; everything else is
+/// cleared by begin_round().
+class FusedFrame {
+public:
+    void reset(NodeId n) {
+        n_ = n;
+        sent.assign(n, 0);
+        val.assign(n, 0);
+        flag.assign(n, 0);
+        coinp.assign(n, 0);
+        coinn.assign(n, 0);
+        byz.assign(n, 0);
+        patterned_.assign(n, 0);
+        for (auto& r : rows_) r.clear();
+        active = ~std::uint64_t{0};
+        kind = MsgKind::None;
+        phase = 0;
+    }
+
+    void begin_round(MsgKind round_kind, Phase round_phase) {
+        kind = round_kind;
+        phase = round_phase;
+        std::fill(sent.begin(), sent.end(), 0);
+        std::fill(val.begin(), val.end(), 0);
+        std::fill(flag.begin(), flag.end(), 0);
+        std::fill(coinp.begin(), coinp.end(), 0);
+        std::fill(coinn.begin(), coinn.end(), 0);
+        std::fill(patterned_.begin(), patterned_.end(), 0);
+        for (auto& r : rows_) r.clear();
+    }
+
+    NodeId n() const { return n_; }
+
+    /// Lane j's Byzantine pattern rows this round (cleared per round).
+    const std::vector<FusedRow>& rows(unsigned lane) const { return rows_[lane]; }
+
+    /// Records a pattern row for (lane, sender) and returns a reference for
+    /// the caller to fill in place (sender is already set). At most one row
+    /// per (lane, sender, round): every supported fused adversary patterns a
+    /// sender once per round, so a duplicate is a bridge bug, not a
+    /// behaviour to merge — fail loudly instead of silently diverging from
+    /// the scalar densify path. Inline: this sits on the per-(lane, sender,
+    /// round) hot path of every Byzantine fused round.
+    FusedRow& add_row(unsigned lane, NodeId sender) {
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        if ((patterned_[sender] & bit) != 0) throw_duplicate_row();
+        patterned_[sender] |= bit;
+        FusedRow& row = rows_[lane].emplace_back();
+        row.sender = sender;
+        return row;
+    }
+
+    /// Lane-uniform header of this round's honest broadcasts: every live
+    /// sender's message shares (kind, phase) in the supported protocols.
+    MsgKind kind = MsgKind::None;
+    Phase phase = 0;
+
+    /// Lanes still running (bit j set = lane j live). Maintained by
+    /// FusedBlock; protocols may skip evaluation for retired lanes (their
+    /// per-node activity masks are all-zero anyway, so this is purely a
+    /// shortcut, never a semantic).
+    std::uint64_t active = ~std::uint64_t{0};
+
+    // One word per NODE, bit j = trial j.
+    std::vector<std::uint64_t> sent;   ///< live honest broadcast present
+    std::vector<std::uint64_t> val;    ///< broadcast val & 1 (unmasked)
+    std::vector<std::uint64_t> flag;   ///< broadcast flag != 0 (unmasked)
+    std::vector<std::uint64_t> coinp;  ///< broadcast coin > 0 (unmasked)
+    std::vector<std::uint64_t> coinn;  ///< broadcast coin < 0 (unmasked)
+    std::vector<std::uint64_t> byz;    ///< corrupted (persistent)
+
+private:
+    [[noreturn]] static void throw_duplicate_row();
+
+    NodeId n_ = 0;
+    std::vector<std::uint64_t> patterned_;  ///< per-round duplicate-row guard
+    std::vector<FusedRow> rows_[kFusedLanes];
+};
+
+/// A word-parallel protocol over the fused plane. Implementations mirror
+/// their scalar batch twin EXACTLY — same round cadence, same thresholds,
+/// same RNG draw sites per (node, lane) stream — so that lane j of every
+/// plane replays the scalar trial seeded with lane j's seed bit for bit.
+///
+/// Plane layout: one uint64_t per node, bit j = lane j. `value_plane` is
+/// also the output plane (every fused-capable protocol outputs its current
+/// value, the scalar BatchProtocol::output contract for this family).
+class FusedProtocol {
+public:
+    virtual ~FusedProtocol() = default;
+
+    virtual NodeId n() const = 0;
+
+    /// Re-arms all 64 lanes for a fresh block: bit j of input_plane[v] is
+    /// lane j's input for node v; lane_seeds[j] is lane j's trial SeedTree
+    /// (the same tree the scalar trial at that index would use).
+    virtual void rearm(const std::uint64_t* input_plane, const SeedTree* lane_seeds) = 0;
+
+    /// Beat 1: compute this round's broadcast planes into `frame` (which
+    /// has been begin_round-cleared) and apply send-beat state flips
+    /// (flush-halts). Must set frame.kind / frame.phase.
+    virtual void send_round(Round r, FusedFrame& frame) = 0;
+
+    /// Beat 3: consume the round — honest planes + per-lane Byzantine rows.
+    virtual void receive_round(Round r, const FusedFrame& frame) = 0;
+
+    virtual const std::uint64_t* value_plane() const = 0;
+    virtual const std::uint64_t* decided_plane() const = 0;
+    virtual const std::uint64_t* halted_plane() const = 0;
+};
+
+/// The lane-masked RoundControl: presents ONE lane's view of the fused
+/// planes to an unmodified scalar Adversary. Mutations (corrupt, split_as)
+/// touch only the focused lane's bit / row list. EXPECTS messages match
+/// Engine::Ctl verbatim — the contract surface is part of the equivalence.
+class FusedLaneControl final : public RoundControl {
+public:
+    /// `frame` and `proto` must outlive the control; budget is per lane.
+    void rearm(FusedFrame* frame, FusedProtocol* proto, Count budget);
+
+    void set_round(Round r) { round_ = r; }
+    void set_lane(unsigned lane) { lane_ = lane; }
+
+    Count corruptions(unsigned lane) const { return used_[lane]; }
+    std::uint64_t byzantine_messages(unsigned lane) const { return byz_msgs_[lane]; }
+
+    // ---- RoundControl ----
+    Round round() const override { return round_; }
+    NodeId n() const override { return frame_->n(); }
+    Count budget_left() const override { return budget_ - used_[lane_]; }
+    bool is_honest(NodeId v) const override;
+    bool is_halted(NodeId v) const override;
+    const Message* intended_broadcast(NodeId v) const override;
+    Bit current_value(NodeId v) const override;
+    bool current_decided(NodeId v) const override;
+    std::optional<Message> corrupt(NodeId v) override;
+    void deliver_as(NodeId byz_from, NodeId to, const Message& m) override;
+    void split_as(NodeId byz_from, const std::optional<Message>& low,
+                  const std::optional<Message>& high, NodeId boundary) override;
+
+private:
+    std::uint64_t lane_bit() const { return std::uint64_t{1} << lane_; }
+    /// Reconstructs the focused lane's honest broadcast of node v from the
+    /// frame planes (exact for every supported protocol: binary kinds carry
+    /// no word payload). nullopt = silent (no sent bit).
+    std::optional<Message> message_of(NodeId v) const;
+
+    FusedFrame* frame_ = nullptr;
+    FusedProtocol* proto_ = nullptr;
+    Count budget_ = 0;
+    Round round_ = 0;
+    unsigned lane_ = 0;
+    Count used_[kFusedLanes] = {};
+    std::uint64_t byz_msgs_[kFusedLanes] = {};
+    mutable Message scratch_;  ///< storage behind intended_broadcast
+};
+
+/// Per-lane result of a fused block — the scalar RunResult fields the
+/// Monte-Carlo runner consumes, minus the per-node vectors (read those off
+/// the planes: FusedBlock::byz_plane + FusedProtocol::value_plane).
+struct FusedLaneResult {
+    Round rounds = 0;
+    bool all_halted = false;
+    TrialOutcome outcome = TrialOutcome::Decided;
+    Metrics metrics;
+};
+
+/// Drives one 64-lane block: Engine::run's beat order, word-parallel.
+/// No watchdog (fused scenarios require watchdog_ms == 0) and no
+/// transcript — both are validation-rejected upstream.
+class FusedBlock {
+public:
+    /// `proto` must already be rearm()-ed for this block; advs[j] is lane
+    /// j's adversary (on_start is called here). Results land in out[0..63].
+    void run(FusedProtocol& proto, Adversary* const* advs, Count budget,
+             Round max_rounds, FusedLaneResult* out);
+
+    /// Corruption plane of the finished block (bit j of word v = node v
+    /// Byzantine in lane j).
+    const std::uint64_t* byz_plane() const { return frame_.byz.data(); }
+
+private:
+    FusedFrame frame_;
+    FusedLaneControl ctl_;
+};
+
+// ---- shared word-parallel helpers for FusedProtocol implementations ----
+
+/// The receiver segmentation a lane's pattern rows induce: sorted unique
+/// boundaries cut [0, n) into intervals on which every Byzantine delivery
+/// (hence every exact count, hence every threshold decision) is constant.
+class LaneSegments {
+public:
+    void rebuild(const std::vector<FusedRow>& rows, NodeId n);
+    std::size_t count() const { return cuts_.size() - 1; }
+    NodeId lo(std::size_t i) const { return cuts_[i]; }
+    NodeId hi(std::size_t i) const { return cuts_[i + 1]; }
+
+    /// The side of `row` a whole segment starting at `seg_lo` sees (segments
+    /// never straddle a boundary): low below, high at-or-above.
+    static const Message* side(const FusedRow& row, NodeId seg_lo) {
+        if (seg_lo < row.boundary) return row.has_low ? &row.low : nullptr;
+        return row.has_high ? &row.high : nullptr;
+    }
+
+private:
+    std::vector<NodeId> cuts_;
+};
+
+/// 64-lane interval-write composer: per-(lane, [a,b)) writes accumulate as
+/// XOR toggles, one O(n) prefix-XOR sweep materializes all lanes' write
+/// masks at once. Disjoint intervals per lane (LaneSegments guarantees
+/// this) make XOR exact.
+class LaneToggles {
+public:
+    void reset(NodeId n) { t_.assign(static_cast<std::size_t>(n) + 1, 0); }
+    void mark(NodeId a, NodeId b, std::uint64_t lane_mask) {
+        t_[a] ^= lane_mask;
+        t_[b] ^= lane_mask;
+    }
+    /// Prefix-XOR sweep: out[v] = mask of lanes whose marked interval
+    /// covers v. `out` must hold n words; sweep leaves the toggles intact.
+    void sweep(std::uint64_t* out, NodeId n) const {
+        std::uint64_t acc = 0;
+        for (NodeId v = 0; v < n; ++v) {
+            acc ^= t_[v];
+            out[v] = acc;
+        }
+    }
+
+private:
+    std::vector<std::uint64_t> t_;
+};
+
+}  // namespace adba::net

@@ -214,5 +214,59 @@ void for_each_set_bit(const std::uint64_t* words, std::size_t word_count, Fn&& f
     }
 }
 
+/// Bit-sliced 64-lane column accumulator — the carry-save adder tree of
+/// the fused trial plane (net/fused_plane.hpp). The popcount kernels above
+/// count bits ACROSS a word (64 senders of ONE trial); the fused plane
+/// needs the transpose: 64 independent per-lane counts where lane j of
+/// every added word belongs to trial j. LaneAdder keeps the running counts
+/// bit-sliced — planes_[k] holds bit k of all 64 lane counts — so add(x)
+/// is a ripple-carry over at most log2(count) words (amortized ~2 word ops
+/// per add: the carry chain terminates as soon as a plane has no carry),
+/// never 64 scalar increments.
+class LaneAdder {
+public:
+    /// log2 ceiling of the largest supported addend count (2^32 adds).
+    static constexpr unsigned kMaxPlanes = 32;
+
+    /// Adds 1 to lane j's count for every set bit j of x.
+    void add(std::uint64_t x) {
+        for (unsigned k = 0; k < used_; ++k) {
+            const std::uint64_t carry = planes_[k] & x;
+            planes_[k] ^= x;
+            x = carry;
+            if (x == 0) return;
+        }
+        planes_[used_++] = x;
+    }
+
+    /// Lane j's accumulated count.
+    Count lane(unsigned j) const {
+        Count c = 0;
+        for (unsigned k = 0; k < used_; ++k)
+            c |= static_cast<Count>((planes_[k] >> j) & 1) << k;
+        return c;
+    }
+
+    /// Writes all 64 lane counts to out[0..63].
+    void counts(Count* out) const {
+        for (unsigned j = 0; j < 64; ++j) out[j] = 0;
+        for (unsigned k = 0; k < used_; ++k) {
+            std::uint64_t bits = planes_[k];
+            while (bits != 0) {
+                const unsigned j = static_cast<unsigned>(std::countr_zero(bits));
+                out[j] |= Count{1} << k;
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// O(1): forget the counts without touching the plane array.
+    void reset() { used_ = 0; }
+
+private:
+    std::uint64_t planes_[kMaxPlanes] = {};
+    unsigned used_ = 0;
+};
+
 }  // namespace kern
 }  // namespace adba::net

@@ -21,6 +21,7 @@
 #include "baselines/rabin_dealer.hpp"
 #include "baselines/sampling_majority.hpp"
 #include "core/agreement.hpp"
+#include "core/skeleton_fused.hpp"
 #include "sim/faults.hpp"
 #include "support/cli.hpp"
 #include "support/contracts.hpp"
@@ -165,6 +166,15 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
         const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
         core::reinit_algorithm3_batch(params, mode, inputs, seeds, *b.batch);
     };
+    const auto alg3_fused =
+        [](const Scenario& s,
+           core::AgreementMode mode) -> std::unique_ptr<net::FusedProtocol> {
+        const auto params = core::AgreementParams::compute(s.n, s.t, s.tuning);
+        return std::make_unique<core::FusedSkeleton>(
+            core::SkeletonConfig{s.n, s.t, params.phases, mode},
+            core::FusedCoinSpec{core::FusedCoinSpec::Kind::Committee, params.schedule,
+                                nullptr});
+    };
 
     add({ProtocolKind::Ours,
          "ours",
@@ -193,7 +203,10 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
                              const SeedTree& sd, ProtocolBundle& b) {
              alg3_batch_reinit(s, in, sd, core::AgreementMode::WhpFixedPhases, b);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [alg3_fused](const Scenario& s) {
+             return alg3_fused(s, core::AgreementMode::WhpFixedPhases);
+         }});
 
     add({ProtocolKind::OursLasVegas,
          "ours-las-vegas",
@@ -222,7 +235,10 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
                              const SeedTree& sd, ProtocolBundle& b) {
              alg3_batch_reinit(s, in, sd, core::AgreementMode::LasVegas, b);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [alg3_fused](const Scenario& s) {
+             return alg3_fused(s, core::AgreementMode::LasVegas);
+         }});
 
     const auto chor_coan_nodes = [](const Scenario& s, const std::vector<Bit>& inputs,
                                     const SeedTree& seeds, bool rushing) {
@@ -269,6 +285,17 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
         base::reinit_chor_coan_batch(params, core::AgreementMode::WhpFixedPhases,
                                      inputs, seeds, *b.batch);
     };
+    const auto chor_coan_fused =
+        [](const Scenario& s, bool rushing) -> std::unique_ptr<net::FusedProtocol> {
+        const auto params = rushing
+                                ? base::ChorCoanParams::compute_rushing(s.n, s.t, s.tuning)
+                                : base::ChorCoanParams::compute_classic(s.n, s.t, s.tuning);
+        return std::make_unique<core::FusedSkeleton>(
+            core::SkeletonConfig{s.n, s.t, params.phases,
+                                 core::AgreementMode::WhpFixedPhases},
+            core::FusedCoinSpec{core::FusedCoinSpec::Kind::Committee, params.schedule,
+                                nullptr});
+    };
 
     add({ProtocolKind::ChorCoanRushing,
          "chor-coan-rushing",
@@ -297,7 +324,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
                                   const SeedTree& sd, ProtocolBundle& b) {
              chor_coan_batch_reinit(s, in, sd, true, b);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [chor_coan_fused](const Scenario& s) { return chor_coan_fused(s, true); }});
 
     add({ProtocolKind::ChorCoanClassic,
          "chor-coan-classic",
@@ -326,7 +354,8 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
                                   const SeedTree& sd, ProtocolBundle& b) {
              chor_coan_batch_reinit(s, in, sd, false, b);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [chor_coan_fused](const Scenario& s) { return chor_coan_fused(s, false); }});
 
     add({ProtocolKind::RabinDealer,
          "rabin-dealer",
@@ -377,7 +406,19 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              base::reinit_rabin_dealer_batch(params, core::AgreementMode::WhpFixedPhases,
                                              inputs, seeds, *b.batch);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         // Per-lane dealer seeds come from each lane's DealerCoin stream at
+         // rearm time (skeleton_fused.cpp), so the phase budget — which is
+         // dealer-seed-independent — is the only params field used here.
+         [](const Scenario& s) -> std::unique_ptr<net::FusedProtocol> {
+             const auto p = base::RabinDealerParams::compute(s.n, s.t, 0, s.tuning.gamma);
+             return std::make_unique<core::FusedSkeleton>(
+                 core::SkeletonConfig{s.n, s.t, p.phases,
+                                      core::AgreementMode::WhpFixedPhases},
+                 core::FusedCoinSpec{core::FusedCoinSpec::Kind::Dealer,
+                                     {},
+                                     &base::RabinDealerNode::dealer_coin});
+         }});
 
     add({ProtocolKind::LocalCoin,
          "local-coin",
@@ -422,7 +463,13 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              base::reinit_local_coin_batch(params, core::AgreementMode::WhpFixedPhases,
                                            inputs, seeds, *b.batch);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [](const Scenario& s) -> std::unique_ptr<net::FusedProtocol> {
+             return std::make_unique<core::FusedSkeleton>(
+                 core::SkeletonConfig{s.n, s.t, s.local_coin_phases,
+                                      core::AgreementMode::WhpFixedPhases},
+                 core::FusedCoinSpec{core::FusedCoinSpec::Kind::Local, {}, nullptr});
+         }});
 
     add({ProtocolKind::BenOr,
          "ben-or",
@@ -463,7 +510,11 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              const base::BenOrParams params{s.n, s.t, s.local_coin_phases};
              base::reinit_ben_or_batch(params, inputs, seeds, *b.batch);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [](const Scenario& s) -> std::unique_ptr<net::FusedProtocol> {
+             return std::make_unique<base::FusedBenOr>(
+                 base::BenOrParams{s.n, s.t, s.local_coin_phases});
+         }});
 
     add({ProtocolKind::PhaseKing,
          "phase-king",
@@ -504,7 +555,11 @@ ProtocolRegistry::ProtocolRegistry() : RegistryBase("protocol") {
              base::reinit_phase_king_batch(base::PhaseKingParams{s.n, s.t}, inputs,
                                            *b.batch);
          },
-         /*supports_sparse=*/true});
+         /*supports_sparse=*/true,
+         [](const Scenario& s) -> std::unique_ptr<net::FusedProtocol> {
+             return std::make_unique<base::FusedPhaseKing>(
+                 base::PhaseKingParams{s.n, s.t});
+         }});
 
     add({ProtocolKind::SamplingMajority,
          "sampling-majority",
@@ -562,7 +617,8 @@ AdversaryRegistry::AdversaryRegistry() : RegistryBase("adversary") {
          std::nullopt,
          [](const Scenario&, const ProtocolBundle&, const SeedTree&) {
              return std::make_unique<net::NullAdversary>();
-         }});
+         },
+         /*supports_fused=*/true});
 
     add({AdversaryKind::Static,
          "static",
@@ -578,7 +634,8 @@ AdversaryRegistry::AdversaryRegistry() : RegistryBase("adversary") {
              return std::make_unique<adv::StaticAdversary>(
                  q_of(s), adv::StaticBehavior::SplitVotes,
                  seeds.stream(StreamPurpose::Adversary));
-         }});
+         },
+         /*supports_fused=*/true});
 
     add({AdversaryKind::SplitVote,
          "split-vote",
@@ -593,7 +650,8 @@ AdversaryRegistry::AdversaryRegistry() : RegistryBase("adversary") {
              -> std::unique_ptr<net::Adversary> {
              return std::make_unique<adv::SplitVoteAdversary>(
                  q_of(s), seeds.stream(StreamPurpose::Adversary));
-         }});
+         },
+         /*supports_fused=*/true});
 
     add({AdversaryKind::Chaos,
          "chaos",
@@ -625,7 +683,8 @@ AdversaryRegistry::AdversaryRegistry() : RegistryBase("adversary") {
              return std::make_unique<adv::CrashAdversary>(
                  adv::CrashConfig{q_of(s), adv::CrashMode::Random, 0.15, std::nullopt},
                  seeds.stream(StreamPurpose::Adversary));
-         }});
+         },
+         /*supports_fused=*/true});
 
     add({AdversaryKind::CrashTargetedCoin,
          "crash-targeted-coin",
@@ -642,7 +701,8 @@ AdversaryRegistry::AdversaryRegistry() : RegistryBase("adversary") {
                  adv::CrashConfig{q_of(s), adv::CrashMode::TargetedCoin, 0.0,
                                   bundle.schedule},
                  seeds.stream(StreamPurpose::Adversary));
-         }});
+         },
+         /*supports_fused=*/true});
 
     add({AdversaryKind::WorstCase,
          "worst-case",
@@ -801,6 +861,42 @@ std::optional<std::string> why_incompatible(const Scenario& s) {
                    "combine with simd=false; drop one of the two";
     }
 
+    if (s.use_fused) {
+        if (!p.make_fused) {
+            std::string with;
+            for (const ProtocolEntry* e : ProtocolRegistry::instance().list())
+                if (e->make_fused) with += (with.empty() ? "" : ", ") + e->name;
+            return "fused=true needs a fused-capable protocol; '" + p.name +
+                   "' has no 64-lane form (fused-capable protocols: " + with + ")";
+        }
+        if (!a.supports_fused) {
+            std::string with;
+            for (const AdversaryEntry* e : AdversaryRegistry::instance().list())
+                if (e->supports_fused) with += (with.empty() ? "" : ", ") + e->name;
+            return "adversary '" + a.name +
+                   "' does not act through the fused plane's lane-masked "
+                   "split_as bridge; drop fused=true or pick one of: " +
+                   with;
+        }
+        if (s.sparse_plane)
+            return "fused=true co-executes 64 trials on the flat bit planes and "
+                   "cannot combine with plane=sparse; drop one of the two";
+        if (s.reference_delivery)
+            return "fused=true has no reference-delivery form; drop "
+                   "reference=true (use fused=false for oracle comparisons)";
+        if (s.record_transcript)
+            return "fused=true does not record per-trial transcripts (64 trials "
+                   "share each beat); drop transcript=true or fused=true";
+        if (!s.use_batch)
+            return "fused=true is the word-parallel form of the native batch "
+                   "plane and cannot combine with batch=false; drop one of the "
+                   "two";
+        if (s.watchdog_ms != 0)
+            return "fused=true shares wall-clock across 64 co-executing trials, "
+                   "so a per-trial watchdog is undefined; drop watchdog_ms or "
+                   "fused=true";
+    }
+
     return std::nullopt;
 }
 
@@ -924,6 +1020,7 @@ std::string Scenario::describe() const {
     if (sparse_stream != defaults.sparse_stream)
         out += std::string(" sparse_stream=") +
                (sparse_stream == net::SparseStream::Chain ? "chain" : "counter");
+    if (use_fused) out += " fused=true";
     if (watchdog_ms != defaults.watchdog_ms)
         out += " watchdog_ms=" + std::to_string(watchdog_ms);
     return out;
@@ -1032,6 +1129,8 @@ Scenario Scenario::parse(const std::string& spec) {
             s.sparse_seed = parse_u64(key, value);
         } else if (key == "sparse_stream") {
             s.sparse_stream = parse_sparse_stream_name(value);
+        } else if (key == "fused") {
+            s.use_fused = parse_onoff(value);
         } else if (key == "watchdog_ms") {
             s.watchdog_ms = static_cast<std::uint32_t>(parse_u64(key, value));
         } else {
@@ -1040,7 +1139,7 @@ Scenario Scenario::parse(const std::string& spec) {
                 "'; valid keys: protocol, adversary, inputs, n, t, q, alpha, gamma, "
                 "beta, phases, kappa, max_rounds, transcript, reference, batch, "
                 "shard, simd, intra_threads, plane, sample_degree, sparse_seed, "
-                "sparse_stream, watchdog_ms");
+                "sparse_stream, fused, watchdog_ms");
         }
     });
     return s;
@@ -1139,7 +1238,7 @@ std::optional<std::string> apply_memory_budget(Scenario& s) {
 
     const ProtocolEntry& p = ProtocolRegistry::instance().at(s.protocol);
     const bool can_fall_back = !s.sparse_plane && p.supports_sparse && s.use_batch &&
-                               s.use_simd && !s.reference_delivery;
+                               s.use_simd && !s.reference_delivery && !s.use_fused;
     if (can_fall_back) {
         const std::uint64_t sparse = estimate_trial_arena_bytes(s.n, true);
         if (sparse <= budget) {

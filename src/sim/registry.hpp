@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fused_plane.hpp"
 #include "sim/multivalued_runner.hpp"
 #include "sim/runner.hpp"
 
@@ -106,6 +107,15 @@ struct ProtocolEntry {
     /// BatchProtocol::supports_sparse for capability listings and the
     /// feasibility rules; implies make_batch != nullptr.
     bool supports_sparse = false;
+
+    /// Word-parallel fused-plane factory (net/fused_plane.hpp; scenario key
+    /// `fused`): builds the 64-lane FusedProtocol for this scenario's
+    /// parameters once per arena; the arena re-arms it per block with the
+    /// lane SeedTrees. Null = the protocol has no fused form (`fused=true`
+    /// scenarios are rejected by why_incompatible). Lane j of a fused block
+    /// is bit-identical to the scalar trial at lane j's index — the scalar
+    /// path stays the oracle, as with `batch=` / `simd=` / `plane=`.
+    std::function<std::unique_ptr<net::FusedProtocol>(const Scenario&)> make_fused;
 };
 
 /// Capability descriptor + factory for one adversary strategy.
@@ -128,6 +138,13 @@ struct AdversaryEntry {
                                                   const ProtocolBundle&,
                                                   const SeedTree&)>
         make_adversary;
+
+    /// The strategy works against the fused plane's lane-masked
+    /// RoundControl bridge (corrupt/split_as only, one pattern per sender
+    /// per round, no deliver_as). False for strategies that need per-cell
+    /// delivery or full-information transcripts; why_incompatible explains
+    /// the rejection for `fused=true` scenarios.
+    bool supports_fused = false;
 };
 
 /// Adversary strategies for the multi-valued (Turpin-Coan) stack.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fused_plane.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/faults.hpp"
 #include "sim/registry.hpp"
@@ -140,6 +141,82 @@ public:
         return res;
     }
 
+    /// True when this scenario's trial chunks run through the fused plane
+    /// (validate() already guaranteed the protocol and adversary support it,
+    /// so the scenario flag is the whole decision).
+    bool fused_active() const { return plan_.scenario.use_fused; }
+
+    /// Runs 64 consecutive trials as one fused block. trial_seeds[j] is the
+    /// index-derived seed of lane j's trial — the exact value the scalar
+    /// path would pass to run() — and out[j] receives a TrialResult
+    /// bit-identical to run(trial_seeds[j]).
+    void run_fused(const std::uint64_t* trial_seeds, TrialResult* out) {
+        const Scenario& s = plan_.scenario;
+        const NodeId n = s.n;
+        if (!fused_proto_) {
+            fused_proto_ = plan_.protocol->make_fused(s);
+            const BudgetHint hint = plan_.protocol->budgets(s);
+            fused_meta_.phases = hint.phases;
+            fused_meta_.default_max_rounds = hint.max_rounds;
+            if (plan_.protocol->schedule_of)
+                fused_meta_.schedule = plan_.protocol->schedule_of(s);
+        }
+
+        lane_seeds_.clear();
+        lane_seeds_.reserve(net::kFusedLanes);
+        fused_inputs_.assign(n, 0);
+        std::uint64_t unan = 0, front = 0;
+        net::Adversary* advs[net::kFusedLanes];
+        for (unsigned j = 0; j < net::kFusedLanes; ++j) {
+            lane_seeds_.emplace_back(trial_seeds[j]);
+            make_inputs(s.inputs, n, lane_seeds_.back(), inputs_);
+            for (NodeId v = 0; v < n; ++v)
+                fused_inputs_[v] |= std::uint64_t{inputs_[v] & 1u} << j;
+            if (unanimous(inputs_)) unan |= std::uint64_t{1} << j;
+            front |= std::uint64_t{inputs_.front() & 1u} << j;
+            fused_advs_[j] =
+                plan_.adversary->make_adversary(s, fused_meta_, lane_seeds_.back());
+            advs[j] = fused_advs_[j].get();
+        }
+        fused_proto_->rearm(fused_inputs_.data(), lane_seeds_.data());
+
+        const Round max_rounds = s.max_rounds_override
+                                     ? s.max_rounds_override
+                                     : fused_meta_.default_max_rounds;
+        net::FusedLaneResult lanes[net::kFusedLanes];
+        fused_block_.run(*fused_proto_, advs, s.t, max_rounds, lanes);
+
+        // Per-lane agreement over the surviving honest outputs — exactly
+        // RunResult::agreement(): honest = never corrupted, output = the
+        // protocol's value plane.
+        const std::uint64_t* byz = fused_block_.byz_plane();
+        const std::uint64_t* val = fused_proto_->value_plane();
+        std::uint64_t any0 = 0, any1 = 0;
+        for (NodeId v = 0; v < n; ++v) {
+            any0 |= ~byz[v] & ~val[v];
+            any1 |= ~byz[v] & val[v];
+        }
+        for (unsigned j = 0; j < net::kFusedLanes; ++j) {
+            const std::uint64_t bit = std::uint64_t{1} << j;
+            TrialResult& res = out[j];
+            res = TrialResult{};
+            res.agreement = (any0 & any1 & bit) == 0;
+            if (res.agreement)
+                res.agreed_value = static_cast<Bit>((any1 & bit) != 0 ? 1 : 0);
+            res.validity_applicable = (unan & bit) != 0;
+            res.validity_ok =
+                !res.validity_applicable ||
+                (res.agreement && res.agreed_value &&
+                 *res.agreed_value == static_cast<Bit>((front & bit) != 0 ? 1 : 0));
+            res.all_halted = lanes[j].all_halted;
+            res.rounds = lanes[j].rounds;
+            res.outcome = lanes[j].outcome;
+            res.metrics = lanes[j].metrics;
+            res.phases_configured = fused_meta_.phases;
+            fused_advs_[j].reset();
+        }
+    }
+
 private:
     const ScenarioPlan& plan_;
     std::vector<Bit> inputs_;
@@ -148,6 +225,15 @@ private:
     std::optional<net::Engine> engine_;
     std::unique_ptr<ShardPool> shard_pool_;  ///< persists across trials
     unsigned shard_count_ = 0;
+    // Fused-plane state (fused=true scenarios only): the 64-lane protocol is
+    // built once per arena and re-armed per block; the metadata bundle only
+    // carries phases/schedule/round budget for the adversary factories.
+    std::unique_ptr<net::FusedProtocol> fused_proto_;
+    net::FusedBlock fused_block_;
+    ProtocolBundle fused_meta_;
+    std::vector<std::uint64_t> fused_inputs_;
+    std::vector<SeedTree> lane_seeds_;
+    std::unique_ptr<net::Adversary> fused_advs_[net::kFusedLanes];
 };
 
 ScenarioPlan BinaryWorkload::make_plan(const Scenario& s) {

@@ -103,6 +103,15 @@ struct Scenario {
     /// `sparse_stream=chain|counter`; net/sparse_kernels.hpp). Counter is
     /// the batched default; chain replays PR-7-era recorded experiments.
     net::SparseStream sparse_stream = net::SparseStream::Counter;
+    /// Co-execute 64 trials per machine word through the fused trial plane
+    /// (net/fused_plane.hpp; scenario key `fused`, CLI `--fused`). Requires
+    /// a fused-capable protocol and adversary (registry capability flags),
+    /// `batch=on`, `plane=flat`, `reference=off`, no transcript, and
+    /// `watchdog_ms=0` — why_incompatible states each rule. Aggregates are
+    /// bit-identical to the scalar path at any thread count; trial chunks
+    /// split into whole 64-lane blocks plus a scalar remainder, so
+    /// checkpoint/resume identity is preserved.
+    bool use_fused = false;
     /// Per-trial wall-clock watchdog in milliseconds (scenario key
     /// `watchdog_ms`, CLI `--watchdog_ms`); 0 = off. Guards the Las Vegas
     /// variants' unbounded round tail: a trial past the deadline stops with
@@ -117,7 +126,7 @@ struct Scenario {
     /// Keys: protocol, adversary, inputs, n, t, q, alpha, gamma, beta,
     /// phases, kappa, max_rounds, transcript, reference, batch, shard,
     /// simd, intra_threads, plane, sample_degree, sparse_seed,
-    /// sparse_stream, watchdog_ms. Unknown keys or names throw
+    /// sparse_stream, fused, watchdog_ms. Unknown keys or names throw
     /// ContractViolation with the accepted alternatives.
     static Scenario parse(const std::string& spec);
 

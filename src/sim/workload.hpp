@@ -101,7 +101,30 @@ typename W::Aggregate run_resilient_chunk(const typename W::Plan& plan,
         if constexpr (requires { W::reserve(part, Count{}); })
             W::reserve(part, end - begin);
         typename W::Arena arena(plan);
-        for (Count i = begin; i < end; ++i) {
+        Count i = begin;
+        // Fused fast path: arenas that expose fused_active()/run_fused()
+        // (the binary stack under `fused=true`) co-execute 64 trials per
+        // word-parallel block, in index order, with the SAME index-derived
+        // seeds the scalar loop below would use — so the chunk partial is
+        // bit-identical either way and chunk identity (checkpoint/resume,
+        // thread invariance) is untouched. The trailing `trials % 64`
+        // remainder runs scalar. Disabled under an armed fault injector:
+        // per-trial fault identity and chunk-retry recovery are defined on
+        // the scalar path only.
+        if constexpr (requires { arena.fused_active(); }) {
+            if (!inj && arena.fused_active()) {
+                std::uint64_t lane_seeds[64];
+                typename W::Result lane_out[64];
+                while (end - i >= 64) {
+                    for (unsigned j = 0; j < 64; ++j)
+                        lane_seeds[j] = mix64(base_seed + W::kSeedStride * (i + j));
+                    arena.run_fused(lane_seeds, lane_out);
+                    for (unsigned j = 0; j < 64; ++j) W::accumulate(part, lane_out[j]);
+                    i += 64;
+                }
+            }
+        }
+        for (; i < end; ++i) {
             if (inj && inj->trial_faulted(i)) {
                 typename W::Result faulted{};
                 faulted.outcome = TrialOutcome::Faulted;

@@ -21,7 +21,7 @@
 //        --gamma --beta --phases --kappa --max_rounds --transcript
 //        --reference --batch=on|off --shard=on|off --simd=on|off
 //        --plane=flat|sparse --sample_degree --sparse_seed
-//        --sparse_stream=chain|counter --las_vegas --fallback
+//        --sparse_stream=chain|counter --fused=on|off --las_vegas --fallback
 //        --k --f --attack --forced_bit --schedule --list
 //        --watchdog_ms --chunk --checkpoint --resume
 //        --faults="key=value ..." --mem_budget_mb
@@ -123,6 +123,12 @@ sim::ExecutorConfig exec_config(const Cli& cli) {
 }
 
 int run_multivalued(const Cli& cli) {
+    if (cli.has("fused"))
+        throw ContractViolation(
+            "--fused co-executes 64 binary trials per machine word; the "
+            "multi-valued stack has no fused plane (the Turpin-Coan word "
+            "histograms do not bit-slice) — drop the flag or use "
+            "--workload=binary");
     sim::MvScenario s;
     if (cli.has("scenario")) s = sim::MvScenario::parse(cli.get("scenario", ""));
     if (cli.has("n") || s.n == 0) s.n = static_cast<NodeId>(cli.get_int("n", 96));
@@ -190,6 +196,11 @@ int run_coin(const Cli& cli) {
             "--plane/--sample_degree select the binary stack's delivery plane; "
             "the standalone coin workload has no delivery plane (drop the flag "
             "or use --workload=binary)");
+    if (cli.has("fused"))
+        throw ContractViolation(
+            "--fused selects the binary stack's 64-lane trial plane; the "
+            "standalone coin workload has no fused plane (drop the flag or "
+            "use --workload=binary)");
     sim::CoinScenario s;
     s.n = static_cast<NodeId>(cli.get_int("n", 256));
     s.designated = static_cast<NodeId>(cli.get_int("k", s.n));  // == n: Algorithm 1
@@ -228,6 +239,11 @@ int run_coin(const Cli& cli) {
 }
 
 int run_macro(const Cli& cli) {
+    if (cli.has("fused"))
+        throw ContractViolation(
+            "--fused selects the binary stack's 64-lane trial plane; the "
+            "macro asymptotic simulator steps counts, not bit planes (drop "
+            "the flag or use --workload=binary)");
     sim::MacroScenario s;
     s.n = static_cast<std::uint64_t>(cli.get_int("n", 1 << 16));
     s.t = static_cast<std::uint64_t>(cli.get_int("t", 256));
@@ -314,6 +330,11 @@ int run_binary(const Cli& cli) {
         s.sparse_seed = static_cast<std::uint64_t>(cli.get_int("sparse_seed", 0));
     if (cli.has("sparse_stream"))
         s.sparse_stream = sim::parse_sparse_stream_name(cli.get("sparse_stream", ""));
+    // --fused=on|off co-executes 64 trials per machine word through the
+    // fused trial plane (scenario key `fused`); validate() rejects
+    // unsupported protocol/adversary/plane combinations with the
+    // why_incompatible message.
+    if (cli.has("fused")) s.use_fused = cli.get_bool("fused", false);
     if (cli.has("watchdog_ms"))
         s.watchdog_ms = static_cast<std::uint32_t>(cli.get_int("watchdog_ms", 0));
 

@@ -14,6 +14,8 @@ Gated blocks (each gate is a (block, field, direction) triple):
   sparse          counter-stream trials_per_sec per n    (higher is better)
   sparse          counter-stream ns_per_probe per n      (LOWER is better)
   sparse_chain    chain-stream trials_per_sec per n      (higher is better)
+  fused           64-lane fused trials_per_sec per n     (higher is better)
+  fused           64-lane fused ns_per_trial per n       (LOWER is better)
 
 A block that exists in the baseline but is missing (or empty) in the fresh
 measurement fails LOUDLY (exit 2), and so does a gated FIELD present in a
@@ -61,6 +63,10 @@ GATES = [
      "field": "ns_per_probe", "better": "lower"},
     {"block": "sparse_chain", "path": ("sparse_chain", "entries"),
      "field": "trials_per_sec", "better": "higher"},
+    {"block": "fused", "path": ("fused", "entries"),
+     "field": "trials_per_sec", "better": "higher"},
+    {"block": "fused", "path": ("fused", "entries"),
+     "field": "ns_per_trial", "better": "lower"},
 ]
 
 
